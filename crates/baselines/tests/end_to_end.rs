@@ -1,0 +1,255 @@
+//! End-to-end behaviour of the baseline schemes over the paper's Emulab
+//! dumbbell (Fig. 4): a single flow must complete, and the schemes must
+//! order the way the paper's low-utilization results do.
+
+use baselines::{path_cache, JumpStart, Pcp, ProactiveTcp, ReactiveTcp, Tcp, TcpCache};
+use netsim::topology::{build_dumbbell, DumbbellSpec};
+use netsim::{FlowId, SimTime};
+use transport::sender::FlowRecord;
+use transport::strategy::Strategy;
+use transport::{Host, TransportSim};
+
+/// Build a 1-pair Emulab dumbbell, run one `bytes`-sized flow with the
+/// given strategy, and return its record.
+fn run_single(strategy: Box<dyn Strategy>, bytes: u64) -> FlowRecord {
+    run_single_seeded(strategy, bytes, 1)
+}
+
+fn run_single_seeded(strategy: Box<dyn Strategy>, bytes: u64, seed: u64) -> FlowRecord {
+    let mut sim = TransportSim::new(seed);
+    let spec = DumbbellSpec::emulab(1);
+    let net = build_dumbbell(&mut sim, &spec, |_, _| Box::new(Host::new()));
+    sim.with_node_mut::<Host, _>(net.left_hosts[0], |h, _| {
+        h.wire(net.left_hosts[0], net.left_egress[0])
+    });
+    sim.with_node_mut::<Host, _>(net.right_hosts[0], |h, _| {
+        h.wire(net.right_hosts[0], net.right_egress[0])
+    });
+    sim.with_node_mut::<Host, _>(net.left_hosts[0], |h, core| {
+        h.start_flow(core, FlowId(1), net.right_hosts[0], bytes, strategy)
+    });
+    sim.run_to_completion(50_000_000);
+    let host = sim.node_as::<Host>(net.left_hosts[0]).unwrap();
+    assert_eq!(host.completed().len(), 1, "flow did not complete");
+    host.completed()[0].clone()
+}
+
+#[test]
+fn tcp_completes_100kb_in_slow_start_time() {
+    let r = run_single(Box::new(Tcp::new()), 100_000);
+    let fct = r.fct.as_millis_f64();
+    // Handshake (~60 ms) + ~6 slow-start rounds (2,4,8,16,32,7 segs).
+    assert!(fct > 350.0 && fct < 550.0, "TCP FCT {fct}ms");
+    assert_eq!(r.counters.normal_retx, 0, "clean path must not retransmit");
+    assert_eq!(r.counters.rto_events, 0);
+}
+
+#[test]
+fn tcp10_is_faster_than_tcp() {
+    let tcp = run_single(Box::new(Tcp::new()), 100_000);
+    let tcp10 = run_single(Box::new(Tcp::with_icw10()), 100_000);
+    // ICW=10 skips ~2.3 doubling rounds.
+    assert!(
+        tcp10.fct < tcp.fct,
+        "TCP-10 ({}) must beat TCP ({})",
+        tcp10.fct,
+        tcp.fct
+    );
+    let saved_ms = tcp.fct.as_millis_f64() - tcp10.fct.as_millis_f64();
+    assert!(
+        saved_ms > 80.0,
+        "TCP-10 should save >1 RTT, saved {saved_ms}ms"
+    );
+}
+
+#[test]
+fn jumpstart_finishes_in_about_three_rtts() {
+    let r = run_single(Box::new(JumpStart::new()), 100_000);
+    let fct = r.fct.as_millis_f64();
+    // Handshake + 1 paced RTT + last ACK: ~2.5-3 RTT = 150-190 ms.
+    assert!(fct > 140.0 && fct < 230.0, "JumpStart FCT {fct}ms");
+    assert_eq!(
+        r.counters.normal_retx, 0,
+        "no loss alone on a clean dumbbell"
+    );
+}
+
+#[test]
+fn jumpstart_beats_every_tcp_variant_at_low_load() {
+    let js = run_single(Box::new(JumpStart::new()), 100_000);
+    let tcp10 = run_single(Box::new(Tcp::with_icw10()), 100_000);
+    assert!(
+        js.fct < tcp10.fct,
+        "JumpStart {} vs TCP-10 {}",
+        js.fct,
+        tcp10.fct
+    );
+}
+
+#[test]
+fn proactive_is_slower_than_tcp_without_loss() {
+    // The paper's PlanetLab results (Fig. 6) put Proactive *behind* TCP in
+    // the loss-free common case: duplicates consume the window.
+    let tcp = run_single(Box::new(Tcp::new()), 100_000);
+    let pro = run_single(Box::new(ProactiveTcp::new()), 100_000);
+    assert!(
+        pro.fct > tcp.fct,
+        "Proactive {} must be slower than TCP {}",
+        pro.fct,
+        tcp.fct
+    );
+    let r = pro;
+    assert!(
+        r.counters.proactive_retx > 0,
+        "Proactive must send duplicates"
+    );
+    assert_eq!(r.counters.normal_retx, 0);
+}
+
+#[test]
+fn reactive_matches_tcp_without_loss() {
+    let tcp = run_single(Box::new(Tcp::new()), 100_000);
+    let rea = run_single(Box::new(ReactiveTcp::new()), 100_000);
+    let diff = (rea.fct.as_millis_f64() - tcp.fct.as_millis_f64()).abs();
+    assert!(
+        diff < 30.0,
+        "Reactive should track TCP without loss; diff {diff}ms"
+    );
+}
+
+#[test]
+fn pcp_probes_before_sending_and_is_slow() {
+    let r = run_single(Box::new(Pcp::new()), 100_000);
+    assert!(
+        r.counters.probes_sent >= 10,
+        "PCP must probe (sent {})",
+        r.counters.probes_sent
+    );
+    let fct = r.fct.as_millis_f64();
+    // Several probe rounds at ~1 RTT each push PCP past JumpStart.
+    assert!(fct > 300.0, "PCP FCT {fct}ms unexpectedly fast");
+    assert!(fct < 2_000.0, "PCP FCT {fct}ms unexpectedly slow");
+    assert_eq!(
+        r.counters.rto_events, 0,
+        "PCP should not time out on a clean path"
+    );
+}
+
+#[test]
+fn tcp_cache_second_flow_is_much_faster() {
+    let cache = path_cache();
+    let mut sim = TransportSim::new(7);
+    let spec = DumbbellSpec::emulab(1);
+    let net = build_dumbbell(&mut sim, &spec, |_, _| Box::new(Host::new()));
+    sim.with_node_mut::<Host, _>(net.left_hosts[0], |h, _| {
+        h.wire(net.left_hosts[0], net.left_egress[0])
+    });
+    sim.with_node_mut::<Host, _>(net.right_hosts[0], |h, _| {
+        h.wire(net.right_hosts[0], net.right_egress[0])
+    });
+    let key = (net.left_hosts[0], net.right_hosts[0]);
+    sim.with_node_mut::<Host, _>(net.left_hosts[0], |h, core| {
+        h.start_flow(
+            core,
+            FlowId(1),
+            net.right_hosts[0],
+            100_000,
+            Box::new(TcpCache::new(cache.clone(), key)),
+        )
+    });
+    sim.run_to_completion(50_000_000);
+    // Second flow reuses the cached window.
+    sim.with_node_mut::<Host, _>(net.left_hosts[0], |h, core| {
+        h.start_flow(
+            core,
+            FlowId(2),
+            net.right_hosts[0],
+            100_000,
+            Box::new(TcpCache::new(cache.clone(), key)),
+        )
+    });
+    sim.run_to_completion(50_000_000);
+    let host = sim.node_as::<Host>(net.left_hosts[0]).unwrap();
+    assert_eq!(host.completed().len(), 2);
+    let first = &host.completed()[0];
+    let second = &host.completed()[1];
+    let f1 = first.fct.as_millis_f64();
+    let f2 = second.fct.as_millis_f64();
+    assert!(
+        f2 < f1 * 0.6,
+        "cached flow {f2}ms should be far faster than cold {f1}ms"
+    );
+    assert!(
+        f2 < 250.0,
+        "cached flow should approach the 2-3 RTT floor, got {f2}ms"
+    );
+}
+
+#[test]
+fn single_segment_flow_completes_quickly_for_all() {
+    for (name, s) in strategies() {
+        let r = run_single(s, 1000);
+        let fct = r.fct.as_millis_f64();
+        assert!(
+            fct > 110.0 && fct < 600.0,
+            "{name}: 1-segment flow FCT {fct}ms out of range"
+        );
+    }
+}
+
+#[test]
+fn megabyte_flow_completes_for_all() {
+    for (name, s) in strategies() {
+        let r = run_single(s, 1_000_000);
+        assert_eq!(r.bytes, 1_000_000, "{name}");
+        // 1 MB at 15 Mbps is >= 533 ms of pure serialization.
+        assert!(r.fct.as_millis_f64() > 500.0, "{name}: impossibly fast");
+    }
+}
+
+#[test]
+fn deterministic_across_runs() {
+    for (name, make) in [
+        (
+            "TCP",
+            (|| Box::new(Tcp::new()) as Box<dyn Strategy>) as fn() -> Box<dyn Strategy>,
+        ),
+        ("JumpStart", || {
+            Box::new(JumpStart::new()) as Box<dyn Strategy>
+        }),
+        ("PCP", || Box::new(Pcp::new()) as Box<dyn Strategy>),
+    ] {
+        let a = run_single_seeded(make(), 100_000, 5);
+        let b = run_single_seeded(make(), 100_000, 5);
+        assert_eq!(a.fct, b.fct, "{name} must be deterministic");
+        assert_eq!(
+            a.counters.data_packets_sent, b.counters.data_packets_sent,
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn flow_records_account_time_sanely() {
+    let r = run_single(Box::new(Tcp::new()), 100_000);
+    assert!(r.established_at > r.start);
+    assert!(r.done_at > r.established_at);
+    assert_eq!(r.fct, r.done_at.saturating_since(r.start));
+    assert!(r.start >= SimTime::ZERO);
+    // Handshake costs about one RTT.
+    let hs = r.established_at.saturating_since(r.start).as_millis_f64();
+    assert!(hs > 59.0 && hs < 62.0, "handshake {hs}ms");
+    let min_rtt = r.min_rtt.expect("rtt sampled").as_millis_f64();
+    assert!(min_rtt > 59.0 && min_rtt < 65.0, "min rtt {min_rtt}ms");
+}
+
+fn strategies() -> Vec<(&'static str, Box<dyn Strategy>)> {
+    vec![
+        ("TCP", Box::new(Tcp::new())),
+        ("TCP-10", Box::new(Tcp::with_icw10())),
+        ("Reactive", Box::new(ReactiveTcp::new())),
+        ("Proactive", Box::new(ProactiveTcp::new())),
+        ("JumpStart", Box::new(JumpStart::new())),
+        ("PCP", Box::new(Pcp::new())),
+    ]
+}

@@ -1,0 +1,128 @@
+//! Direct mechanism tests for scheme-specific behaviours the paper calls
+//! out: JumpStart's repeated retransmission of the same packet, Reactive's
+//! tail-loss probe beating the RTO, Proactive's duplicate stream, and the
+//! window advertisement scaling for bulk flows.
+
+use baselines::{JumpStart, ProactiveTcp, ReactiveTcp, Tcp};
+use netsim::loss::LossModel;
+use netsim::topology::{build_path, PathSpec};
+use netsim::{FlowId, Rate, SimDuration};
+use transport::strategy::Strategy;
+use transport::wire::MSS;
+use transport::{FlowRecord, Host, TransportSim};
+
+fn run_with_drops(
+    strategy: Box<dyn Strategy>,
+    bytes: u64,
+    drops: Vec<u64>,
+) -> (FlowRecord, u64 /* receiver dups */) {
+    let mut spec = PathSpec::clean(Rate::from_mbps(100), SimDuration::from_millis(60));
+    spec.loss = LossModel::DropList { ordinals: drops };
+    let mut sim = TransportSim::new(31);
+    let net = build_path(&mut sim, &spec, |_| Box::new(Host::new()));
+    sim.with_node_mut::<Host, _>(net.sender, |h, _| h.wire(net.sender, net.forward));
+    sim.with_node_mut::<Host, _>(net.receiver, |h, _| h.wire(net.receiver, net.reverse));
+    sim.with_node_mut::<Host, _>(net.sender, |h, core| {
+        h.start_flow(core, FlowId(1), net.receiver, bytes, strategy)
+    });
+    sim.run_to_completion(10_000_000);
+    let rec = sim.node_as::<Host>(net.sender).unwrap().completed()[0].clone();
+    let dups = sim
+        .node_as::<Host>(net.receiver)
+        .unwrap()
+        .receiver(FlowId(1))
+        .unwrap()
+        .dup_segments;
+    (rec, dups)
+}
+
+/// §4.3.3: JumpStart retransmits the same packet multiple times when its
+/// first retransmission is lost too; careful TCP falls back to the RTO and
+/// sends it once more only.
+#[test]
+fn jumpstart_retransmits_same_packet_repeatedly() {
+    // 30 segments paced; drop segment 10's first copy (ordinal 12: SYN + 11
+    // data) and ALSO its first retransmission.
+    // With 30 paced packets, JumpStart's first retransmission of seg 10 is
+    // packet ordinal 32 (31 data sends + SYN); drop that too.
+    let drops = vec![12, 32];
+    let (js, _) = run_with_drops(Box::new(JumpStart::new()), 30 * MSS as u64, drops.clone());
+    let (tcp, _) = run_with_drops(Box::new(Tcp::new()), 30 * MSS as u64, drops);
+    // JumpStart keeps re-marking the segment and re-sending: at least two
+    // normal retransmissions beyond TCP's.
+    assert!(
+        js.counters.normal_retx >= 2,
+        "JumpStart normal retx {}",
+        js.counters.normal_retx
+    );
+    // TCP's second loss needs the RTO; both complete regardless.
+    assert_eq!(js.bytes, tcp.bytes);
+}
+
+/// Reactive TCP's PTO converts a tail loss into fast recovery: much faster
+/// than vanilla TCP's RTO, visible in FCT.
+#[test]
+fn reactive_pto_beats_rto_on_tail_loss() {
+    // 10-segment flow; drop the last segment's first copy (ordinal 11).
+    let drops = vec![11u64];
+    let (rea, _) = run_with_drops(Box::new(ReactiveTcp::new()), 10 * MSS as u64, drops.clone());
+    let (tcp, _) = run_with_drops(Box::new(Tcp::new()), 10 * MSS as u64, drops);
+    assert!(
+        tcp.counters.rto_events >= 1,
+        "vanilla TCP must RTO on tail loss"
+    );
+    assert_eq!(rea.counters.rto_events, 0, "PTO must preempt the RTO");
+    // The probe saves most of the 1 s minimum RTO.
+    assert!(
+        rea.fct.as_millis_f64() + 500.0 < tcp.fct.as_millis_f64(),
+        "Reactive {} vs TCP {}",
+        rea.fct,
+        tcp.fct
+    );
+}
+
+/// Proactive TCP's duplicates arrive as receiver-side duplicates in the
+/// loss-free case — 100% overhead, exactly one extra copy per segment.
+#[test]
+fn proactive_duplicates_every_segment() {
+    let n = 20u64;
+    let (rec, dups) = run_with_drops(Box::new(ProactiveTcp::new()), n * MSS as u64, vec![]);
+    assert_eq!(rec.counters.proactive_retx, n, "one duplicate per segment");
+    assert_eq!(dups, n, "receiver sees each duplicate");
+    // And a tail loss is masked by the duplicate: drop the last segment's
+    // first copy; its twin repairs it without any timeout.
+    let (lossy, _) = run_with_drops(
+        Box::new(ProactiveTcp::new()),
+        n * MSS as u64,
+        vec![2 * n], // the (2n)th packet on the wire is within the tail pair
+    );
+    assert_eq!(lossy.counters.rto_events, 0, "duplicate must mask the loss");
+}
+
+/// Receiver window: short flows get the paper's 141 KB advertisement; bulk
+/// flows get a scaled window so they can fill big buffers (Fig. 10).
+#[test]
+fn receiver_window_scales_for_bulk_flows() {
+    use transport::receiver::ReceiverConn;
+    use transport::wire::DEFAULT_FCW_BYTES;
+    let short = ReceiverConn::new(
+        FlowId(1),
+        netsim::NodeId(0),
+        netsim::NodeId(1),
+        100_000,
+        netsim::SimTime::ZERO,
+    );
+    let bulk = ReceiverConn::new(
+        FlowId(2),
+        netsim::NodeId(0),
+        netsim::NodeId(1),
+        100_000_000,
+        netsim::SimTime::ZERO,
+    );
+    let win = |c: &ReceiverConn| match c.syn_ack().payload {
+        transport::Header::SynAck { window } => window,
+        _ => unreachable!(),
+    };
+    assert_eq!(win(&short), DEFAULT_FCW_BYTES);
+    assert_eq!(win(&bulk), ReceiverConn::BULK_FCW_BYTES);
+}

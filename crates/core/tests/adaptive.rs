@@ -1,0 +1,103 @@
+//! The §3.1 adaptive-threshold extension: on a slow path, history makes
+//! the startup phase less aggressive.
+
+use halfback::{rate_cache, AdaptiveHalfback, Halfback};
+use netsim::topology::{build_path, PathSpec};
+use netsim::{FlowId, Rate, SimDuration, SimTime};
+use transport::strategy::Strategy;
+use transport::{FlowRecord, Host, TransportSim};
+
+/// Sequential flows on one slow path (5 Mbps, 60 ms: the 141 KB default
+/// threshold paces at ~19 Mbps, nearly 4x the line rate).
+fn run_sequence(
+    mk: &mut dyn FnMut((netsim::NodeId, netsim::NodeId)) -> Box<dyn Strategy>,
+    n: usize,
+) -> Vec<FlowRecord> {
+    let spec = PathSpec::clean(Rate::from_mbps(5), SimDuration::from_millis(60));
+    let mut sim = TransportSim::new(99);
+    let net = build_path(&mut sim, &spec, |_| Box::new(Host::new()));
+    sim.with_node_mut::<Host, _>(net.sender, |h, _| h.wire(net.sender, net.forward));
+    sim.with_node_mut::<Host, _>(net.receiver, |h, _| h.wire(net.receiver, net.reverse));
+    for i in 0..n {
+        let strategy = mk((net.sender, net.receiver));
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(3 * i as u64));
+        sim.with_node_mut::<Host, _>(net.sender, |h, core| {
+            h.start_flow(core, FlowId(i as u64 + 1), net.receiver, 100_000, strategy)
+        });
+        sim.run_until(SimTime::ZERO + SimDuration::from_secs(3 * i as u64 + 3));
+    }
+    sim.run_to_completion(10_000_000);
+    sim.node_as::<Host>(net.sender)
+        .unwrap()
+        .completed()
+        .to_vec()
+}
+
+#[test]
+fn adaptive_threshold_learns_the_slow_path() {
+    let cache = rate_cache();
+    let mut mk_adaptive =
+        |key| Box::new(AdaptiveHalfback::new(cache.clone(), key)) as Box<dyn Strategy>;
+    let adaptive = run_sequence(&mut mk_adaptive, 3);
+    let mut mk_plain = |_| Box::new(Halfback::new()) as Box<dyn Strategy>;
+    let plain = run_sequence(&mut mk_plain, 3);
+
+    assert_eq!(adaptive.len(), 3);
+    assert_eq!(plain.len(), 3);
+    // First contact behaves like plain Halfback.
+    assert_eq!(
+        adaptive[0].counters.data_packets_sent,
+        plain[0].counters.data_packets_sent
+    );
+
+    // Learned flows pace within the observed rate: far fewer total packets
+    // (the plain sender blasts 141 KB-threshold pacing into a 5 Mbps line,
+    // losing and re-sending a large fraction every time).
+    let learned = &adaptive[2];
+    let naive = &plain[2];
+    assert!(
+        learned.counters.data_packets_sent < naive.counters.data_packets_sent,
+        "adaptive sent {} packets vs plain {}",
+        learned.counters.data_packets_sent,
+        naive.counters.data_packets_sent
+    );
+    // The trade: it may pay some latency for that efficiency (the paced
+    // prefix shrinks to rate x RTT and the rest rides the TCP fallback),
+    // but it must stay in the same regime, not regress to slow-start time.
+    assert!(
+        learned.fct.as_millis_f64() <= naive.fct.as_millis_f64() * 2.5,
+        "adaptive {} vs plain {}",
+        learned.fct,
+        naive.fct
+    );
+    // Efficiency is the point: drastically less retransmitted waste.
+    let waste = |r: &FlowRecord| r.counters.normal_retx + r.counters.proactive_retx;
+    assert!(
+        waste(learned) < waste(naive) / 2,
+        "adaptive waste {} vs plain {}",
+        waste(learned),
+        waste(naive)
+    );
+    // The cache really holds a rate near the line rate.
+    let rate = *cache.borrow().values().next().expect("rate recorded");
+    let mbps = rate.as_mbps_f64();
+    assert!((2.0..=6.0).contains(&mbps), "learned rate {mbps} Mbps");
+}
+
+#[test]
+fn adaptive_matches_plain_on_first_contact() {
+    // With an empty cache the adaptive sender is byte-for-byte the paper's
+    // Halfback.
+    let cache = rate_cache();
+    let mut mk_adaptive =
+        |key| Box::new(AdaptiveHalfback::new(cache.clone(), key)) as Box<dyn Strategy>;
+    let a = run_sequence(&mut mk_adaptive, 1);
+    let mut mk_plain = |_| Box::new(Halfback::new()) as Box<dyn Strategy>;
+    let b = run_sequence(&mut mk_plain, 1);
+    assert_eq!(a[0].fct, b[0].fct);
+    assert_eq!(
+        a[0].counters.data_packets_sent,
+        b[0].counters.data_packets_sent
+    );
+    assert_eq!(a[0].counters.proactive_retx, b[0].counters.proactive_retx);
+}

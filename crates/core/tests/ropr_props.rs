@@ -1,0 +1,119 @@
+//! Property-based tests of Halfback end to end: under *arbitrary*
+//! deterministic drop patterns the flow must always complete, ROPR must
+//! stay within its budget, and runs must be reproducible.
+
+use halfback::{Halfback, HalfbackConfig};
+use netsim::loss::LossModel;
+use netsim::topology::{build_path, PathSpec};
+use netsim::{FlowId, Rate, SimDuration};
+use proptest::prelude::*;
+use transport::wire::{segment_count, MSS};
+use transport::{Host, TransportSim};
+
+/// Run one Halfback flow of `segs` segments over a clean 100 Mbps / 60 ms
+/// path with the given forward-link drop ordinals.
+fn run_with_drops(segs: u32, drops: Vec<u64>, cfg: HalfbackConfig) -> transport::FlowRecord {
+    let mut spec = PathSpec::clean(Rate::from_mbps(100), SimDuration::from_millis(60));
+    let mut ordinals = drops;
+    ordinals.sort_unstable();
+    ordinals.dedup();
+    spec.loss = LossModel::DropList { ordinals };
+    let mut sim = TransportSim::new(4242);
+    let net = build_path(&mut sim, &spec, |_| Box::new(Host::new()));
+    sim.with_node_mut::<Host, _>(net.sender, |h, _| h.wire(net.sender, net.forward));
+    sim.with_node_mut::<Host, _>(net.receiver, |h, _| h.wire(net.receiver, net.reverse));
+    sim.with_node_mut::<Host, _>(net.sender, |h, core| {
+        h.start_flow(
+            core,
+            FlowId(1),
+            net.receiver,
+            segs as u64 * MSS as u64,
+            Box::new(Halfback::with_config(cfg)),
+        )
+    });
+    sim.run_to_completion(50_000_000);
+    let host = sim.node_as::<Host>(net.sender).unwrap();
+    assert_eq!(host.completed().len(), 1, "flow must complete");
+    host.completed()[0].clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any pattern of forward-path drops: the flow completes and ROPR's
+    /// proactive budget never exceeds the paced batch.
+    #[test]
+    fn completes_under_arbitrary_drops(
+        segs in 2u32..60,
+        drops in prop::collection::vec(1u64..200, 0..25),
+    ) {
+        let rec = run_with_drops(segs, drops, HalfbackConfig::paper());
+        let batch = segment_count(rec.bytes).min(segs);
+        prop_assert!(
+            rec.counters.proactive_retx <= batch as u64,
+            "ROPR sent {} proactive copies for a {}-segment batch",
+            rec.counters.proactive_retx,
+            batch
+        );
+        prop_assert_eq!(rec.bytes, segs as u64 * MSS as u64);
+    }
+
+    /// Loss-free runs: ROPR covers about half the flow (the meeting-point
+    /// property that names the scheme), within rounding.
+    #[test]
+    fn lossfree_ropr_covers_half(segs in 4u32..90) {
+        let rec = run_with_drops(segs, vec![], HalfbackConfig::paper());
+        let pro = rec.counters.proactive_retx as i64;
+        let half = (segs / 2) as i64;
+        prop_assert!(
+            (pro - half).abs() <= 1,
+            "{} segments: {} proactive copies, expected ~{}",
+            segs, pro, half
+        );
+        prop_assert_eq!(rec.counters.normal_retx, 0);
+        prop_assert_eq!(rec.counters.rto_events, 0);
+    }
+
+    /// The tunable ratio extension stays within its advertised budget:
+    /// (sends per acks) bounds total proactive copies.
+    #[test]
+    fn tuned_ratio_budget(segs in 8u32..60, acks_per_send in 2u32..5) {
+        let cfg = HalfbackConfig::with_ratio(1, acks_per_send);
+        let rec = run_with_drops(segs, vec![], cfg);
+        let bound = (segs / acks_per_send + 2) as u64;
+        prop_assert!(
+            rec.counters.proactive_retx <= bound,
+            "ratio 1/{}: {} copies > bound {}",
+            acks_per_send, rec.counters.proactive_retx, bound
+        );
+    }
+
+    /// Ablation variants also always complete under drops.
+    #[test]
+    fn variants_complete_under_drops(
+        segs in 2u32..40,
+        drops in prop::collection::vec(1u64..120, 0..12),
+        which in 0usize..3,
+    ) {
+        let cfg = match which {
+            0 => HalfbackConfig::forward(),
+            1 => HalfbackConfig::burst(),
+            _ => HalfbackConfig::burst_first(),
+        };
+        let rec = run_with_drops(segs, drops, cfg);
+        prop_assert_eq!(rec.bytes, segs as u64 * MSS as u64);
+    }
+
+    /// Determinism: identical drop patterns give identical outcomes.
+    #[test]
+    fn deterministic_under_drops(
+        segs in 2u32..40,
+        drops in prop::collection::vec(1u64..120, 0..10),
+    ) {
+        let a = run_with_drops(segs, drops.clone(), HalfbackConfig::paper());
+        let b = run_with_drops(segs, drops, HalfbackConfig::paper());
+        prop_assert_eq!(a.fct, b.fct);
+        prop_assert_eq!(a.counters.data_packets_sent, b.counters.data_packets_sent);
+        prop_assert_eq!(a.counters.proactive_retx, b.counters.proactive_retx);
+    }
+}

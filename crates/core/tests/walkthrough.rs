@@ -1,0 +1,212 @@
+//! The paper's Fig. 3 walkthrough and core Halfback behaviour, end to end.
+
+use halfback::{Halfback, HalfbackConfig};
+use netsim::loss::LossModel;
+use netsim::topology::{build_dumbbell, build_path, DumbbellSpec, PathSpec};
+use netsim::{FlowId, Rate, SimDuration};
+use transport::sender::FlowRecord;
+use transport::strategy::Strategy;
+use transport::wire::MSS;
+use transport::{Host, TransportSim};
+
+fn run_dumbbell(strategy: Box<dyn Strategy>, bytes: u64) -> FlowRecord {
+    let mut sim = TransportSim::new(3);
+    let net = build_dumbbell(&mut sim, &DumbbellSpec::emulab(1), |_, _| {
+        Box::new(Host::new())
+    });
+    sim.with_node_mut::<Host, _>(net.left_hosts[0], |h, _| {
+        h.wire(net.left_hosts[0], net.left_egress[0])
+    });
+    sim.with_node_mut::<Host, _>(net.right_hosts[0], |h, _| {
+        h.wire(net.right_hosts[0], net.right_egress[0])
+    });
+    sim.with_node_mut::<Host, _>(net.left_hosts[0], |h, core| {
+        h.start_flow(core, FlowId(1), net.right_hosts[0], bytes, strategy)
+    });
+    sim.run_to_completion(50_000_000);
+    let host = sim.node_as::<Host>(net.left_hosts[0]).unwrap();
+    assert_eq!(host.completed().len(), 1, "flow did not complete");
+    host.completed()[0].clone()
+}
+
+/// Build the Fig. 3 scenario: a 10-segment flow on a clean fast path where
+/// exactly one data packet (the paper drops packet 9) is lost on the wire.
+fn fig3_run(drop_ordinal: Option<u64>, cfg: HalfbackConfig) -> (FlowRecord, u64) {
+    let mut spec = PathSpec::clean(Rate::from_mbps(100), SimDuration::from_millis(60));
+    if let Some(ord) = drop_ordinal {
+        // Forward-link ordinals: packet 1 is the SYN, data segment k is
+        // ordinal k+1.
+        spec.loss = LossModel::DropList {
+            ordinals: vec![ord],
+        };
+    }
+    let mut sim = TransportSim::new(9);
+    let net = build_path(&mut sim, &spec, |_| Box::new(Host::new()));
+    sim.with_node_mut::<Host, _>(net.sender, |h, _| h.wire(net.sender, net.forward));
+    sim.with_node_mut::<Host, _>(net.receiver, |h, _| h.wire(net.receiver, net.reverse));
+    sim.with_node_mut::<Host, _>(net.sender, |h, core| {
+        h.start_flow(
+            core,
+            FlowId(1),
+            net.receiver,
+            10 * MSS as u64,
+            Box::new(Halfback::with_config(cfg)),
+        )
+    });
+    sim.run_to_completion(1_000_000);
+    let host = sim.node_as::<Host>(net.sender).unwrap();
+    assert_eq!(host.completed().len(), 1, "flow did not complete");
+    let rec = host.completed()[0].clone();
+    let dup = sim
+        .node_as::<Host>(net.receiver)
+        .unwrap()
+        .receiver(FlowId(1))
+        .unwrap()
+        .dup_segments;
+    (rec, dup)
+}
+
+#[test]
+fn fig3_loss_free_ropr_retransmits_about_half() {
+    let (rec, _) = fig3_run(None, HalfbackConfig::paper());
+    // 10 segments; ACKs 1..=5 clock retransmissions of 10,9,8,7,6, then
+    // ACK 6 finds nothing uncovered above the cum point: 5 proactive copies.
+    assert_eq!(
+        rec.counters.proactive_retx, 5,
+        "ROPR should cover half the flow"
+    );
+    assert_eq!(rec.counters.normal_retx, 0);
+    assert_eq!(rec.counters.rto_events, 0);
+    // FCT ~ handshake + pacing RTT + final ACK half-RTT: ~2.5-3 RTT.
+    let fct = rec.fct.as_millis_f64();
+    assert!(fct > 140.0 && fct < 200.0, "FCT {fct}ms");
+}
+
+#[test]
+fn fig3_tail_loss_recovered_by_ropr_without_timeout() {
+    // Drop data segment index 8 ("packet 9"): forward-link ordinal 10.
+    let (rec, _) = fig3_run(Some(10), HalfbackConfig::paper());
+    assert_eq!(
+        rec.counters.rto_events, 0,
+        "ROPR must mask tail loss without RTO"
+    );
+    // The proactive copy of segment 8 repairs the hole; a normal (reactive)
+    // retransmission may or may not fire depending on SACK timing, but the
+    // flow must finish in ROPR time, not RTO time.
+    let fct = rec.fct.as_millis_f64();
+    assert!(fct < 260.0, "tail loss must not cost an RTO; FCT {fct}ms");
+}
+
+#[test]
+fn fig3_tail_loss_without_ropr_needs_timeout() {
+    // Same drop, ROPR disabled: nothing repairs the tail until the RTO.
+    let (rec, _) = fig3_run(Some(10), HalfbackConfig::pacing_only());
+    assert!(
+        rec.counters.rto_events >= 1,
+        "without ROPR, tail loss needs an RTO"
+    );
+    let fct = rec.fct.as_millis_f64();
+    assert!(fct > 260.0, "RTO recovery cannot be this fast: {fct}ms");
+}
+
+#[test]
+fn ropr_burst_variant_bursts_everything_at_once() {
+    let (rec, _) = fig3_run(None, HalfbackConfig::burst());
+    // The first post-pacing ACK bursts copies of all 9 uncovered segments
+    // (segment 0 is already cum-ACKed by then).
+    assert!(
+        rec.counters.proactive_retx >= 8,
+        "burst variant must retransmit nearly the whole flow, got {}",
+        rec.counters.proactive_retx
+    );
+}
+
+#[test]
+fn ropr_forward_variant_retransmits_from_the_front() {
+    let (rec, dup) = fig3_run(None, HalfbackConfig::forward());
+    // Forward ROPR wastes its budget on the front half, which the ACK
+    // stream is about to cover anyway; the receiver sees those as dups.
+    assert!(rec.counters.proactive_retx >= 4);
+    assert!(dup >= 4, "forward copies duplicate already-delivered data");
+}
+
+#[test]
+fn tuned_ratio_sends_fewer_proactive_copies() {
+    let (paper, _) = fig3_run(None, HalfbackConfig::paper());
+    let (tuned, _) = fig3_run(None, HalfbackConfig::with_ratio(1, 2));
+    assert!(
+        tuned.counters.proactive_retx < paper.counters.proactive_retx,
+        "1-per-2-ACKs must send fewer copies ({} vs {})",
+        tuned.counters.proactive_retx,
+        paper.counters.proactive_retx
+    );
+}
+
+#[test]
+fn halfback_matches_jumpstart_time_on_clean_dumbbell() {
+    use baselines::JumpStart;
+    let hb = run_dumbbell(Box::new(Halfback::new()), 100_000);
+    let js = run_dumbbell(Box::new(JumpStart::new()), 100_000);
+    // Without loss the two share the startup phase (§4.2.1: same FCT for
+    // the 75% loss-free pairs).
+    let diff = (hb.fct.as_millis_f64() - js.fct.as_millis_f64()).abs();
+    assert!(diff < 15.0, "Halfback {} vs JumpStart {}", hb.fct, js.fct);
+}
+
+#[test]
+fn halfback_retransmits_about_half_of_100kb() {
+    let rec = run_dumbbell(Box::new(Halfback::new()), 100_000);
+    let total = 69u64; // segments in 100 KB
+    let pro = rec.counters.proactive_retx;
+    assert!(
+        pro >= total * 2 / 5 && pro <= total * 3 / 5,
+        "ROPR should cover ~50% of the flow; covered {pro}/{total}"
+    );
+}
+
+#[test]
+fn burst_first_refinement_speeds_tiny_flows() {
+    // §4.2.4: pacing delays very small flows; a 10-segment head start fixes
+    // that.
+    let plain = run_dumbbell(Box::new(Halfback::new()), 8 * MSS as u64);
+    let burst = run_dumbbell(
+        Box::new(Halfback::with_config(HalfbackConfig::burst_first())),
+        8 * MSS as u64,
+    );
+    assert!(
+        burst.fct.as_millis_f64() < plain.fct.as_millis_f64() - 20.0,
+        "burst-first {} should beat paced {} for tiny flows",
+        burst.fct,
+        plain.fct
+    );
+}
+
+#[test]
+fn long_flow_falls_back_to_tcp() {
+    // 1 MB flow with a 141 KB threshold: the paced prefix covers ~97
+    // segments, the rest must go through the fallback engine.
+    let rec = run_dumbbell(Box::new(Halfback::new()), 1_000_000);
+    assert_eq!(rec.bytes, 1_000_000);
+    // Fallback throughput is bounded by the 15 Mbps bottleneck.
+    let floor_ms = (1_000_000.0 * 8.0) / 15e6 * 1000.0;
+    assert!(
+        rec.fct.as_millis_f64() > floor_ms,
+        "faster than the line rate?"
+    );
+    // The aggressive phase must not have proactively retransmitted beyond
+    // the threshold prefix.
+    assert!(
+        rec.counters.proactive_retx <= 97,
+        "ROPR must stop at the threshold"
+    );
+    // And the fallback should be efficient: no timeouts on a clean path.
+    assert_eq!(rec.counters.rto_events, 0);
+}
+
+#[test]
+fn deterministic() {
+    let a = run_dumbbell(Box::new(Halfback::new()), 100_000);
+    let b = run_dumbbell(Box::new(Halfback::new()), 100_000);
+    assert_eq!(a.fct, b.fct);
+    assert_eq!(a.counters.proactive_retx, b.counters.proactive_retx);
+}

@@ -1,0 +1,803 @@
+//! The discrete-event engine.
+//!
+//! Events are totally ordered by `(time, insertion sequence)`: two events at
+//! the same instant fire in the order they were scheduled, so no hash-map
+//! iteration order or floating-point comparison can perturb a run. All
+//! randomness comes from the engine's seeded [`SimRng`].
+
+use crate::link::{LinkSpec, LinkState, LinkStats};
+use crate::node::{Node, TimerId};
+use crate::packet::{LinkId, NodeId, Packet, PacketId, Payload};
+use crate::queue::{QueueStats, Verdict};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// What happened on the wire — delivered to an optional trace hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields (link/packet/size) are self-describing
+pub enum TraceEvent {
+    /// A packet started serializing onto a link.
+    TxStart {
+        link: LinkId,
+        packet: PacketId,
+        size: u32,
+    },
+    /// A packet was dropped by a link's queue (congestion loss).
+    QueueDrop {
+        link: LinkId,
+        packet: PacketId,
+        size: u32,
+    },
+    /// A packet was dropped by a link's random loss process (wire loss).
+    WireDrop {
+        link: LinkId,
+        packet: PacketId,
+        size: u32,
+    },
+    /// A packet arrived at a node.
+    Deliver {
+        node: NodeId,
+        packet: PacketId,
+        size: u32,
+    },
+}
+
+/// A trace callback.
+pub type Tracer = Box<dyn FnMut(SimTime, &TraceEvent)>;
+
+enum EventKind<P: Payload> {
+    /// The head packet of `link` finished serializing.
+    LinkTxDone { link: LinkId, pkt: Packet<P> },
+    /// A packet arrives at a node after propagation.
+    Deliver { node: NodeId, pkt: Packet<P> },
+    /// A timer fires at a node.
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        token: u64,
+    },
+}
+
+struct EventEntry<P: Payload> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<P>,
+}
+
+impl<P: Payload> PartialEq for EventEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<P: Payload> Eq for EventEntry<P> {}
+impl<P: Payload> PartialOrd for EventEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P: Payload> Ord for EventEntry<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The parts of the engine that remain borrowable while a node is being
+/// dispatched (the node itself is temporarily moved out of the node table).
+pub struct EngineCore<P: Payload> {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<EventEntry<P>>>,
+    links: Vec<LinkState<P>>,
+    rng: SimRng,
+    live_timers: HashSet<u64>,
+    cancelled_pending: u64,
+    next_timer_id: u64,
+    next_packet_id: u64,
+    tracer: Option<Tracer>,
+    /// Total events dispatched (for runaway detection and perf reporting).
+    pub events_processed: u64,
+}
+
+impl<P: Payload> EngineCore<P> {
+    fn push(&mut self, at: SimTime, kind: EventKind<P>) {
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(EventEntry { at, seq, kind }));
+    }
+
+    fn trace(&mut self, ev: TraceEvent) {
+        if let Some(t) = &mut self.tracer {
+            t(self.now, &ev);
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The engine's random number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Transmit `pkt` on `link`. The packet gets a fresh [`PacketId`] and its
+    /// `sent_at` stamped. If the link is busy the packet is offered to the
+    /// link's queue (and may be dropped).
+    pub fn send_on(&mut self, link: LinkId, mut pkt: Packet<P>) {
+        pkt.id = PacketId(self.next_packet_id);
+        self.next_packet_id += 1;
+        pkt.sent_at = self.now;
+        self.forward_on(link, pkt);
+    }
+
+    /// Transmit a packet that already has an id (router forwarding path).
+    pub fn forward_on(&mut self, link: LinkId, pkt: Packet<P>) {
+        let l = &mut self.links[link.0 as usize];
+        if l.busy {
+            let id = pkt.id;
+            let size = pkt.size;
+            if l.queue.enqueue(pkt, self.now) == Verdict::Dropped {
+                self.trace(TraceEvent::QueueDrop {
+                    link,
+                    packet: id,
+                    size,
+                });
+            }
+        } else {
+            l.busy = true;
+            let done = self.now + l.tx_time(&pkt);
+            self.trace(TraceEvent::TxStart {
+                link,
+                packet: pkt.id,
+                size: pkt.size,
+            });
+            self.push(done, EventKind::LinkTxDone { link, pkt });
+        }
+    }
+
+    /// Schedule a timer for `node`, `after` from now. Returns an id usable
+    /// with [`EngineCore::cancel_timer`].
+    pub fn set_timer(&mut self, node: NodeId, after: SimDuration, token: u64) -> TimerId {
+        self.set_timer_at(node, self.now + after, token)
+    }
+
+    /// Schedule a timer at an absolute instant.
+    pub fn set_timer_at(&mut self, node: NodeId, at: SimTime, token: u64) -> TimerId {
+        let id = TimerId(self.next_timer_id);
+        self.next_timer_id += 1;
+        self.live_timers.insert(id.0);
+        self.push(at.max(self.now), EventKind::Timer { node, id, token });
+        id
+    }
+
+    /// Cancel a timer; a timer that already fired is ignored.
+    ///
+    /// Cancellation is lazy (the heap entry stays until its scheduled time),
+    /// but the engine compacts the heap when dead timer entries dominate —
+    /// without this, retransmission-storm scenarios that re-arm their RTO on
+    /// every ACK accumulate gigabytes of stale entries scheduled up to 60 s
+    /// in the virtual future.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        if self.live_timers.remove(&id.0) {
+            self.cancelled_pending += 1;
+            self.maybe_compact();
+        }
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.cancelled_pending < 4096 || self.cancelled_pending * 2 < self.events.len() as u64 {
+            return;
+        }
+        let old = std::mem::take(&mut self.events);
+        let kept: Vec<Reverse<EventEntry<P>>> = old
+            .into_vec()
+            .into_iter()
+            .filter(|Reverse(e)| match &e.kind {
+                EventKind::Timer { id, .. } => self.live_timers.contains(&id.0),
+                _ => true,
+            })
+            .collect();
+        self.events = BinaryHeap::from(kept);
+        self.cancelled_pending = 0;
+    }
+
+    /// Number of events currently pending in the heap (live and stale).
+    pub fn pending_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Number of currently armed (uncancelled, unfired) timers.
+    pub fn live_timer_count(&self) -> usize {
+        self.live_timers.len()
+    }
+
+    /// Statistics for a link's queue.
+    pub fn queue_stats(&self, link: LinkId) -> QueueStats {
+        self.links[link.0 as usize].queue_stats()
+    }
+
+    /// Transmission statistics for a link.
+    pub fn link_stats(&self, link: LinkId) -> LinkStats {
+        self.links[link.0 as usize].stats
+    }
+
+    /// Bytes currently queued at a link.
+    pub fn link_backlog(&self, link: LinkId) -> u64 {
+        self.links[link.0 as usize].queue.backlog_bytes()
+    }
+
+    /// The serialization delay of the current backlog on a link.
+    pub fn link_backlog_delay(&self, link: LinkId) -> SimDuration {
+        self.links[link.0 as usize].backlog_delay()
+    }
+}
+
+/// Execution context handed to a node during dispatch.
+pub struct Ctx<'a, P: Payload> {
+    core: &'a mut EngineCore<P>,
+    node: NodeId,
+}
+
+impl<'a, P: Payload> Ctx<'a, P> {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.core.now()
+    }
+
+    /// The id of the node being dispatched.
+    pub fn node_id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Send a packet out on a link attached to this node.
+    pub fn send(&mut self, link: LinkId, pkt: Packet<P>) {
+        self.core.send_on(link, pkt);
+    }
+
+    /// Forward an already-stamped packet (routers).
+    pub fn forward(&mut self, link: LinkId, pkt: Packet<P>) {
+        self.core.forward_on(link, pkt);
+    }
+
+    /// Set a timer for this node.
+    pub fn set_timer(&mut self, after: SimDuration, token: u64) -> TimerId {
+        self.core.set_timer(self.node, after, token)
+    }
+
+    /// Set a timer for this node at an absolute instant.
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) -> TimerId {
+        self.core.set_timer_at(self.node, at, token)
+    }
+
+    /// Cancel a previously set timer.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.core.cancel_timer(id);
+    }
+
+    /// The engine RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.core.rng()
+    }
+
+    /// Queue statistics for a link (used by tests and in-simulation probes).
+    pub fn queue_stats(&self, link: LinkId) -> QueueStats {
+        self.core.queue_stats(link)
+    }
+}
+
+/// The simulator: nodes, links, clock and event queue.
+pub struct Simulator<P: Payload> {
+    core: EngineCore<P>,
+    nodes: Vec<Option<Box<dyn Node<P>>>>,
+}
+
+impl<P: Payload> Simulator<P> {
+    /// Create an empty simulator with the given root seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            core: EngineCore {
+                now: SimTime::ZERO,
+                seq: 0,
+                events: BinaryHeap::new(),
+                links: Vec::new(),
+                rng: SimRng::new(seed),
+                live_timers: HashSet::new(),
+                cancelled_pending: 0,
+                next_timer_id: 0,
+                next_packet_id: 0,
+                tracer: None,
+                events_processed: 0,
+            },
+            nodes: Vec::new(),
+        }
+    }
+
+    /// Install a trace callback receiving every wire-level event.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.core.tracer = Some(tracer);
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node(&mut self, node: Box<dyn Node<P>>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(node));
+        id
+    }
+
+    /// Add a link; returns its id.
+    pub fn add_link(&mut self, spec: LinkSpec<P>) -> LinkId {
+        let id = LinkId(self.core.links.len() as u32);
+        self.core.links.push(LinkState::new(spec));
+        id
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.core.now()
+    }
+
+    /// Access the engine core (scheduling from outside a node dispatch, e.g.
+    /// the workload driver priming flow-start timers).
+    pub fn core(&mut self) -> &mut EngineCore<P> {
+        &mut self.core
+    }
+
+    /// Immutable view of a node, downcast to its concrete type.
+    pub fn node_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.nodes[id.0 as usize]
+            .as_deref()
+            .and_then(|n| n.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutable view of a node, downcast to its concrete type.
+    pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes[id.0 as usize]
+            .as_deref_mut()
+            .and_then(|n| n.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Borrow a node mutably *together with* the engine core, so harness code
+    /// outside a dispatch can both mutate the node and schedule events (e.g.
+    /// a workload driver starting a new flow on a host). Returns `None` if
+    /// the node is not of type `T`.
+    pub fn with_node_mut<T: 'static, R>(
+        &mut self,
+        id: NodeId,
+        f: impl FnOnce(&mut T, &mut EngineCore<P>) -> R,
+    ) -> Option<R> {
+        let idx = id.0 as usize;
+        let mut n = self.nodes[idx].take().expect("node is being dispatched");
+        let r = n
+            .as_any_mut()
+            .downcast_mut::<T>()
+            .map(|t| f(t, &mut self.core));
+        self.nodes[idx] = Some(n);
+        r
+    }
+
+    /// Statistics for a link's queue.
+    pub fn queue_stats(&self, link: LinkId) -> QueueStats {
+        self.core.queue_stats(link)
+    }
+
+    /// Transmission statistics for a link.
+    pub fn link_stats(&self, link: LinkId) -> LinkStats {
+        self.core.link_stats(link)
+    }
+
+    /// Dispatch a single event. Returns `false` when the event queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Reverse(entry) = match self.core.events.pop() {
+            Some(e) => e,
+            None => return false,
+        };
+        debug_assert!(entry.at >= self.core.now, "time went backwards");
+        self.core.now = entry.at;
+        self.core.events_processed += 1;
+        match entry.kind {
+            EventKind::LinkTxDone { link, pkt } => self.handle_tx_done(link, pkt),
+            EventKind::Deliver { node, pkt } => {
+                self.core.trace(TraceEvent::Deliver {
+                    node,
+                    packet: pkt.id,
+                    size: pkt.size,
+                });
+                self.dispatch(node, |n, ctx| n.on_packet(pkt, ctx));
+            }
+            EventKind::Timer { node, id, token } => {
+                if self.core.live_timers.remove(&id.0) {
+                    self.dispatch(node, |n, ctx| n.on_timer(id, token, ctx));
+                }
+            }
+        }
+        true
+    }
+
+    fn handle_tx_done(&mut self, link: LinkId, pkt: Packet<P>) {
+        let now = self.core.now;
+        let l = &mut self.core.links[link.0 as usize];
+        l.stats.tx_packets += 1;
+        l.stats.tx_bytes += pkt.size as u64;
+        let dst = l.dst;
+        let delay = l.delay;
+        let dropped = l.loss.should_drop(&mut self.core.rng);
+        if dropped {
+            self.core.links[link.0 as usize].stats.wire_lost += 1;
+            let id = pkt.id;
+            let size = pkt.size;
+            self.core.trace(TraceEvent::WireDrop {
+                link,
+                packet: id,
+                size,
+            });
+        } else {
+            self.core
+                .push(now + delay, EventKind::Deliver { node: dst, pkt });
+        }
+        // Pull the next packet from the queue, if any.
+        let l = &mut self.core.links[link.0 as usize];
+        match l.queue.dequeue(now) {
+            Some(next) => {
+                let done = now + l.tx_time(&next);
+                self.core.trace(TraceEvent::TxStart {
+                    link,
+                    packet: next.id,
+                    size: next.size,
+                });
+                self.core
+                    .push(done, EventKind::LinkTxDone { link, pkt: next });
+            }
+            None => {
+                l.busy = false;
+            }
+        }
+    }
+
+    fn dispatch<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Node<P>, &mut Ctx<'_, P>),
+    {
+        let idx = node.0 as usize;
+        let mut n = self.nodes[idx].take().unwrap_or_else(|| {
+            panic!("dispatch to node {node} while it is already being dispatched")
+        });
+        {
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                node,
+            };
+            f(n.as_mut(), &mut ctx);
+        }
+        self.nodes[idx] = Some(n);
+    }
+
+    /// Run until the clock reaches `until` or the event queue drains.
+    pub fn run_until(&mut self, until: SimTime) {
+        while let Some(Reverse(head)) = self.core.events.peek() {
+            if head.at > until {
+                break;
+            }
+            self.step();
+        }
+        if self.core.now < until {
+            self.core.now = until;
+        }
+    }
+
+    /// Run until the event queue is empty. `max_events` guards against
+    /// runaway protocols in tests (panics when exceeded).
+    pub fn run_to_completion(&mut self, max_events: u64) {
+        let start = self.core.events_processed;
+        while self.step() {
+            if self.core.events_processed - start > max_events {
+                panic!(
+                    "simulation exceeded {max_events} events (runaway?) at t={}",
+                    self.core.now
+                );
+            }
+        }
+    }
+
+    /// Time of the next scheduled event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.core.events.peek().map(|Reverse(e)| e.at)
+    }
+
+    /// Number of events dispatched so far.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::DropTail;
+    use crate::time::Rate;
+    use std::any::Any;
+
+    /// Test node: records deliveries, can bounce packets back.
+    struct Recorder {
+        delivered: Vec<(SimTime, u64)>,
+        timers: Vec<(SimTime, u64)>,
+    }
+
+    impl Node<u64> for Recorder {
+        fn on_packet(&mut self, pkt: Packet<u64>, ctx: &mut Ctx<'_, u64>) {
+            self.delivered.push((ctx.now(), pkt.payload));
+        }
+        fn on_timer(&mut self, _id: TimerId, token: u64, ctx: &mut Ctx<'_, u64>) {
+            self.timers.push((ctx.now(), token));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn recorder() -> Box<Recorder> {
+        Box::new(Recorder {
+            delivered: vec![],
+            timers: vec![],
+        })
+    }
+
+    fn two_node_sim(
+        rate: Rate,
+        delay: SimDuration,
+        buf: u64,
+    ) -> (Simulator<u64>, NodeId, NodeId, LinkId) {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node(recorder());
+        let b = sim.add_node(recorder());
+        let l = sim.add_link(LinkSpec {
+            src: a,
+            dst: b,
+            rate,
+            delay,
+            queue: Box::new(DropTail::new(buf)),
+            loss: crate::loss::LossModel::None,
+        });
+        (sim, a, b, l)
+    }
+
+    fn pkt(src: NodeId, dst: NodeId, size: u32, tag: u64) -> Packet<u64> {
+        Packet::new(crate::packet::FlowId(0), src, dst, size, tag)
+    }
+
+    #[test]
+    fn single_packet_latency_is_tx_plus_prop() {
+        let (mut sim, a, b, l) =
+            two_node_sim(Rate::from_mbps(15), SimDuration::from_millis(30), 100_000);
+        sim.core().send_on(l, pkt(a, b, 1500, 7));
+        sim.run_to_completion(1000);
+        let rec = sim.node_as::<Recorder>(b).unwrap();
+        // 1500B at 15 Mbps = 800us, plus 30ms prop.
+        assert_eq!(
+            rec.delivered,
+            vec![(SimTime::ZERO + SimDuration::from_micros(30_800), 7)]
+        );
+    }
+
+    #[test]
+    fn packets_serialize_back_to_back() {
+        let (mut sim, a, b, l) = two_node_sim(Rate::from_mbps(15), SimDuration::ZERO, 1_000_000);
+        for i in 0..3 {
+            sim.core().send_on(l, pkt(a, b, 1500, i));
+        }
+        sim.run_to_completion(1000);
+        let rec = sim.node_as::<Recorder>(b).unwrap();
+        let us = |x: u64| SimTime::ZERO + SimDuration::from_micros(x);
+        assert_eq!(
+            rec.delivered,
+            vec![(us(800), 0), (us(1600), 1), (us(2400), 2)]
+        );
+    }
+
+    #[test]
+    fn queue_overflow_drops_excess() {
+        // Buffer of 2 packets; send 5 while the link is busy with the first.
+        let (mut sim, a, b, l) = two_node_sim(Rate::from_mbps(15), SimDuration::ZERO, 3000);
+        for i in 0..5 {
+            sim.core().send_on(l, pkt(a, b, 1500, i));
+        }
+        sim.run_to_completion(1000);
+        let rec = sim.node_as::<Recorder>(b).unwrap();
+        // First transmits immediately, two fit in the queue, two dropped.
+        assert_eq!(rec.delivered.len(), 3);
+        assert_eq!(sim.queue_stats(l).dropped, 2);
+        let tags: Vec<u64> = rec.delivered.iter().map(|d| d.1).collect();
+        assert_eq!(tags, vec![0, 1, 2], "drop-tail must drop the last arrivals");
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel_works() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node(recorder());
+        sim.core().set_timer(a, SimDuration::from_millis(5), 50);
+        let to_cancel = sim.core().set_timer(a, SimDuration::from_millis(1), 10);
+        sim.core().set_timer(a, SimDuration::from_millis(3), 30);
+        sim.core().cancel_timer(to_cancel);
+        sim.run_to_completion(100);
+        let rec = sim.node_as::<Recorder>(a).unwrap();
+        let tokens: Vec<u64> = rec.timers.iter().map(|t| t.1).collect();
+        assert_eq!(tokens, vec![30, 50]);
+    }
+
+    #[test]
+    fn same_instant_events_fire_in_scheduling_order() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node(recorder());
+        for token in [3, 1, 2] {
+            sim.core().set_timer(a, SimDuration::from_millis(7), token);
+        }
+        sim.run_to_completion(100);
+        let rec = sim.node_as::<Recorder>(a).unwrap();
+        let tokens: Vec<u64> = rec.timers.iter().map(|t| t.1).collect();
+        assert_eq!(tokens, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node(recorder());
+        sim.core().set_timer(a, SimDuration::from_millis(10), 1);
+        sim.core().set_timer(a, SimDuration::from_millis(20), 2);
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(15));
+        {
+            let rec = sim.node_as::<Recorder>(a).unwrap();
+            assert_eq!(rec.timers.len(), 1);
+        }
+        sim.run_to_completion(10);
+        let rec = sim.node_as::<Recorder>(a).unwrap();
+        assert_eq!(rec.timers.len(), 2);
+    }
+
+    #[test]
+    fn wire_loss_drops_packets() {
+        let mut sim = Simulator::new(42);
+        let a = sim.add_node(recorder());
+        let b = sim.add_node(recorder());
+        let l = sim.add_link(
+            LinkSpec::drop_tail(a, b, Rate::from_gbps(1), SimDuration::ZERO, 10_000_000)
+                .with_loss(crate::loss::LossModel::Bernoulli { p: 0.5 }),
+        );
+        for i in 0..1000 {
+            sim.core().send_on(l, pkt(a, b, 100, i));
+        }
+        sim.run_to_completion(100_000);
+        let delivered = sim.node_as::<Recorder>(b).unwrap().delivered.len();
+        assert!(delivered > 350 && delivered < 650, "delivered {delivered}");
+        assert_eq!(sim.link_stats(l).wire_lost as usize, 1000 - delivered);
+    }
+
+    #[test]
+    fn identical_seeds_identical_runs() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(seed);
+            let a = sim.add_node(recorder());
+            let b = sim.add_node(recorder());
+            let l = sim.add_link(
+                LinkSpec::drop_tail(a, b, Rate::from_mbps(10), SimDuration::from_millis(1), 5000)
+                    .with_loss(crate::loss::LossModel::Bernoulli { p: 0.1 }),
+            );
+            for i in 0..200 {
+                sim.core().send_on(l, pkt(a, b, 1000, i));
+            }
+            sim.run_to_completion(10_000);
+            sim.node_as::<Recorder>(b).unwrap().delivered.clone()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn tracer_sees_drops() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        let drops = Rc::new(RefCell::new(0u32));
+        let drops2 = drops.clone();
+        let (mut sim, a, b, l) = two_node_sim(Rate::from_mbps(1), SimDuration::ZERO, 1500);
+        sim.set_tracer(Box::new(move |_, ev| {
+            if matches!(ev, TraceEvent::QueueDrop { .. }) {
+                *drops2.borrow_mut() += 1;
+            }
+        }));
+        for i in 0..4 {
+            sim.core().send_on(l, pkt(a, b, 1500, i));
+        }
+        sim.run_to_completion(1000);
+        assert_eq!(*drops.borrow(), 2);
+    }
+}
+
+#[cfg(test)]
+mod compaction_tests {
+    use super::*;
+    use crate::node::{Node, TimerId as TId};
+    use std::any::Any;
+
+    struct Collector(Vec<u64>);
+    impl Node<()> for Collector {
+        fn on_packet(&mut self, _p: Packet<()>, _c: &mut Ctx<'_, ()>) {}
+        fn on_timer(&mut self, _id: TId, token: u64, _c: &mut Ctx<'_, ()>) {
+            self.0.push(token);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_live_timers() {
+        let mut sim: Simulator<()> = Simulator::new(0);
+        let a = sim.add_node(Box::new(Collector(Vec::new())));
+        // Arm a large batch, cancel every odd one; compaction must trigger
+        // (threshold 4096) and the survivors must still fire in order.
+        let n = 20_000u64;
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let id = sim
+                .core()
+                .set_timer(a, SimDuration::from_millis(1 + i), i);
+            ids.push(id);
+        }
+        for (i, id) in ids.iter().enumerate() {
+            if i % 2 == 1 {
+                sim.core().cancel_timer(*id);
+            }
+        }
+        // Heap must have shrunk well below the armed count.
+        assert!(
+            sim.core().events.len() < (n as usize) * 3 / 4,
+            "heap not compacted: {} entries",
+            sim.core().events.len()
+        );
+        sim.run_to_completion(n * 2);
+        let fired = &sim.node_as::<Collector>(a).unwrap().0;
+        assert_eq!(fired.len(), (n / 2) as usize);
+        assert!(fired.iter().all(|t| t % 2 == 0), "cancelled timer fired");
+        assert!(fired.windows(2).all(|w| w[0] < w[1]), "order violated");
+    }
+
+    #[test]
+    fn compaction_keeps_packet_events() {
+        use crate::link::LinkSpec;
+        use crate::time::Rate;
+        let mut sim: Simulator<()> = Simulator::new(0);
+        let a = sim.add_node(Box::new(Collector(Vec::new())));
+        let b = sim.add_node(Box::new(Collector(Vec::new())));
+        let l = sim.add_link(LinkSpec::drop_tail(
+            a,
+            b,
+            Rate::from_kbps(10), // slow: packets stay in flight a while
+            SimDuration::from_secs(5),
+            100_000_000,
+        ));
+        for _ in 0..20 {
+            sim.core()
+                .send_on(l, Packet::new(crate::packet::FlowId(0), a, b, 100, ()));
+        }
+        // Mass timer churn to force compaction while packets are pending.
+        for i in 0..20_000u64 {
+            let id = sim.core().set_timer(a, SimDuration::from_secs(60), i);
+            sim.core().cancel_timer(id);
+        }
+        sim.run_to_completion(200_000);
+        // All 20 packets must still be delivered despite compaction.
+        assert_eq!(sim.link_stats(l).tx_packets, 20);
+    }
+}

@@ -1,0 +1,30 @@
+//! The [`Node`] trait: anything that receives packets and timer callbacks.
+
+use crate::engine::Ctx;
+use crate::packet::{Packet, Payload};
+use std::any::Any;
+
+/// Identifies a scheduled timer so it can be cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TimerId(pub u64);
+
+/// A network element: a host (holding transport endpoints) or a router.
+///
+/// Nodes never call each other directly — all interaction goes through
+/// packets and timers scheduled on the engine, which keeps event ordering
+/// total and runs reproducible.
+pub trait Node<P: Payload>: Any {
+    /// A packet addressed to (or forwarded through) this node arrived.
+    fn on_packet(&mut self, pkt: Packet<P>, ctx: &mut Ctx<'_, P>);
+
+    /// A timer set by this node fired. `token` is the value passed to
+    /// [`Ctx::set_timer`]; `id` is the timer's identity.
+    fn on_timer(&mut self, id: TimerId, token: u64, ctx: &mut Ctx<'_, P>);
+
+    /// Downcast support so the experiment harness can inspect concrete node
+    /// types after a run.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}

@@ -1,0 +1,102 @@
+//! Packets and identifier types.
+//!
+//! The simulator is generic over the packet payload: the `transport` crate
+//! instantiates it with its segment/ACK header type. `netsim` itself only
+//! needs the wire size and addressing fields.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Identifies a node (host or router) in a topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+/// Identifies a unidirectional link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub u32);
+
+/// Identifies a flow (one transport connection direction pair shares one id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+/// Unique per-transmission identifier (retransmissions get fresh ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PacketId(pub u64);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Marker trait for payload types carried by [`Packet`].
+pub trait Payload: Clone + fmt::Debug + 'static {}
+impl<T: Clone + fmt::Debug + 'static> Payload for T {}
+
+/// A packet in flight.
+#[derive(Debug, Clone)]
+pub struct Packet<P> {
+    /// Unique id of this transmission (retransmissions differ).
+    pub id: PacketId,
+    /// Flow this packet belongs to (used by hosts to dispatch to endpoints).
+    pub flow: FlowId,
+    /// Originating node.
+    pub src: NodeId,
+    /// Destination node (routers forward based on this).
+    pub dst: NodeId,
+    /// Total on-wire size in bytes, headers included.
+    pub size: u32,
+    /// Time the packet was handed to the first link (set by the engine).
+    pub sent_at: SimTime,
+    /// Protocol-level header/payload.
+    pub payload: P,
+}
+
+impl<P: Payload> Packet<P> {
+    /// Construct a packet; `id` and `sent_at` are assigned by the engine at
+    /// send time, so builders use placeholders here.
+    pub fn new(flow: FlowId, src: NodeId, dst: NodeId, size: u32, payload: P) -> Self {
+        Packet {
+            id: PacketId(0),
+            flow,
+            src,
+            dst,
+            size,
+            sent_at: SimTime::ZERO,
+            payload,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_new_sets_placeholders() {
+        let p: Packet<u8> = Packet::new(FlowId(3), NodeId(0), NodeId(1), 1500, 7);
+        assert_eq!(p.id, PacketId(0));
+        assert_eq!(p.sent_at, SimTime::ZERO);
+        assert_eq!(p.size, 1500);
+        assert_eq!(p.payload, 7);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(NodeId(4).to_string(), "n4");
+        assert_eq!(LinkId(2).to_string(), "l2");
+        assert_eq!(FlowId(9).to_string(), "f9");
+    }
+}

@@ -1,0 +1,375 @@
+//! Router queues.
+//!
+//! The paper's testbed uses drop-tail FIFO queues sized in bytes (Fig. 4:
+//! 115 KB, the sender–receiver BDP; Fig. 10 sweeps 10–600 KB). [`DropTail`]
+//! is the workhorse. [`CoDel`] is provided as an extension for the
+//! bufferbloat discussion in §6 (AQM is "fully complementary" to Halfback —
+//! the ablation bench exercises it).
+
+use crate::packet::{Packet, Payload};
+use crate::time::{SimDuration, SimTime};
+use std::collections::VecDeque;
+
+/// Statistics kept by every queue.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Packets accepted into the queue.
+    pub enqueued: u64,
+    /// Packets handed to the link.
+    pub dequeued: u64,
+    /// Packets dropped because the queue was full (or AQM-marked).
+    pub dropped: u64,
+    /// Bytes dropped.
+    pub dropped_bytes: u64,
+    /// High-water mark of queued bytes.
+    pub max_backlog_bytes: u64,
+}
+
+/// Outcome of offering a packet to a queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Packet was queued.
+    Accepted,
+    /// Packet was dropped.
+    Dropped,
+}
+
+/// A queue discipline: accepts packets, releases them in some order,
+/// may drop.
+pub trait QueueDiscipline<P: Payload>: std::fmt::Debug {
+    /// Offer a packet at `now`; the queue either keeps it or drops it.
+    fn enqueue(&mut self, pkt: Packet<P>, now: SimTime) -> Verdict;
+    /// Remove the next packet to transmit, if any.
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet<P>>;
+    /// Bytes currently queued.
+    fn backlog_bytes(&self) -> u64;
+    /// Packets currently queued.
+    fn len(&self) -> usize;
+    /// True when nothing is queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Statistics snapshot.
+    fn stats(&self) -> QueueStats;
+}
+
+/// Byte-limited drop-tail FIFO.
+#[derive(Debug)]
+pub struct DropTail<P> {
+    capacity_bytes: u64,
+    backlog_bytes: u64,
+    queue: VecDeque<Packet<P>>,
+    stats: QueueStats,
+}
+
+impl<P> DropTail<P> {
+    /// Create a queue holding at most `capacity_bytes` of packets.
+    pub fn new(capacity_bytes: u64) -> Self {
+        assert!(capacity_bytes > 0, "queue capacity must be positive");
+        DropTail {
+            capacity_bytes,
+            backlog_bytes: 0,
+            queue: VecDeque::new(),
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Configured capacity in bytes.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity_bytes
+    }
+}
+
+impl<P: Payload> QueueDiscipline<P> for DropTail<P> {
+    fn enqueue(&mut self, pkt: Packet<P>, _now: SimTime) -> Verdict {
+        let sz = pkt.size as u64;
+        if self.backlog_bytes + sz > self.capacity_bytes {
+            self.stats.dropped += 1;
+            self.stats.dropped_bytes += sz;
+            return Verdict::Dropped;
+        }
+        self.backlog_bytes += sz;
+        self.stats.enqueued += 1;
+        self.stats.max_backlog_bytes = self.stats.max_backlog_bytes.max(self.backlog_bytes);
+        self.queue.push_back(pkt);
+        Verdict::Accepted
+    }
+
+    fn dequeue(&mut self, _now: SimTime) -> Option<Packet<P>> {
+        let pkt = self.queue.pop_front()?;
+        self.backlog_bytes -= pkt.size as u64;
+        self.stats.dequeued += 1;
+        Some(pkt)
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        self.backlog_bytes
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn stats(&self) -> QueueStats {
+        self.stats
+    }
+}
+
+/// CoDel active queue management (simplified, per the CoDel paper's
+/// pseudocode): packets carry an enqueue timestamp; if the *sojourn time*
+/// of dequeued packets stays above `target` for at least `interval`, CoDel
+/// enters a dropping state, dropping one packet and shrinking the next drop
+/// interval by `1/sqrt(count)`.
+#[derive(Debug)]
+pub struct CoDel<P> {
+    capacity_bytes: u64,
+    target: SimDuration,
+    interval: SimDuration,
+    backlog_bytes: u64,
+    queue: VecDeque<(Packet<P>, SimTime)>,
+    stats: QueueStats,
+    // CoDel state
+    first_above_time: Option<SimTime>,
+    drop_next: SimTime,
+    drop_count: u32,
+    dropping: bool,
+}
+
+impl<P> CoDel<P> {
+    /// Create a CoDel queue with the standard 5 ms target / 100 ms interval.
+    pub fn new(capacity_bytes: u64) -> Self {
+        Self::with_params(
+            capacity_bytes,
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(100),
+        )
+    }
+
+    /// Create a CoDel queue with explicit target sojourn time and interval.
+    pub fn with_params(capacity_bytes: u64, target: SimDuration, interval: SimDuration) -> Self {
+        assert!(capacity_bytes > 0, "queue capacity must be positive");
+        CoDel {
+            capacity_bytes,
+            target,
+            interval,
+            backlog_bytes: 0,
+            queue: VecDeque::new(),
+            stats: QueueStats::default(),
+            first_above_time: None,
+            drop_next: SimTime::ZERO,
+            drop_count: 0,
+            dropping: false,
+        }
+    }
+
+    fn control_law(&self, t: SimTime) -> SimTime {
+        let shrink = (self.drop_count.max(1) as f64).sqrt();
+        t + self.interval.mul_f64(1.0 / shrink)
+    }
+
+    /// Pop head and decide whether its sojourn time keeps us "above target".
+    fn do_dequeue(&mut self, now: SimTime) -> (Option<Packet<P>>, bool) {
+        match self.queue.pop_front() {
+            None => {
+                self.first_above_time = None;
+                (None, false)
+            }
+            Some((pkt, enq)) => {
+                self.backlog_bytes -= pkt.size as u64;
+                let sojourn = now.saturating_since(enq);
+                if sojourn < self.target || self.backlog_bytes < 1500 {
+                    self.first_above_time = None;
+                    (Some(pkt), false)
+                } else {
+                    let fat = *self.first_above_time.get_or_insert(now + self.interval);
+                    (Some(pkt), now >= fat)
+                }
+            }
+        }
+    }
+}
+
+impl<P: Payload> QueueDiscipline<P> for CoDel<P> {
+    fn enqueue(&mut self, pkt: Packet<P>, now: SimTime) -> Verdict {
+        let sz = pkt.size as u64;
+        if self.backlog_bytes + sz > self.capacity_bytes {
+            self.stats.dropped += 1;
+            self.stats.dropped_bytes += sz;
+            return Verdict::Dropped;
+        }
+        self.backlog_bytes += sz;
+        self.stats.enqueued += 1;
+        self.stats.max_backlog_bytes = self.stats.max_backlog_bytes.max(self.backlog_bytes);
+        self.queue.push_back((pkt, now));
+        Verdict::Accepted
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet<P>> {
+        let (mut pkt, mut above) = self.do_dequeue(now);
+        if self.dropping {
+            if !above {
+                self.dropping = false;
+            } else {
+                while self.dropping && now >= self.drop_next {
+                    // Drop the packet we hold and pull the next one.
+                    if let Some(dropped) = pkt.take() {
+                        self.stats.dropped += 1;
+                        self.stats.dropped_bytes += dropped.size as u64;
+                    }
+                    self.drop_count += 1;
+                    let (next, still_above) = self.do_dequeue(now);
+                    pkt = next;
+                    above = still_above;
+                    if !above {
+                        self.dropping = false;
+                    } else {
+                        self.drop_next = self.control_law(self.drop_next);
+                    }
+                }
+            }
+        } else if above
+            && (now.saturating_since(self.drop_next) < self.interval || self.drop_count > 0)
+        {
+            // Enter dropping state.
+            if let Some(dropped) = pkt.take() {
+                self.stats.dropped += 1;
+                self.stats.dropped_bytes += dropped.size as u64;
+            }
+            let (next, _) = self.do_dequeue(now);
+            pkt = next;
+            self.dropping = true;
+            self.drop_count = if self.drop_count > 2 {
+                self.drop_count - 2
+            } else {
+                1
+            };
+            self.drop_next = self.control_law(now);
+        } else if above {
+            if let Some(dropped) = pkt.take() {
+                self.stats.dropped += 1;
+                self.stats.dropped_bytes += dropped.size as u64;
+            }
+            let (next, _) = self.do_dequeue(now);
+            pkt = next;
+            self.dropping = true;
+            self.drop_count = 1;
+            self.drop_next = self.control_law(now);
+        }
+        if pkt.is_some() {
+            self.stats.dequeued += 1;
+        }
+        pkt
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        self.backlog_bytes
+    }
+
+    fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn stats(&self) -> QueueStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlowId, NodeId};
+
+    fn pkt(size: u32) -> Packet<u8> {
+        Packet::new(FlowId(0), NodeId(0), NodeId(1), size, 0)
+    }
+
+    #[test]
+    fn droptail_fifo_order() {
+        let mut q = DropTail::new(10_000);
+        for i in 0..3u8 {
+            let mut p = pkt(1000);
+            p.payload = i;
+            assert_eq!(q.enqueue(p, SimTime::ZERO), Verdict::Accepted);
+        }
+        for i in 0..3u8 {
+            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().payload, i);
+        }
+        assert!(q.dequeue(SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn droptail_drops_when_full() {
+        let mut q = DropTail::new(2500);
+        assert_eq!(q.enqueue(pkt(1500), SimTime::ZERO), Verdict::Accepted);
+        assert_eq!(q.enqueue(pkt(1000), SimTime::ZERO), Verdict::Accepted);
+        assert_eq!(q.enqueue(pkt(1), SimTime::ZERO), Verdict::Dropped);
+        assert_eq!(q.stats().dropped, 1);
+        assert_eq!(q.backlog_bytes(), 2500);
+        // Draining frees space again.
+        q.dequeue(SimTime::ZERO).unwrap();
+        assert_eq!(q.enqueue(pkt(1500), SimTime::ZERO), Verdict::Accepted);
+    }
+
+    #[test]
+    fn droptail_byte_conservation() {
+        let mut q = DropTail::new(100_000);
+        let mut in_bytes = 0u64;
+        for i in 0..50 {
+            let size = 100 + (i * 37) % 1400;
+            if q.enqueue(pkt(size), SimTime::ZERO) == Verdict::Accepted {
+                in_bytes += size as u64;
+            }
+        }
+        let mut out_bytes = 0u64;
+        while let Some(p) = q.dequeue(SimTime::ZERO) {
+            out_bytes += p.size as u64;
+        }
+        assert_eq!(in_bytes, out_bytes);
+        assert_eq!(q.backlog_bytes(), 0);
+    }
+
+    #[test]
+    fn droptail_high_water_mark() {
+        let mut q = DropTail::new(5000);
+        q.enqueue(pkt(1500), SimTime::ZERO);
+        q.enqueue(pkt(1500), SimTime::ZERO);
+        q.dequeue(SimTime::ZERO);
+        q.enqueue(pkt(500), SimTime::ZERO);
+        assert_eq!(q.stats().max_backlog_bytes, 3000);
+    }
+
+    #[test]
+    fn codel_passes_traffic_below_target() {
+        let mut q = CoDel::new(100_000);
+        let mut t = SimTime::ZERO;
+        // Light load: every packet dequeued 1 ms after enqueue (< 5 ms target).
+        for _ in 0..100 {
+            q.enqueue(pkt(1500), t);
+            t += SimDuration::from_millis(1);
+            assert!(q.dequeue(t).is_some());
+        }
+        assert_eq!(q.stats().dropped, 0);
+    }
+
+    #[test]
+    fn codel_drops_under_sustained_standing_queue() {
+        let mut q = CoDel::new(1_000_000);
+        // Build a large standing queue, then drain slowly: sojourn times far
+        // above target for far longer than the interval.
+        for _ in 0..400 {
+            q.enqueue(pkt(1500), SimTime::ZERO);
+        }
+        let mut t = SimTime::from_nanos(0);
+        let mut got = 0;
+        for _ in 0..400 {
+            t += SimDuration::from_millis(10);
+            if q.dequeue(t).is_some() {
+                got += 1;
+            }
+            if q.is_empty() {
+                break;
+            }
+        }
+        assert!(q.stats().dropped > 0, "CoDel never dropped: got {got}");
+    }
+}

@@ -1,0 +1,281 @@
+//! Small statistics helpers shared by experiments and tests.
+
+/// Running summary (count / mean / min / max) without storing samples.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// An empty summary.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add a sample.
+    pub fn add(&mut self, x: f64) {
+        debug_assert!(x.is_finite(), "non-finite sample: {x}");
+        self.count += 1;
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Minimum, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+}
+
+/// An empirical distribution built from stored samples: percentiles and CDF
+/// series for the paper's CDF/CCDF figures.
+#[derive(Debug, Clone, Default)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+    dirty: bool,
+}
+
+impl Ecdf {
+    /// An empty distribution.
+    pub fn new() -> Self {
+        Ecdf::default()
+    }
+
+    /// Build from a vector of samples.
+    pub fn from_samples(mut xs: Vec<f64>) -> Self {
+        xs.retain(|x| x.is_finite());
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Ecdf {
+            sorted: xs,
+            dirty: false,
+        }
+    }
+
+    /// Add a sample.
+    pub fn add(&mut self, x: f64) {
+        if x.is_finite() {
+            self.sorted.push(x);
+            self.dirty = true;
+        }
+    }
+
+    fn ensure_sorted(&mut self) {
+        if self.dirty {
+            self.sorted
+                .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            self.dirty = false;
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Mean of the samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.sorted.is_empty() {
+            None
+        } else {
+            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+        }
+    }
+
+    /// Percentile in `\[0, 100\]` using nearest-rank; `None` if empty.
+    pub fn percentile(&mut self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        self.ensure_sorted();
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let n = self.sorted.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        Some(self.sorted[rank.clamp(1, n) - 1])
+    }
+
+    /// Median (50th percentile).
+    pub fn median(&mut self) -> Option<f64> {
+        self.percentile(50.0)
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn cdf_at(&mut self, x: f64) -> f64 {
+        self.ensure_sorted();
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let k = self.sorted.partition_point(|&s| s <= x);
+        k as f64 / self.sorted.len() as f64
+    }
+
+    /// The full `(value, percent <= value)` series for plotting a CDF, one
+    /// point per sample (like the paper's gnuplot CDFs).
+    pub fn cdf_series(&mut self) -> Vec<(f64, f64)> {
+        self.ensure_sorted();
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, 100.0 * (i + 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// The `(value, percent > value)` series for a complementary CDF.
+    pub fn ccdf_series(&mut self) -> Vec<(f64, f64)> {
+        self.ensure_sorted();
+        let n = self.sorted.len();
+        self.sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| (x, 100.0 * (n - i - 1) as f64 / n as f64))
+            .collect()
+    }
+
+    /// Sorted view of the samples.
+    pub fn sorted(&mut self) -> &[f64] {
+        self.ensure_sorted();
+        &self.sorted
+    }
+}
+
+/// Bins event counts into fixed-width time buckets — used for the Fig. 15
+/// throughput-over-time traces (the paper samples every 60 ms).
+#[derive(Debug, Clone)]
+pub struct TimeBinned {
+    bin_width_ns: u64,
+    bins: Vec<f64>,
+}
+
+impl TimeBinned {
+    /// Create with the given bin width in nanoseconds.
+    pub fn new(bin_width_ns: u64) -> Self {
+        assert!(bin_width_ns > 0);
+        TimeBinned {
+            bin_width_ns,
+            bins: Vec::new(),
+        }
+    }
+
+    /// Add `amount` at time `t_ns`.
+    pub fn add(&mut self, t_ns: u64, amount: f64) {
+        let idx = (t_ns / self.bin_width_ns) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, 0.0);
+        }
+        self.bins[idx] += amount;
+    }
+
+    /// Bin width in nanoseconds.
+    pub fn bin_width_ns(&self) -> u64 {
+        self.bin_width_ns
+    }
+
+    /// `(bin_start_seconds, sum)` series.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        self.bins
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64 * self.bin_width_ns as f64 / 1e9, v))
+            .collect()
+    }
+
+    /// Convert byte counts per bin into a Mbit/s series.
+    pub fn as_mbps(&self) -> Vec<(f64, f64)> {
+        let secs_per_bin = self.bin_width_ns as f64 / 1e9;
+        self.series()
+            .into_iter()
+            .map(|(t, bytes)| (t, bytes * 8.0 / 1e6 / secs_per_bin))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_tracks_mean_min_max() {
+        let mut s = Summary::new();
+        assert_eq!(s.mean(), None);
+        for x in [3.0, 1.0, 2.0] {
+            s.add(x);
+        }
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.mean(), Some(2.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(3.0));
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut e = Ecdf::from_samples((1..=100).map(|i| i as f64).collect());
+        assert_eq!(e.percentile(50.0), Some(50.0));
+        assert_eq!(e.percentile(99.0), Some(99.0));
+        assert_eq!(e.percentile(100.0), Some(100.0));
+        assert_eq!(e.percentile(1.0), Some(1.0));
+        assert_eq!(e.percentile(0.0), Some(1.0));
+    }
+
+    #[test]
+    fn cdf_at_counts_fraction() {
+        let mut e = Ecdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.cdf_at(0.5), 0.0);
+        assert_eq!(e.cdf_at(2.0), 0.5);
+        assert_eq!(e.cdf_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn cdf_and_ccdf_are_complementary() {
+        let mut e = Ecdf::from_samples(vec![5.0, 1.0, 3.0]);
+        let cdf = e.cdf_series();
+        let ccdf = e.ccdf_series();
+        for ((xa, pa), (xb, pb)) in cdf.iter().zip(ccdf.iter()) {
+            assert_eq!(xa, xb);
+            assert!((pa + pb - 100.0).abs() < 1e-9);
+        }
+        // Adding a sample after reading still works.
+        e.add(2.0);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.median(), Some(2.0));
+    }
+
+    #[test]
+    fn time_binned_throughput() {
+        let mut tb = TimeBinned::new(60_000_000); // 60 ms bins
+        tb.add(0, 7500.0); // 7.5 KB in first bin
+        tb.add(59_999_999, 7500.0);
+        tb.add(60_000_000, 1500.0);
+        let mbps = tb.as_mbps();
+        // 15 KB in 60 ms = 2 Mbit/s.
+        assert!((mbps[0].1 - 2.0).abs() < 1e-9, "{:?}", mbps);
+        assert!((mbps[1].1 - 0.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,97 @@
+//! Substrate conservation laws, checked over randomized traffic with the
+//! trace hook: every packet offered to the network is eventually delivered,
+//! dropped by a queue, or dropped by the wire — nothing is duplicated or
+//! lost silently.
+
+use netsim::engine::TraceEvent;
+use netsim::link::LinkSpec;
+use netsim::loss::LossModel;
+use netsim::node::{Node, TimerId};
+use netsim::packet::{FlowId, Packet};
+use netsim::queue::DropTail;
+use netsim::rng::SimRng;
+use netsim::time::{Rate, SimDuration};
+use netsim::{Ctx, Simulator};
+use proptest::prelude::*;
+use std::any::Any;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+struct Count(u64);
+impl Node<u32> for Count {
+    fn on_packet(&mut self, _p: Packet<u32>, _c: &mut Ctx<'_, u32>) {
+        self.0 += 1;
+    }
+    fn on_timer(&mut self, _i: TimerId, _t: u64, _c: &mut Ctx<'_, u32>) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn offered_equals_delivered_plus_dropped(
+        seed in 0u64..1000,
+        n in 1u64..400,
+        buf_pkts in 1u64..20,
+        loss_p in 0.0f64..0.4,
+        rate_kbps in 50u64..5_000,
+    ) {
+        let mut sim: Simulator<u32> = Simulator::new(seed);
+        let a = sim.add_node(Box::new(Count(0)));
+        let b = sim.add_node(Box::new(Count(0)));
+        let l = sim.add_link(LinkSpec {
+            src: a,
+            dst: b,
+            rate: Rate::from_kbps(rate_kbps),
+            delay: SimDuration::from_millis(5),
+            queue: Box::new(DropTail::new(buf_pkts * 1500)),
+            loss: LossModel::Bernoulli { p: loss_p },
+        });
+
+        let deliveries = Rc::new(RefCell::new(0u64));
+        let queue_drops = Rc::new(RefCell::new(0u64));
+        let wire_drops = Rc::new(RefCell::new(0u64));
+        let (d2, q2, w2) = (deliveries.clone(), queue_drops.clone(), wire_drops.clone());
+        sim.set_tracer(Box::new(move |_, ev| match ev {
+            TraceEvent::Deliver { .. } => *d2.borrow_mut() += 1,
+            TraceEvent::QueueDrop { .. } => *q2.borrow_mut() += 1,
+            TraceEvent::WireDrop { .. } => *w2.borrow_mut() += 1,
+            TraceEvent::TxStart { .. } => {}
+        }));
+
+        // Random-ish offered traffic: bursts with gaps.
+        let mut rng = SimRng::new(seed ^ 77);
+        let mut sent = 0u64;
+        for i in 0..n {
+            let burst = 1 + rng.index(5) as u64;
+            for _ in 0..burst {
+                sim.core().send_on(l, Packet::new(FlowId(i), a, b, 1500, 0u32));
+                sent += 1;
+            }
+            // Let some time pass between bursts.
+            let gap = SimDuration::from_micros(rng.index(20_000) as u64);
+            let t = sim.now() + gap;
+            sim.run_until(t);
+        }
+        sim.run_to_completion(sent * 10 + 1000);
+
+        let delivered = *deliveries.borrow();
+        let qd = *queue_drops.borrow();
+        let wd = *wire_drops.borrow();
+        prop_assert_eq!(delivered + qd + wd, sent, "conservation violated");
+        // Node-level receive count agrees with the trace.
+        prop_assert_eq!(sim.node_as::<Count>(b).unwrap().0, delivered);
+        // Link stats agree: transmitted = offered - queue drops.
+        prop_assert_eq!(sim.link_stats(l).tx_packets, sent - qd);
+        prop_assert_eq!(sim.link_stats(l).wire_lost, wd);
+        prop_assert_eq!(sim.queue_stats(l).dropped, qd);
+        // Queue fully drained.
+        prop_assert_eq!(sim.queue_stats(l).enqueued, sim.queue_stats(l).dequeued);
+    }
+}

@@ -1,0 +1,101 @@
+//! `repro` — regenerate any table or figure of the Halfback paper.
+//!
+//! ```text
+//! repro <experiment>... [--quick] [--out DIR]
+//! repro all [--quick] [--out DIR]
+//! repro list
+//! ```
+//!
+//! Experiments: fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+//! fig13 fig14 fig15 fig16 fig17 table1. `--quick` runs the reduced-scale
+//! version (the same code paths the test suite and benches exercise);
+//! without it the paper-scale parameters run (use `--release`!).
+
+use scenarios::figures::{distinct_experiment_ids, run_experiment};
+use scenarios::Scale;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Resident set size in MB (Linux; `None` elsewhere).
+fn rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS"))?;
+    Some(line.split_whitespace().nth(1)?.parse::<f64>().ok()? / 1024.0)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!(
+            "usage: repro <experiment>... [--quick] [--chart] [--out DIR] | repro all | repro list"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut scale = Scale::Full;
+    let mut chart = false;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" | "-q" => scale = Scale::Quick,
+            "--chart" | "-c" => chart = true,
+            "--out" | "-o" => match it.next() {
+                Some(dir) => out_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "list" => {
+                println!("experiments:");
+                for id in distinct_experiment_ids() {
+                    println!("  {id}");
+                }
+                println!("aliases: fig1 (with fig12), fig5/fig7/fig8 (with fig6)");
+                return ExitCode::SUCCESS;
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = distinct_experiment_ids()
+            .into_iter()
+            .map(String::from)
+            .collect();
+    }
+
+    let started = std::time::Instant::now();
+    for id in &experiments {
+        eprintln!(">> running {id} ({scale:?} scale)...");
+        let exp_started = std::time::Instant::now();
+        match run_experiment(id, scale) {
+            Some(figs) => {
+                for fig in figs {
+                    println!("{}", fig.render_text());
+                    if chart {
+                        println!("{}", fig.render_ascii_chart());
+                    }
+                    if let Some(dir) = &out_dir {
+                        if let Err(e) = fig.write_csv(dir).and_then(|()| fig.write_gnuplot(dir)) {
+                            eprintln!("failed to write CSV/gnuplot for {}: {e}", fig.id);
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+            None => {
+                eprintln!("unknown experiment '{id}'; try `repro list`");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!(
+            ">> {id} done in {:.1}s (rss {:.0} MB)",
+            exp_started.elapsed().as_secs_f64(),
+            rss_mb().unwrap_or(0.0)
+        );
+    }
+    eprintln!(">> done in {:.1}s", started.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}

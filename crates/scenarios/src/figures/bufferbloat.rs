@@ -1,0 +1,151 @@
+//! Fig. 10: effect of router buffer size (bufferbloat) on short-flow FCT
+//! and on the number of normal retransmissions.
+//!
+//! §4.2.3: one background TCP flow plus short 100 KB flows arriving every
+//! 10 s on average, 600 s runs, bottleneck buffer swept from small to
+//! 600 KB.
+
+use crate::metrics::FctStats;
+use crate::report::Figure;
+use crate::runner::{run_dumbbell, FlowPlan, RunOptions};
+use crate::{Protocol, Scale};
+use netsim::rng::SimRng;
+use netsim::topology::DumbbellSpec;
+use netsim::{SimDuration, SimTime};
+use workload::PoissonArrivals;
+
+/// Background long-flow size: effectively saturates the whole run.
+const BACKGROUND_BYTES: u64 = 2_000_000_000;
+
+/// Buffer sizes scanned (bytes).
+pub fn buffers(scale: Scale) -> Vec<u64> {
+    match scale {
+        Scale::Full => vec![
+            10_000, 25_000, 50_000, 75_000, 115_000, 150_000, 200_000, 300_000, 400_000, 500_000,
+            600_000,
+        ],
+        Scale::Quick => vec![15_000, 115_000, 400_000],
+    }
+}
+
+/// Mean FCT and retransmission count of short flows for one (protocol,
+/// buffer) cell.
+pub fn cell(protocol: Protocol, buffer: u64, scale: Scale) -> FctStats {
+    let spec = DumbbellSpec::emulab_with_buffer(1, buffer);
+    let horizon = scale.pick(SimDuration::from_secs(600), SimDuration::from_secs(80));
+    let interval = scale.pick(SimDuration::from_secs(10), SimDuration::from_secs(4));
+    // Background TCP flow from t = 0 (it reaches full rate long before the
+    // first short flow).
+    let mut plans = vec![FlowPlan {
+        at: SimTime::ZERO,
+        bytes: BACKGROUND_BYTES,
+        protocol: Protocol::Tcp,
+    }];
+    let mut arrivals = PoissonArrivals::new(
+        interval,
+        SimTime::ZERO + SimDuration::from_secs(3),
+        SimRng::new(29).fork("bufferbloat"),
+    );
+    for t in arrivals.take_until(SimTime::ZERO + horizon) {
+        plans.push(FlowPlan {
+            at: t,
+            bytes: 100_000,
+            protocol,
+        });
+    }
+    let opts = RunOptions {
+        host_pairs: 8,
+        grace: SimDuration::from_secs(60),
+        seed: 31,
+        trace_bin_ns: None,
+        min_rto: None,
+    };
+    let out = run_dumbbell(&spec, &plans, &opts);
+    // Short flows only; the background flow may legitimately be censored.
+    let shorts: Vec<_> = out
+        .records
+        .iter()
+        .filter(|r| r.bytes == 100_000)
+        .cloned()
+        .collect();
+    let short_started = plans.len() - 1;
+    let censored = short_started - shorts.len();
+    FctStats::from_records(&shorts, censored)
+}
+
+/// The Fig. 10 protocol set (all eight schemes).
+pub fn protocols() -> [Protocol; 8] {
+    Protocol::EVALUATED
+}
+
+/// Render Fig. 10(a) (mean FCT vs buffer) and Fig. 10(b) (normal
+/// retransmissions vs buffer).
+pub fn figures(scale: Scale) -> Vec<Figure> {
+    let mut fig_a = Figure::new(
+        "fig10a",
+        "Mean FCT of short flows vs router buffer size (1 background TCP flow)",
+        "router buffer (KB)",
+        "mean FCT (ms)",
+    );
+    let mut fig_b = Figure::new(
+        "fig10b",
+        "Normal retransmissions of short flows vs router buffer size",
+        "router buffer (KB)",
+        "mean normal retransmissions",
+    );
+    let bufs = buffers(scale);
+    let mut small_buf_retx: Vec<(Protocol, f64)> = Vec::new();
+    for p in protocols() {
+        let cells: Vec<(u64, FctStats)> = bufs.iter().map(|&b| (b, cell(p, b, scale))).collect();
+        fig_a.push_series(
+            p.name(),
+            cells
+                .iter()
+                .map(|(b, s)| (*b as f64 / 1000.0, s.mean_ms))
+                .collect(),
+        );
+        fig_b.push_series(
+            p.name(),
+            cells
+                .iter()
+                .map(|(b, s)| (*b as f64 / 1000.0, s.mean_normal_retx))
+                .collect(),
+        );
+        small_buf_retx.push((
+            p,
+            cells
+                .first()
+                .map(|(_, s)| s.mean_normal_retx)
+                .unwrap_or(f64::NAN),
+        ));
+        let spread = {
+            let means: Vec<f64> = cells
+                .iter()
+                .map(|(_, s)| s.mean_ms)
+                .filter(|m| m.is_finite())
+                .collect();
+            let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = means.iter().cloned().fold(0.0, f64::max);
+            max - min
+        };
+        fig_a.note(format!(
+            "{}: FCT spread across buffers {:.0} ms",
+            p.name(),
+            spread
+        ));
+    }
+    let retx_of = |p: Protocol| {
+        small_buf_retx
+            .iter()
+            .find(|(q, _)| *q == p)
+            .map(|(_, r)| *r)
+            .unwrap_or(f64::NAN)
+    };
+    fig_b.note(format!(
+        "small buffer: Halfback {:.1} vs JumpStart {:.1} normal retx ({:.0}%; paper: 6 vs ~57, 10.6%)",
+        retx_of(Protocol::Halfback),
+        retx_of(Protocol::JumpStart),
+        100.0 * retx_of(Protocol::Halfback) / retx_of(Protocol::JumpStart),
+    ));
+    vec![fig_a, fig_b]
+}

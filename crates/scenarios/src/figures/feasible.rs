@@ -1,0 +1,149 @@
+//! Figs. 12 and 1: the all-short-flow utilization sweep and the
+//! latency-vs-feasible-capacity tradeoff derived from it.
+//!
+//! §4.3.1: 100 KB flows, identical Poisson arrival schedules per
+//! utilization, utilization swept 5–90 % in 5 % steps. Feasible capacity is
+//! the knee before FCT/completion collapse.
+
+use crate::metrics::{feasible_capacity, FctStats, SweepPoint};
+use crate::report::Figure;
+use crate::runner::{plans_from_schedule, run_dumbbell, RunOptions};
+use crate::{Protocol, Scale};
+use netsim::rng::SimRng;
+use netsim::topology::DumbbellSpec;
+use netsim::{SimDuration, SimTime};
+use workload::Schedule;
+
+/// Collapse detection: mean FCT above this multiple of the low-load mean.
+pub const COLLAPSE_FACTOR: f64 = 4.0;
+/// Collapse detection: absolute mean-FCT floor in ms (a scheme is not
+/// "collapsed" while flows still finish in ~1 RTT-scale times).
+pub const COLLAPSE_FLOOR_MS: f64 = 1200.0;
+/// Collapse detection: completion rate below this.
+pub const MIN_COMPLETION: f64 = 0.9;
+
+/// The utilizations scanned.
+pub fn utilizations(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Full => (1..=18).map(|i| i as f64 * 0.05).collect(),
+        Scale::Quick => vec![0.05, 0.2, 0.35, 0.5, 0.6, 0.7, 0.8],
+    }
+}
+
+/// Sweep one protocol across utilizations with per-utilization identical
+/// schedules (shared across protocols via the seed discipline).
+pub fn sweep(protocol: Protocol, scale: Scale, seed: u64) -> Vec<SweepPoint> {
+    let spec = DumbbellSpec::emulab(1);
+    let horizon =
+        SimTime::ZERO + scale.pick(SimDuration::from_secs(120), SimDuration::from_secs(50));
+    utilizations(scale)
+        .into_iter()
+        .map(|u| {
+            // Schedule seed depends on utilization but NOT protocol: §4.3.2
+            // "same schedule of flow arrivals for each network utilization".
+            let srng = SimRng::new(seed).fork_indexed("sched", (u * 1000.0) as u64);
+            let schedule = Schedule::fixed_size(spec.bottleneck_rate, 100_000, u, horizon, srng);
+            let plans = plans_from_schedule(&schedule, protocol);
+            let opts = RunOptions {
+                host_pairs: 12,
+                grace: SimDuration::from_secs(30),
+                seed: seed ^ 0x5eed,
+                trace_bin_ns: None,
+        min_rto: None,
+            };
+            let out = run_dumbbell(&spec, &plans, &opts);
+            // Normalize by the arrival horizon (the denominator of the
+            // offered load), not the longer drain period.
+            let achieved = (out.bottleneck_tx_bytes as f64 * 8.0)
+                / (spec.bottleneck_rate.as_bps() as f64
+                    * horizon.saturating_since(SimTime::ZERO).as_secs_f64());
+            SweepPoint {
+                utilization: u,
+                achieved_utilization: achieved,
+                stats: FctStats::from_records(&out.records, out.censored),
+            }
+        })
+        .collect()
+}
+
+/// Data for both figures.
+pub struct FeasibleData {
+    /// Per-protocol sweep results.
+    pub sweeps: Vec<(Protocol, Vec<SweepPoint>)>,
+}
+
+/// Run the full sweep for the Fig. 12 protocol set.
+pub fn run(scale: Scale) -> FeasibleData {
+    let sweeps = Protocol::EVALUATED
+        .into_iter()
+        .map(|p| (p, sweep(p, scale, 42)))
+        .collect();
+    FeasibleData { sweeps }
+}
+
+/// Render Fig. 12 (FCT vs utilization) and Fig. 1 (tradeoff scatter).
+pub fn figures(scale: Scale) -> Vec<Figure> {
+    render(&run(scale))
+}
+
+/// Render from precomputed data (shared with the ablation module).
+pub fn render(data: &FeasibleData) -> Vec<Figure> {
+    let mut fig12 = Figure::new(
+        "fig12",
+        "FCT vs utilization, all-short-flow workload (feasible capacity)",
+        "utilization (%)",
+        "mean FCT (ms)",
+    );
+    let mut fig1 = Figure::new(
+        "fig1",
+        "Tradeoff: common-case latency vs feasible capacity",
+        "feasible capacity (% utilization)",
+        "low-load FCT (ms)",
+    );
+    for (p, points) in &data.sweeps {
+        fig12.push_series(
+            p.name(),
+            points
+                .iter()
+                .map(|pt| (pt.utilization * 100.0, pt.stats.mean_ms))
+                .collect(),
+        );
+        let fc = feasible_capacity(points, COLLAPSE_FACTOR, COLLAPSE_FLOOR_MS, MIN_COMPLETION);
+        let low_load = points
+            .first()
+            .map(|pt| pt.stats.mean_ms)
+            .unwrap_or(f64::NAN);
+        fig1.push_series(p.name(), vec![(fc * 100.0, low_load)]);
+        let overhead_at_half = points
+            .iter()
+            .find(|pt| (pt.utilization - 0.5).abs() < 0.026)
+            .map(|pt| pt.achieved_utilization / pt.utilization.max(1e-9))
+            .unwrap_or(f64::NAN);
+        fig12.note(format!(
+            "{}: feasible capacity {:.0}%, low-load mean FCT {:.0} ms, carried/offered at 50% = {:.2}x",
+            p.name(),
+            fc * 100.0,
+            low_load,
+            overhead_at_half
+        ));
+    }
+    // Headline comparisons the paper quotes.
+    let fc_of = |p: Protocol| {
+        data.sweeps
+            .iter()
+            .find(|(q, _)| *q == p)
+            .map(|(_, pts)| {
+                feasible_capacity(pts, COLLAPSE_FACTOR, COLLAPSE_FLOOR_MS, MIN_COMPLETION)
+            })
+            .unwrap_or(0.0)
+    };
+    let hb = fc_of(Protocol::Halfback);
+    let js = fc_of(Protocol::JumpStart);
+    if js > 0.0 {
+        fig1.note(format!(
+            "Halfback feasible capacity = {:.2}x JumpStart's (paper: 1.4x)",
+            hb / js
+        ));
+    }
+    vec![fig12, fig1]
+}

@@ -1,0 +1,99 @@
+//! Fig. 14: TCP-friendliness scatter (§4.3.3).
+//!
+//! Half the flows run TCP, half run one non-TCP scheme, at utilizations
+//! 5–30 %. For each (scheme, utilization): x = mean FCT of the TCP flows
+//! divided by their all-TCP reference; y = mean FCT of the non-TCP flows
+//! divided by their all-non-TCP reference. Friendly schemes sit near (1,1).
+
+use crate::metrics::FctStats;
+use crate::report::Figure;
+use crate::runner::{plans_alternating, plans_from_schedule, run_dumbbell, RunOptions};
+use crate::{Protocol, Scale};
+use netsim::rng::SimRng;
+use netsim::topology::DumbbellSpec;
+use netsim::{SimDuration, SimTime};
+use workload::Schedule;
+
+/// Utilizations scanned (paper: 5–30 % step 5).
+pub fn utilizations(scale: Scale) -> Vec<f64> {
+    match scale {
+        Scale::Full => (1..=6).map(|i| i as f64 * 0.05).collect(),
+        Scale::Quick => vec![0.1, 0.3],
+    }
+}
+
+/// The non-TCP schemes plotted.
+pub fn protocols() -> [Protocol; 6] {
+    [
+        Protocol::JumpStart,
+        Protocol::Halfback,
+        Protocol::Proactive,
+        Protocol::Reactive,
+        Protocol::Tcp10,
+        Protocol::Pcp,
+    ]
+}
+
+fn mean_fct(records: &[transport::FlowRecord], censored: usize) -> f64 {
+    FctStats::from_records(records, censored).mean_ms
+}
+
+/// One (scheme, utilization) point: (x, y) as defined above.
+pub fn point(protocol: Protocol, utilization: f64, scale: Scale) -> (f64, f64) {
+    let spec = DumbbellSpec::emulab(1);
+    let horizon =
+        SimTime::ZERO + scale.pick(SimDuration::from_secs(200), SimDuration::from_secs(30));
+    let srng = SimRng::new(61).fork_indexed("friendly", (utilization * 1000.0) as u64);
+    let schedule = Schedule::fixed_size(spec.bottleneck_rate, 100_000, utilization, horizon, srng);
+    let opts = RunOptions {
+        host_pairs: 12,
+        grace: SimDuration::from_secs(60),
+        seed: 67,
+        trace_bin_ns: None,
+        min_rto: None,
+    };
+    // Mixed run.
+    let mixed = run_dumbbell(
+        &spec,
+        &plans_alternating(&schedule, Protocol::Tcp, protocol),
+        &opts,
+    );
+    // References under the same schedule.
+    let all_tcp = run_dumbbell(&spec, &plans_from_schedule(&schedule, Protocol::Tcp), &opts);
+    let all_x = run_dumbbell(&spec, &plans_from_schedule(&schedule, protocol), &opts);
+
+    let tcp_mixed = mixed.records_for(Protocol::Tcp);
+    let x_mixed = mixed.records_for(protocol);
+    let x_axis = mean_fct(&tcp_mixed, 0) / mean_fct(&all_tcp.records, all_tcp.censored);
+    let y_axis = mean_fct(&x_mixed, 0) / mean_fct(&all_x.records, all_x.censored);
+    (x_axis, y_axis)
+}
+
+/// Render Fig. 14.
+pub fn figures(scale: Scale) -> Vec<Figure> {
+    let mut fig = Figure::new(
+        "fig14",
+        "TCP-friendliness: FCT change of TCP (x) and non-TCP (y) flows under co-existence",
+        "FCT of TCP vs reference",
+        "FCT of non-TCP scheme vs reference",
+    );
+    for p in protocols() {
+        let pts: Vec<(f64, f64)> = utilizations(scale)
+            .into_iter()
+            .map(|u| point(p, u, scale))
+            .collect();
+        // Distance from the friendly point (1, 1), worst case across loads.
+        let worst = pts
+            .iter()
+            .map(|&(x, y)| ((x - 1.0).abs()).max((y - 1.0).abs()))
+            .fold(0.0, f64::max);
+        fig.note(format!(
+            "{}: max deviation from (1,1) = {:.2}",
+            p.name(),
+            worst
+        ));
+        fig.push_series(p.name(), pts);
+    }
+    fig.note("paper: Halfback/TCP-10/TCP-Cache/Reactive near (1,1); JumpStart and Proactive push TCP right; PCP sits high on y".to_string());
+    vec![fig]
+}

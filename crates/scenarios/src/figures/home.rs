@@ -1,0 +1,88 @@
+//! Fig. 9: Halfback vs TCP on four home access networks (§4.2.2).
+//!
+//! Clients behind four residential profiles fetch 100 KB flows from 170
+//! servers; we compare the per-network FCT CDFs and median reductions.
+
+use crate::metrics::fct_ecdf;
+use crate::report::Figure;
+use crate::runner::{run_path, FlowPlan};
+use crate::{Protocol, Scale};
+use netsim::{SimDuration, SimTime};
+use transport::sender::FlowRecord;
+use workload::HomeNetwork;
+
+/// Per-network results: each scheme's completed flow records.
+pub type HomeResults = Vec<(HomeNetwork, Vec<(Protocol, Vec<FlowRecord>)>)>;
+
+/// Run both schemes over every server path of every home network.
+pub fn run(scale: Scale) -> HomeResults {
+    let n_servers = scale.pick(170, 40);
+    HomeNetwork::ALL
+        .into_iter()
+        .map(|hn| {
+            let paths = hn.server_paths(n_servers, 23);
+            let results = [Protocol::Halfback, Protocol::Tcp]
+                .into_iter()
+                .map(|p| {
+                    let recs: Vec<FlowRecord> = paths
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, spec)| {
+                            let plan = [FlowPlan {
+                                at: SimTime::ZERO,
+                                bytes: 100_000,
+                                protocol: p,
+                            }];
+                            let (r, _) = run_path(
+                                spec,
+                                &plan,
+                                7_000 + i as u64,
+                                SimDuration::from_secs(180),
+                            );
+                            r.into_iter().next()
+                        })
+                        .collect();
+                    (p, recs)
+                })
+                .collect();
+            (hn, results)
+        })
+        .collect()
+}
+
+/// Render Fig. 9.
+pub fn figures(scale: Scale) -> Vec<Figure> {
+    let data = run(scale);
+    let mut fig = Figure::new(
+        "fig9",
+        "FCT on home networks with different providers (CDF)",
+        "latency (ms)",
+        "fraction of trials (%)",
+    );
+    for (hn, results) in &data {
+        let mut medians = Vec::new();
+        for (p, recs) in results {
+            let mut e = fct_ecdf(recs);
+            medians.push((*p, e.median().unwrap_or(f64::NAN)));
+            fig.push_series(format!("{} - {}", p.name(), hn.name()), e.cdf_series());
+        }
+        let get = |p: Protocol| {
+            medians
+                .iter()
+                .find(|(q, _)| *q == p)
+                .map(|(_, m)| *m)
+                .unwrap()
+        };
+        let hb = get(Protocol::Halfback);
+        let tcp = get(Protocol::Tcp);
+        fig.note(format!(
+            "{}: Halfback median {:.0} ms vs TCP {:.0} ms ({:.0}% less)",
+            hn.name(),
+            hb,
+            tcp,
+            100.0 * (1.0 - hb / tcp)
+        ));
+    }
+    fig.note("paper: medians 50% (Comcast wired), 68% (ConnectivityU wireless), 50% (ConnectivityU wired), 18% (AT&T wireless) less than TCP".to_string());
+    vec![fig]
+}

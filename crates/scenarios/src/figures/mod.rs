@@ -1,0 +1,74 @@
+//! One module per figure/table of the paper.
+//!
+//! Every module exposes `figures(scale) -> Vec<Figure>`; the registry in
+//! [`run_experiment`] maps experiment ids ("fig12", "table1", …) to them.
+
+pub mod ablation;
+pub mod aqm;
+pub mod bufferbloat;
+pub mod feasible;
+pub mod flowsize_sweep;
+pub mod friendliness;
+pub mod home;
+pub mod long_short;
+pub mod multihop;
+pub mod planetlab;
+pub mod ratio;
+pub mod sensitivity;
+pub mod variance;
+pub mod table1;
+pub mod throughput_trace;
+pub mod traffic_cdf;
+pub mod walkthrough;
+pub mod web_response;
+
+use crate::report::Figure;
+use crate::Scale;
+
+/// All experiment ids, in paper order.
+pub const ALL_EXPERIMENTS: [&str; 14] = [
+    "fig1", "fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+    "fig13", "fig14", "fig15",
+];
+
+/// The remaining ids (16, 17, table1) — listed separately only because the
+/// array above is used in doc examples; `run_experiment` accepts all.
+pub const MORE_EXPERIMENTS: [&str; 3] = ["fig16", "fig17", "table1"];
+
+/// Run one experiment by id; `None` for an unknown id.
+///
+/// "fig1" is derived from the same sweep as "fig12" and returned together
+/// with it; "fig5"–"fig8" all come from the PlanetLab run and are returned
+/// together when any of them is requested.
+pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Figure>> {
+    match id {
+        "fig1" | "fig12" => Some(feasible::figures(scale)),
+        "fig2" => Some(traffic_cdf::figures(scale)),
+        "fig3" => Some(walkthrough::figures(scale)),
+        "fig5" | "fig6" | "fig7" | "fig8" => Some(planetlab::figures(scale)),
+        "fig9" => Some(home::figures(scale)),
+        "fig10" => Some(bufferbloat::figures(scale)),
+        "fig11" => Some(flowsize_sweep::figures(scale)),
+        "fig13" => Some(long_short::figures(scale)),
+        "fig14" => Some(friendliness::figures(scale)),
+        "fig15" => Some(throughput_trace::figures(scale)),
+        "fig16" => Some(web_response::figures(scale)),
+        "fig17" => Some(ablation::figures(scale)),
+        "aqm" => Some(aqm::figures(scale)),
+        "ratio" => Some(ratio::figures(scale)),
+        "multihop" => Some(multihop::figures(scale)),
+        "sensitivity" => Some(sensitivity::figures(scale)),
+        "variance" => Some(variance::figures(scale)),
+        "table1" => Some(table1::figures(scale)),
+        _ => None,
+    }
+}
+
+/// Ids accepted by [`run_experiment`], deduplicated (fig1/fig12 and
+/// fig5–fig8 share runs).
+pub fn distinct_experiment_ids() -> Vec<&'static str> {
+    vec![
+        "fig2", "fig3", "fig6", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+        "fig16", "fig17", "table1", "aqm", "ratio", "multihop", "sensitivity", "variance",
+    ]
+}

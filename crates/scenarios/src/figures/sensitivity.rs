@@ -1,0 +1,130 @@
+//! Sensitivity extension: how much of the latency-safety story depends on
+//! the RFC 6298 1 s minimum RTO?
+//!
+//! DESIGN.md documents the 1 s floor as a calibration decision. This
+//! experiment reruns the Fig. 12 sweep with a Linux-style 200 ms floor and
+//! with the standard 1 s floor for the three pivotal schemes. Measured
+//! result (asserted in tests): TCP is nearly insensitive (it rarely times
+//! out), Halfback pays a bounded premium on its rare tail double-losses,
+//! and JumpStart pays the largest absolute penalty — its collapse is
+//! driven by repeated retransmission of the same packets, and every one of
+//! the resulting timeouts is 5x more expensive under the RFC floor.
+
+use crate::metrics::{FctStats, SweepPoint};
+use crate::report::Figure;
+use crate::runner::{plans_from_schedule, run_dumbbell, RunOptions};
+use crate::{Protocol, Scale};
+use netsim::rng::SimRng;
+use netsim::topology::DumbbellSpec;
+use netsim::{SimDuration, SimTime};
+use workload::Schedule;
+
+/// One sweep with a given minimum-RTO floor.
+pub fn sweep_with_floor(protocol: Protocol, floor: SimDuration, scale: Scale) -> Vec<SweepPoint> {
+    let spec = DumbbellSpec::emulab(1);
+    let horizon =
+        SimTime::ZERO + scale.pick(SimDuration::from_secs(120), SimDuration::from_secs(40));
+    let utils = scale.pick(vec![0.05, 0.3, 0.5, 0.6, 0.7, 0.8], vec![0.05, 0.5, 0.7]);
+    utils
+        .into_iter()
+        .map(|u| {
+            let srng = SimRng::new(42).fork_indexed("sens", (u * 1000.0) as u64);
+            let schedule = Schedule::fixed_size(spec.bottleneck_rate, 100_000, u, horizon, srng);
+            let plans = plans_from_schedule(&schedule, protocol);
+            let opts = RunOptions {
+                host_pairs: 12,
+                grace: SimDuration::from_secs(30),
+                seed: 42 ^ 0x5eed,
+                trace_bin_ns: None,
+                min_rto: Some(floor),
+            };
+            let out = run_dumbbell(&spec, &plans, &opts);
+            // Normalize by the arrival horizon (the denominator of the
+            // offered load), not the longer drain period.
+            let achieved = (out.bottleneck_tx_bytes as f64 * 8.0)
+                / (spec.bottleneck_rate.as_bps() as f64
+                    * horizon.saturating_since(SimTime::ZERO).as_secs_f64());
+            SweepPoint {
+                utilization: u,
+                achieved_utilization: achieved,
+                stats: FctStats::from_records(&out.records, out.censored),
+            }
+        })
+        .collect()
+}
+
+/// Render the sensitivity figure.
+pub fn figures(scale: Scale) -> Vec<Figure> {
+    let mut fig = Figure::new(
+        "sensitivity",
+        "Extension: minimum-RTO sensitivity of the latency-safety gap",
+        "utilization (%)",
+        "mean FCT (ms)",
+    );
+    for floor_ms in [200u64, 1000] {
+        let floor = SimDuration::from_millis(floor_ms);
+        let mut at_07: Vec<(Protocol, f64)> = Vec::new();
+        for p in [Protocol::Halfback, Protocol::JumpStart, Protocol::Tcp] {
+            let pts = sweep_with_floor(p, floor, scale);
+            if let Some(pt) = pts.iter().find(|pt| (pt.utilization - 0.7).abs() < 0.026) {
+                at_07.push((p, pt.stats.mean_ms));
+            }
+            fig.push_series(
+                format!("{} (minRTO {floor_ms}ms)", p.name()),
+                pts.iter()
+                    .map(|pt| (pt.utilization * 100.0, pt.stats.mean_ms))
+                    .collect(),
+            );
+        }
+        let get = |p: Protocol| {
+            at_07
+                .iter()
+                .find(|(q, _)| *q == p)
+                .map(|(_, m)| *m)
+                .unwrap_or(f64::NAN)
+        };
+        fig.note(format!(
+            "minRTO {floor_ms} ms @70% util: JumpStart/Halfback FCT ratio = {:.2}",
+            get(Protocol::JumpStart) / get(Protocol::Halfback)
+        ));
+    }
+    fig.note(
+        "TCP barely notices the floor; JumpStart pays the largest absolute penalty \
+         (every storm-induced timeout costs 5x more); Halfback sits between — its \
+         ROPR avoids most timeouts, so the premium stays bounded"
+            .to_string(),
+    );
+    vec![fig]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_cost_sensitivity_ordering() {
+        let at = |p, floor_ms: u64| {
+            sweep_with_floor(p, SimDuration::from_millis(floor_ms), Scale::Quick)
+                .iter()
+                .find(|pt| (pt.utilization - 0.7).abs() < 0.026)
+                .map(|pt| pt.stats.mean_ms)
+                .unwrap()
+        };
+        // TCP rarely times out: nearly floor-insensitive.
+        let tcp_premium = at(Protocol::Tcp, 1000) - at(Protocol::Tcp, 200);
+        assert!(tcp_premium.abs() < 100.0, "TCP premium {tcp_premium:.0} ms");
+        // JumpStart pays the largest absolute premium for expensive timeouts.
+        let js_premium = at(Protocol::JumpStart, 1000) - at(Protocol::JumpStart, 200);
+        let hb_premium = at(Protocol::Halfback, 1000) - at(Protocol::Halfback, 200);
+        assert!(
+            js_premium > hb_premium && hb_premium > tcp_premium,
+            "premium ordering: JS {js_premium:.0} > HB {hb_premium:.0} > TCP {tcp_premium:.0}"
+        );
+        // And the JS/HB safety gap holds under BOTH floors: the collapse is
+        // mechanism-driven (repeated retransmission), not an RTO artifact.
+        for floor in [200u64, 1000] {
+            let ratio = at(Protocol::JumpStart, floor) / at(Protocol::Halfback, floor);
+            assert!(ratio > 1.5, "minRTO {floor}ms: JS/HB ratio {ratio:.2}");
+        }
+    }
+}

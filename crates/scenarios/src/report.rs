@@ -1,0 +1,259 @@
+//! Plain-text tables and CSV output for experiment results.
+//!
+//! Each figure module produces a [`Figure`]: named series of `(x, y)`
+//! points plus free-form summary lines. `repro` prints the table and can
+//! write gnuplot-ready CSV next to it.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A reproduced figure: series plus headline numbers.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Identifier, e.g. "fig12".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Axis labels (x, y).
+    pub axes: (String, String),
+    /// The series.
+    pub series: Vec<Series>,
+    /// Headline lines ("Halfback feasible capacity: 70%").
+    pub summary: Vec<String>,
+}
+
+impl Figure {
+    /// Create an empty figure shell.
+    pub fn new(id: &str, title: &str, x: &str, y: &str) -> Figure {
+        Figure {
+            id: id.to_string(),
+            title: title.to_string(),
+            axes: (x.to_string(), y.to_string()),
+            series: Vec::new(),
+            summary: Vec::new(),
+        }
+    }
+
+    /// Add a series.
+    pub fn push_series(&mut self, label: impl Into<String>, points: Vec<(f64, f64)>) {
+        self.series.push(Series {
+            label: label.into(),
+            points,
+        });
+    }
+
+    /// Add a summary line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.summary.push(line.into());
+    }
+
+    /// Render as a text report: summary lines plus a downsampled table.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {}", self.id, self.title);
+        let _ = writeln!(out, "   x: {}   y: {}", self.axes.0, self.axes.1);
+        for line in &self.summary {
+            let _ = writeln!(out, "   * {line}");
+        }
+        if !self.series.is_empty() {
+            // Tabulate on the union of x values (downsampled to <= 24 rows).
+            let mut xs: Vec<f64> = self
+                .series
+                .iter()
+                .flat_map(|s| s.points.iter().map(|p| p.0))
+                .collect();
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+            let stride = xs.len().div_ceil(24).max(1);
+            let rows: Vec<f64> = xs.iter().copied().step_by(stride).collect();
+
+            let _ = write!(out, "{:>12}", self.axes.0);
+            for s in &self.series {
+                let _ = write!(out, " {:>18}", truncate(&s.label, 18));
+            }
+            let _ = writeln!(out);
+            for x in rows {
+                let _ = write!(out, "{x:>12.3}");
+                for s in &self.series {
+                    match lookup(&s.points, x) {
+                        Some(y) => {
+                            let _ = write!(out, " {y:>18.3}");
+                        }
+                        None => {
+                            let _ = write!(out, " {:>18}", "-");
+                        }
+                    }
+                }
+                let _ = writeln!(out);
+            }
+        }
+        out
+    }
+
+    /// Render a compact ASCII chart of the series (log-insensitive, linear
+    /// axes): one glyph per series, 64x20 cells. Useful for eyeballing a
+    /// figure straight from the terminal (`repro <id> --chart`).
+    pub fn render_ascii_chart(&self) -> String {
+        const W: usize = 64;
+        const H: usize = 20;
+        const GLYPHS: &[u8] = b"*o+x#@%&$~^=";
+        let pts: Vec<(f64, f64)> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().copied())
+            .filter(|(x, y)| x.is_finite() && y.is_finite())
+            .collect();
+        if pts.is_empty() {
+            return String::from("(no data)\n");
+        }
+        let (x0, x1) = pts.iter().fold((f64::MAX, f64::MIN), |(a, b), &(x, _)| (a.min(x), b.max(x)));
+        let (y0, y1) = pts.iter().fold((f64::MAX, f64::MIN), |(a, b), &(_, y)| (a.min(y), b.max(y)));
+        let xr = (x1 - x0).max(1e-12);
+        let yr = (y1 - y0).max(1e-12);
+        let mut grid = vec![vec![b' '; W]; H];
+        for (si, s) in self.series.iter().enumerate() {
+            let g = GLYPHS[si % GLYPHS.len()];
+            for &(x, y) in &s.points {
+                if !x.is_finite() || !y.is_finite() {
+                    continue;
+                }
+                let cx = (((x - x0) / xr) * (W - 1) as f64).round() as usize;
+                let cy = (((y - y0) / yr) * (H - 1) as f64).round() as usize;
+                grid[H - 1 - cy.min(H - 1)][cx.min(W - 1)] = g;
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{:>10.6} +{}", y1, "-".repeat(W));
+        for row in &grid {
+            let _ = writeln!(out, "{:>10} |{}", "", String::from_utf8_lossy(row));
+        }
+        let _ = writeln!(out, "{:>10.6} +{}", y0, "-".repeat(W));
+        let _ = writeln!(out, "{:>12}{:<32}{:>32}", "", format!("{:.3}", x0), format!("{:.3}", x1));
+        for (si, s) in self.series.iter().enumerate() {
+            let _ = writeln!(out, "   {} = {}", GLYPHS[si % GLYPHS.len()] as char, s.label);
+        }
+        out
+    }
+
+    /// Write `<dir>/<id>.gp`: a gnuplot script that renders the figure from
+    /// its CSV (one `plot` entry per series). Run with
+    /// `gnuplot out/<id>.gp` to get `<id>.png`.
+    pub fn write_gnuplot(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut gp = String::new();
+        let _ = writeln!(gp, "set terminal pngcairo size 900,600");
+        let _ = writeln!(gp, "set output '{}.png'", self.id);
+        let _ = writeln!(gp, "set title \"{}\"", self.title.replace('"', "'"));
+        let _ = writeln!(gp, "set xlabel \"{}\"", self.axes.0);
+        let _ = writeln!(gp, "set ylabel \"{}\"", self.axes.1);
+        let _ = writeln!(gp, "set key outside right");
+        let _ = writeln!(gp, "set datafile separator ','");
+        let mut parts = Vec::new();
+        for s in &self.series {
+            let label = s.label.replace(',', ";");
+            parts.push(format!(
+                "'{}.csv' using 2:($0 >= 0 && stringcolumn(1) eq \"{}\" ? $3 : NaN) with linespoints title \"{}\"",
+                self.id, label, label
+            ));
+        }
+        let _ = writeln!(gp, "plot {}", parts.join(", \\\n     "));
+        fs::write(dir.join(format!("{}.gp", self.id)), gp)
+    }
+
+    /// Write `<dir>/<id>.csv` with columns `series,x,y`.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut csv = String::from("series,x,y\n");
+        for s in &self.series {
+            for &(x, y) in &s.points {
+                let _ = writeln!(csv, "{},{x},{y}", s.label.replace(',', ";"));
+            }
+        }
+        fs::write(dir.join(format!("{}.csv", self.id)), csv)?;
+        if !self.summary.is_empty() {
+            fs::write(
+                dir.join(format!("{}.summary.txt", self.id)),
+                self.summary.join("\n") + "\n",
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn truncate(s: &str, n: usize) -> &str {
+    if s.len() <= n {
+        s
+    } else {
+        &s[..n]
+    }
+}
+
+fn lookup(points: &[(f64, f64)], x: f64) -> Option<f64> {
+    points.iter().find(|p| (p.0 - x).abs() < 1e-12).map(|p| p.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_series_and_summary() {
+        let mut f = Figure::new("figX", "Test figure", "load", "fct");
+        f.push_series("TCP", vec![(0.1, 100.0), (0.2, 120.0)]);
+        f.push_series("Halfback", vec![(0.1, 50.0), (0.2, 55.0)]);
+        f.note("Halfback wins");
+        let text = f.render_text();
+        assert!(text.contains("figX"));
+        assert!(text.contains("Halfback wins"));
+        assert!(text.contains("TCP"));
+        assert!(text.contains("120.000"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join(format!("halfback-report-test-{}", std::process::id()));
+        let mut f = Figure::new("figY", "T", "x", "y");
+        f.push_series("A", vec![(1.0, 2.0)]);
+        f.note("note");
+        f.write_csv(&dir).unwrap();
+        let csv = std::fs::read_to_string(dir.join("figY.csv")).unwrap();
+        assert!(csv.contains("A,1,2"));
+        let summary = std::fs::read_to_string(dir.join("figY.summary.txt")).unwrap();
+        assert!(summary.contains("note"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gnuplot_script_mentions_every_series() {
+        let dir = std::env::temp_dir().join(format!("halfback-gp-test-{}", std::process::id()));
+        let mut f = Figure::new("figG", "T", "x", "y");
+        f.push_series("A", vec![(1.0, 2.0)]);
+        f.push_series("B,C", vec![(3.0, 4.0)]);
+        f.write_gnuplot(&dir).unwrap();
+        let gp = std::fs::read_to_string(dir.join("figG.gp")).unwrap();
+        assert!(gp.contains("figG.png"));
+        assert!(gp.contains("\"A\""));
+        assert!(gp.contains("B;C"), "commas in labels must be escaped like the CSV");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_points_render_dash() {
+        let mut f = Figure::new("figZ", "T", "x", "y");
+        f.push_series("A", vec![(1.0, 2.0)]);
+        f.push_series("B", vec![(3.0, 4.0)]);
+        let text = f.render_text();
+        assert!(text.contains('-'));
+    }
+}

@@ -1,0 +1,289 @@
+//! A host: a simulator node holding transport endpoints.
+//!
+//! Each host has one egress link (toward its router or path). Sender
+//! endpoints are created by the experiment harness via [`Host::start_flow`];
+//! receiver endpoints are created automatically when a SYN arrives.
+//! Completed-flow records accumulate on the host and, optionally, on a
+//! shared completion bus the harness drains while stepping the simulator
+//! (the web-workload driver reacts to completions in virtual time).
+
+use crate::receiver::ReceiverConn;
+use crate::sender::{FlowRecord, SenderConn, TimerKind};
+use crate::strategy::Strategy;
+use crate::wire::Header;
+use netsim::engine::EngineCore;
+use netsim::node::{Node, TimerId};
+use netsim::stats::TimeBinned;
+use netsim::{Ctx, FlowId, LinkId, NodeId, Packet};
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+
+/// A queue of completed-flow records shared between hosts and the harness.
+pub type CompletionBus = Rc<RefCell<VecDeque<FlowRecord>>>;
+
+/// Create an empty completion bus.
+pub fn completion_bus() -> CompletionBus {
+    Rc::new(RefCell::new(VecDeque::new()))
+}
+
+/// Host bookkeeping shared with sender endpoints during dispatch: timer
+/// token routing and completion collection.
+pub struct HostCore {
+    /// This host's node id.
+    pub node: NodeId,
+    /// This host's egress link.
+    pub egress: LinkId,
+    next_token: u64,
+    routes: HashMap<u64, (FlowId, TimerKind)>,
+    /// Records of flows that completed with this host as sender.
+    pub completed: Vec<FlowRecord>,
+    /// Debug census: timer arms by kind [Rto, Pace, Pto, User].
+    pub timer_arms: [u64; 4],
+    /// Debug census: timer cancels routed through endpoints.
+    pub timer_cancels: u64,
+    /// Optional shared completion queue drained by the harness.
+    pub bus: Option<CompletionBus>,
+}
+
+impl HostCore {
+    pub(crate) fn alloc_token(&mut self, flow: FlowId, kind: TimerKind) -> u64 {
+        let t = self.next_token;
+        self.next_token += 1;
+        self.timer_arms[match kind {
+            TimerKind::Rto => 0,
+            TimerKind::Pace => 1,
+            TimerKind::Pto => 2,
+            TimerKind::User(_) => 3,
+        }] += 1;
+        self.routes.insert(t, (flow, kind));
+        t
+    }
+
+    pub(crate) fn drop_token(&mut self, token: u64) {
+        self.timer_cancels += 1;
+        self.routes.remove(&token);
+    }
+
+    pub(crate) fn route(&mut self, token: u64) -> Option<(FlowId, TimerKind)> {
+        self.routes.remove(&token)
+    }
+
+    pub(crate) fn flow_done(&mut self, record: FlowRecord) {
+        if let Some(bus) = &self.bus {
+            bus.borrow_mut().push_back(record.clone());
+        }
+        self.completed.push(record);
+    }
+}
+
+/// A simulator node hosting transport senders and receivers.
+pub struct Host {
+    core: HostCore,
+    senders: HashMap<FlowId, SenderConn>,
+    receivers: HashMap<FlowId, ReceiverConn>,
+    /// When set, receiver endpoints record delivered bytes into time bins of
+    /// this width (for the Fig. 15 throughput traces).
+    pub trace_bin_ns: Option<u64>,
+    /// Override the RFC 6298 1 s minimum RTO for flows started on this host
+    /// (sensitivity studies; `None` = standard).
+    pub min_rto: Option<netsim::SimDuration>,
+    /// When true, receiver endpoints keep a per-packet arrival log (the
+    /// Fig. 3 timeline view). Off by default — it stores every arrival.
+    pub log_arrivals: bool,
+    /// Per-flow delivery traces (flow -> binned delivered bytes).
+    pub delivery_traces: HashMap<FlowId, TimeBinned>,
+    /// Data packets that arrived for unknown flows (should stay zero).
+    pub stray_packets: u64,
+}
+
+impl Host {
+    /// Create a host. `node` and `egress` may be placeholders fixed later
+    /// with [`Host::wire`] once the topology assigns ids.
+    pub fn new() -> Self {
+        Host {
+            core: HostCore {
+                node: NodeId(u32::MAX),
+                egress: LinkId(u32::MAX),
+                next_token: 0,
+                routes: HashMap::new(),
+                completed: Vec::new(),
+                timer_arms: [0; 4],
+                timer_cancels: 0,
+                bus: None,
+            },
+            senders: HashMap::new(),
+            receivers: HashMap::new(),
+            trace_bin_ns: None,
+            min_rto: None,
+            log_arrivals: false,
+            delivery_traces: HashMap::new(),
+            stray_packets: 0,
+        }
+    }
+
+    /// Assign the node id and egress link (after topology construction).
+    pub fn wire(&mut self, node: NodeId, egress: LinkId) {
+        self.core.node = node;
+        self.core.egress = egress;
+    }
+
+    /// Attach a completion bus.
+    pub fn set_bus(&mut self, bus: CompletionBus) {
+        self.core.bus = Some(bus);
+    }
+
+    /// Records of flows completed with this host as the sender.
+    pub fn completed(&self) -> &[FlowRecord] {
+        &self.core.completed
+    }
+
+    /// Debug: (timer arms by kind [Rto, Pace, Pto, User], cancels) and the
+    /// number of timer-route entries still alive.
+    pub fn timer_census(&self) -> ([u64; 4], u64, usize) {
+        (self.core.timer_arms, self.core.timer_cancels, self.core.routes.len())
+    }
+
+    /// Receiver-side connection state for a flow, if any.
+    pub fn receiver(&self, flow: FlowId) -> Option<&ReceiverConn> {
+        self.receivers.get(&flow)
+    }
+
+    /// All receiver connections.
+    pub fn receivers(&self) -> impl Iterator<Item = &ReceiverConn> {
+        self.receivers.values()
+    }
+
+    /// Sender connection for a flow still in progress, if any.
+    pub fn sender(&self, flow: FlowId) -> Option<&SenderConn> {
+        self.senders.get(&flow)
+    }
+
+    /// All in-progress sender connections.
+    pub fn senders(&self) -> impl Iterator<Item = &SenderConn> {
+        self.senders.values()
+    }
+
+    /// Number of in-progress sender flows.
+    pub fn active_senders(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Start a flow from this host to `dst`. Call via
+    /// `Simulator::with_node_mut` so the engine core is available.
+    pub fn start_flow(
+        &mut self,
+        core: &mut EngineCore<Header>,
+        flow: FlowId,
+        dst: NodeId,
+        bytes: u64,
+        strategy: Box<dyn Strategy>,
+    ) {
+        assert!(
+            self.core.node != NodeId(u32::MAX),
+            "host must be wired to the topology before starting flows"
+        );
+        assert!(
+            !self.senders.contains_key(&flow),
+            "duplicate flow id {flow}"
+        );
+        let mut conn =
+            SenderConn::new(flow, self.core.node, dst, self.core.egress, bytes, strategy);
+        if let Some(floor) = self.min_rto {
+            conn.set_min_rto(floor);
+        }
+        conn.start(&mut self.core, core);
+        self.senders.insert(flow, conn);
+    }
+
+    fn dispatch_sender<F>(&mut self, flow: FlowId, ctx: &mut Ctx<'_, Header>, f: F)
+    where
+        F: FnOnce(&mut SenderConn, &mut HostCore, &mut Ctx<'_, Header>),
+    {
+        if let Some(mut conn) = self.senders.remove(&flow) {
+            f(&mut conn, &mut self.core, ctx);
+            if !conn.is_done() {
+                self.senders.insert(flow, conn);
+            }
+        }
+    }
+}
+
+impl Default for Host {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Node<Header> for Host {
+    fn on_packet(&mut self, pkt: Packet<Header>, ctx: &mut Ctx<'_, Header>) {
+        let flow = pkt.flow;
+        match pkt.payload {
+            Header::Syn { flow_bytes } => {
+                let log_arrivals = self.log_arrivals;
+                let conn = self.receivers.entry(flow).or_insert_with(|| {
+                    let mut c =
+                        ReceiverConn::new(flow, self.core.node, pkt.src, flow_bytes, ctx.now());
+                    if log_arrivals {
+                        c.arrivals = Some(Vec::new());
+                    }
+                    c
+                });
+                let reply = conn.syn_ack();
+                ctx.send(self.core.egress, reply);
+            }
+            Header::SynAck { window } => {
+                self.dispatch_sender(flow, ctx, |c, sh, ctx| c.handle_syn_ack(sh, ctx, window));
+            }
+            Header::Data(ref hdr) => match self.receivers.get_mut(&flow) {
+                Some(conn) => {
+                    let before = conn.delivered_bytes;
+                    let reply = conn.on_data(hdr, pkt.sent_at, ctx.now());
+                    let delivered = conn.delivered_bytes - before;
+                    if delivered > 0 {
+                        if let Some(bin) = self.trace_bin_ns {
+                            self.delivery_traces
+                                .entry(flow)
+                                .or_insert_with(|| TimeBinned::new(bin))
+                                .add(ctx.now().as_nanos(), delivered as f64);
+                        }
+                    }
+                    ctx.send(self.core.egress, reply);
+                }
+                None => {
+                    self.stray_packets += 1;
+                }
+            },
+            Header::Ack(ref ack) => {
+                self.dispatch_sender(flow, ctx, |c, sh, ctx| c.handle_ack(sh, ctx, ack));
+            }
+            Header::Probe(ref ph) => match self.receivers.get_mut(&flow) {
+                Some(conn) => {
+                    let reply = conn.on_probe(ph, pkt.sent_at, ctx.now());
+                    ctx.send(self.core.egress, reply);
+                }
+                None => {
+                    self.stray_packets += 1;
+                }
+            },
+            Header::ProbeAck(ref pa) => {
+                self.dispatch_sender(flow, ctx, |c, sh, ctx| c.handle_probe_ack(sh, ctx, pa));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, _id: TimerId, token: u64, ctx: &mut Ctx<'_, Header>) {
+        if let Some((flow, kind)) = self.core.route(token) {
+            self.dispatch_sender(flow, ctx, |c, sh, ctx| c.handle_timer(sh, ctx, kind));
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

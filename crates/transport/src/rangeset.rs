@@ -1,0 +1,387 @@
+//! A set of `u32` values stored as disjoint half-open ranges.
+//!
+//! Used by the receiver (which segments have arrived) and by the sender's
+//! scoreboard (which segments have been SACKed). Ranges keep memory bounded
+//! even for the 100 MB long flows in the Fig. 13 experiments.
+
+use std::collections::BTreeMap;
+
+/// An ordered set of disjoint, coalesced half-open ranges `[start, end)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeSet {
+    // start -> end, disjoint and non-adjacent (always coalesced).
+    ranges: BTreeMap<u32, u32>,
+    count: u64,
+}
+
+impl RangeSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        RangeSet::default()
+    }
+
+    /// Number of values in the set.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// True if no values are present.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Insert a single value; returns true if it was newly added.
+    pub fn insert(&mut self, v: u32) -> bool {
+        self.insert_range(v, v + 1) > 0
+    }
+
+    /// Insert `[start, end)`; returns how many values were newly added.
+    pub fn insert_range(&mut self, start: u32, end: u32) -> u64 {
+        if start >= end {
+            return 0;
+        }
+        let mut new_start = start;
+        let mut new_end = end;
+        // Remove all ranges overlapping or adjacent to the insertion,
+        // tracking how much of the insertion they already covered.
+        let mut added: u64 = (end - start) as u64;
+        let mut to_remove = Vec::new();
+        // Candidate ranges: any with start <= new_end, ending >= new_start.
+        for (&s, &e) in self.ranges.range(..=new_end) {
+            if e >= new_start {
+                to_remove.push((s, e));
+            }
+        }
+        for (s, e) in to_remove {
+            // Subtract the overlap with [start, end) from `added`.
+            let ov_start = s.max(start);
+            let ov_end = e.min(end);
+            if ov_start < ov_end {
+                added -= (ov_end - ov_start) as u64;
+            }
+            new_start = new_start.min(s);
+            new_end = new_end.max(e);
+            self.ranges.remove(&s);
+        }
+        self.ranges.insert(new_start, new_end);
+        self.count += added;
+        added
+    }
+
+    /// Does the set contain `v`?
+    pub fn contains(&self, v: u32) -> bool {
+        match self.ranges.range(..=v).next_back() {
+            Some((_, &e)) => v < e,
+            None => false,
+        }
+    }
+
+    /// The smallest value `>= from` *not* in the set.
+    pub fn first_missing_from(&self, from: u32) -> u32 {
+        let mut v = from;
+        while let Some((&s, &e)) = self.ranges.range(..=v).next_back() {
+            if v < e && v >= s {
+                v = e;
+            } else {
+                break;
+            }
+        }
+        v
+    }
+
+    /// Iterate the stored ranges in ascending order.
+    pub fn iter_ranges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.ranges.iter().map(|(&s, &e)| (s, e))
+    }
+
+    /// The complement within `[lo, hi)`: maximal ranges of values NOT in
+    /// the set, ascending. Lets callers process only new values when
+    /// merging a large, mostly-overlapping range (the SACK hot path).
+    pub fn missing_within(&self, lo: u32, hi: u32) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        if lo >= hi {
+            return out;
+        }
+        let mut cursor = lo;
+        // Start from any range containing/preceding `lo`.
+        if let Some((_, &e)) = self.ranges.range(..=lo).next_back() {
+            if e > cursor {
+                cursor = e;
+            }
+        }
+        for (&s, &e) in self.ranges.range(lo..) {
+            if s >= hi {
+                break;
+            }
+            if s > cursor {
+                out.push((cursor, s.min(hi)));
+            }
+            if e > cursor {
+                cursor = e;
+            }
+            if cursor >= hi {
+                return out;
+            }
+        }
+        if cursor < hi {
+            out.push((cursor, hi));
+        }
+        out
+    }
+
+    /// Ranges intersected with `[lo, hi)`, ascending.
+    pub fn ranges_within(&self, lo: u32, hi: u32) -> Vec<(u32, u32)> {
+        let mut out = Vec::new();
+        for (&s, &e) in &self.ranges {
+            if e <= lo {
+                continue;
+            }
+            if s >= hi {
+                break;
+            }
+            out.push((s.max(lo), e.min(hi)));
+        }
+        out
+    }
+
+    /// Number of set values strictly greater than `v`.
+    pub fn count_above(&self, v: u32) -> u64 {
+        let mut n = 0u64;
+        for (&s, &e) in self.ranges.range(..) {
+            if e <= v + 1 {
+                continue;
+            }
+            n += (e - s.max(v + 1)) as u64;
+        }
+        n
+    }
+
+    /// Remove everything below `v` (bookkeeping once the cumulative ACK
+    /// passes; keeps the map small for long flows).
+    pub fn prune_below(&mut self, v: u32) {
+        let mut to_fix = Vec::new();
+        for (&s, &e) in self.ranges.range(..) {
+            if s >= v {
+                break;
+            }
+            to_fix.push((s, e));
+        }
+        for (s, e) in to_fix {
+            self.ranges.remove(&s);
+            if e > v {
+                self.ranges.insert(v, e);
+                self.count -= (v - s) as u64;
+            } else {
+                self.count -= (e - s) as u64;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut r = RangeSet::new();
+        assert!(r.insert(5));
+        assert!(!r.insert(5));
+        assert!(r.contains(5));
+        assert!(!r.contains(4));
+        assert!(!r.contains(6));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn adjacent_ranges_coalesce() {
+        let mut r = RangeSet::new();
+        r.insert_range(0, 5);
+        r.insert_range(5, 10);
+        assert_eq!(r.iter_ranges().collect::<Vec<_>>(), vec![(0, 10)]);
+        assert_eq!(r.len(), 10);
+    }
+
+    #[test]
+    fn overlapping_insert_counts_only_new() {
+        let mut r = RangeSet::new();
+        assert_eq!(r.insert_range(0, 10), 10);
+        assert_eq!(r.insert_range(5, 15), 5);
+        assert_eq!(r.insert_range(0, 15), 0);
+        assert_eq!(r.len(), 15);
+    }
+
+    #[test]
+    fn bridge_insert_merges_three() {
+        let mut r = RangeSet::new();
+        r.insert_range(0, 3);
+        r.insert_range(6, 9);
+        r.insert_range(3, 6);
+        assert_eq!(r.iter_ranges().collect::<Vec<_>>(), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn first_missing_walks_through_ranges() {
+        let mut r = RangeSet::new();
+        r.insert_range(0, 3);
+        r.insert_range(4, 7);
+        assert_eq!(r.first_missing_from(0), 3);
+        assert_eq!(r.first_missing_from(3), 3);
+        assert_eq!(r.first_missing_from(4), 7);
+        assert_eq!(r.first_missing_from(10), 10);
+    }
+
+    #[test]
+    fn count_above_counts_strictly_greater() {
+        let mut r = RangeSet::new();
+        r.insert_range(0, 5); // {0..4}
+        r.insert_range(8, 10); // {8, 9}
+        assert_eq!(r.count_above(2), 2 + 2); // {3,4,8,9}
+        assert_eq!(r.count_above(4), 2);
+        assert_eq!(r.count_above(9), 0);
+    }
+
+    #[test]
+    fn prune_below_trims() {
+        let mut r = RangeSet::new();
+        r.insert_range(0, 10);
+        r.insert_range(20, 30);
+        r.prune_below(25);
+        assert_eq!(r.iter_ranges().collect::<Vec<_>>(), vec![(25, 30)]);
+        assert_eq!(r.len(), 5);
+        assert!(!r.contains(5));
+        assert!(r.contains(26));
+    }
+
+    #[test]
+    fn ranges_within_clips() {
+        let mut r = RangeSet::new();
+        r.insert_range(0, 10);
+        r.insert_range(20, 30);
+        assert_eq!(r.ranges_within(5, 25), vec![(5, 10), (20, 25)]);
+        assert_eq!(r.ranges_within(10, 20), vec![]);
+    }
+
+    proptest! {
+        /// RangeSet agrees with a reference BTreeSet on arbitrary operations.
+        #[test]
+        fn matches_reference_set(ops in prop::collection::vec((0u32..200, 1u32..20), 0..60)) {
+            let mut rs = RangeSet::new();
+            let mut reference = BTreeSet::new();
+            for (start, len) in ops {
+                let end = start + len;
+                rs.insert_range(start, end);
+                for v in start..end {
+                    reference.insert(v);
+                }
+                prop_assert_eq!(rs.len(), reference.len() as u64);
+            }
+            for v in 0u32..240 {
+                prop_assert_eq!(rs.contains(v), reference.contains(&v), "value {}", v);
+            }
+            // Ranges must be disjoint, sorted and coalesced.
+            let ranges: Vec<_> = rs.iter_ranges().collect();
+            for w in ranges.windows(2) {
+                prop_assert!(w[0].1 < w[1].0, "ranges {:?} not coalesced", ranges);
+            }
+        }
+
+        /// first_missing_from matches a linear scan of the reference.
+        #[test]
+        fn first_missing_matches_reference(
+            ops in prop::collection::vec((0u32..100, 1u32..10), 0..30),
+            probe in 0u32..120,
+        ) {
+            let mut rs = RangeSet::new();
+            let mut reference = BTreeSet::new();
+            for (start, len) in ops {
+                rs.insert_range(start, start + len);
+                for v in start..start + len {
+                    reference.insert(v);
+                }
+            }
+            let mut expect = probe;
+            while reference.contains(&expect) {
+                expect += 1;
+            }
+            prop_assert_eq!(rs.first_missing_from(probe), expect);
+        }
+
+        /// count_above matches a linear scan.
+        #[test]
+        fn count_above_matches_reference(
+            ops in prop::collection::vec((0u32..100, 1u32..10), 0..30),
+            probe in 0u32..120,
+        ) {
+            let mut rs = RangeSet::new();
+            let mut reference = BTreeSet::new();
+            for (start, len) in ops {
+                rs.insert_range(start, start + len);
+                for v in start..start + len {
+                    reference.insert(v);
+                }
+            }
+            let expect = reference.iter().filter(|&&v| v > probe).count() as u64;
+            prop_assert_eq!(rs.count_above(probe), expect);
+        }
+    }
+}
+
+#[cfg(test)]
+mod missing_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn missing_within_basic() {
+        let mut r = RangeSet::new();
+        r.insert_range(2, 5);
+        r.insert_range(8, 10);
+        assert_eq!(r.missing_within(0, 12), vec![(0, 2), (5, 8), (10, 12)]);
+        assert_eq!(r.missing_within(3, 4), vec![]);
+        assert_eq!(r.missing_within(4, 9), vec![(5, 8)]);
+        assert_eq!(RangeSet::new().missing_within(1, 3), vec![(1, 3)]);
+        assert_eq!(r.missing_within(5, 5), vec![]);
+    }
+
+    proptest! {
+        #[test]
+        fn missing_within_matches_reference(
+            ops in prop::collection::vec((0u32..80, 1u32..10), 0..20),
+            lo in 0u32..90,
+            len in 0u32..30,
+        ) {
+            let mut rs = RangeSet::new();
+            let mut member = std::collections::BTreeSet::new();
+            for (s, l) in ops {
+                rs.insert_range(s, s + l);
+                for v in s..s + l {
+                    member.insert(v);
+                }
+            }
+            let hi = lo + len;
+            let gaps = rs.missing_within(lo, hi);
+            // Flatten and compare against a linear scan.
+            let mut expect = Vec::new();
+            for v in lo..hi {
+                if !member.contains(&v) {
+                    expect.push(v);
+                }
+            }
+            let mut got = Vec::new();
+            for (s, e) in &gaps {
+                prop_assert!(s < e);
+                for v in *s..*e {
+                    got.push(v);
+                }
+            }
+            prop_assert_eq!(got, expect);
+            // Gaps must be disjoint and sorted.
+            for w in gaps.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0);
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! The sender-side strategy interface.
+//!
+//! Every scheme the paper evaluates — TCP, TCP-10, TCP-Cache, Reactive,
+//! Proactive, JumpStart, PCP, and Halfback with its ablations — is a
+//! [`Strategy`] plugged into the shared sender chassis
+//! ([`crate::sender::SenderConn`]). The chassis owns the mechanics every
+//! scheme shares (handshake, scoreboard, RTT/RTO estimation, timers,
+//! retransmission accounting); the strategy owns policy: what to send when.
+
+use crate::scoreboard::AckOutcome;
+use crate::sender::Ops;
+use crate::wire::{AckHeader, ProbeAckHeader, SegId};
+
+/// Strategy's answer to a pacing-timer tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaceAction {
+    /// Keep the pacing timer running at the current interval.
+    Continue,
+    /// Stop the pacing timer.
+    Stop,
+}
+
+/// Sender-side policy for one flow.
+///
+/// All hooks receive [`Ops`], the chassis view used to send segments, arm
+/// timers and inspect the scoreboard. Hooks other than `on_established`,
+/// `on_ack` and `on_rto` have no-op defaults.
+pub trait Strategy {
+    /// Name used in reports ("TCP", "JumpStart", "Halfback"…).
+    fn name(&self) -> &'static str;
+
+    /// Handshake finished: the chassis has an RTT sample and the advertised
+    /// window; start transmitting.
+    fn on_established(&mut self, ops: &mut Ops<'_, '_>);
+
+    /// An ACK arrived (after the scoreboard was updated). Not called for
+    /// the ACK that completes the flow.
+    fn on_ack(&mut self, ops: &mut Ops<'_, '_>, ack: &AckHeader, outcome: &AckOutcome);
+
+    /// Segments newly deemed lost by SACK-based detection, ascending.
+    /// Called immediately before `on_ack` for the same ACK.
+    fn on_loss_detected(&mut self, ops: &mut Ops<'_, '_>, newly_lost: &[SegId]) {
+        let _ = (ops, newly_lost);
+    }
+
+    /// The retransmission timer fired. The chassis has already backed off
+    /// the RTO and reset the scoreboard's pipe; the strategy must
+    /// retransmit (typically the first uncovered segment).
+    fn on_rto(&mut self, ops: &mut Ops<'_, '_>);
+
+    /// The pacing timer fired; send the next paced packet(s) and say
+    /// whether to keep ticking.
+    fn on_pace_tick(&mut self, ops: &mut Ops<'_, '_>) -> PaceAction {
+        let _ = ops;
+        PaceAction::Stop
+    }
+
+    /// The probe timeout fired (Reactive TCP's tail-loss probe).
+    fn on_pto(&mut self, ops: &mut Ops<'_, '_>) {
+        let _ = ops;
+    }
+
+    /// A strategy-armed timer fired.
+    fn on_user_timer(&mut self, ops: &mut Ops<'_, '_>, token: u64) {
+        let _ = (ops, token);
+    }
+
+    /// A PCP probe acknowledgement arrived.
+    fn on_probe_ack(&mut self, ops: &mut Ops<'_, '_>, pa: &ProbeAckHeader) {
+        let _ = (ops, pa);
+    }
+
+    /// The flow just completed (final cumulative ACK arrived). Used by
+    /// TCP-Cache to deposit its final congestion state.
+    fn on_complete(&mut self, ops: &mut Ops<'_, '_>) {
+        let _ = ops;
+    }
+
+    /// Whether this scheme's stack naively re-marks retransmitted packets
+    /// as lost on later duplicate ACKs (and so may retransmit the same
+    /// packet many times). False for careful RFC 6675-style stacks; true
+    /// for JumpStart, whose repeated retransmission of the same packets
+    /// the paper identifies as its failure mode.
+    fn naive_loss_remarking(&self) -> bool {
+        false
+    }
+}

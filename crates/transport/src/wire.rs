@@ -1,0 +1,271 @@
+//! The on-wire header carried in every simulated packet.
+//!
+//! Mirrors the paper's setup (§4.1): schemes are implemented over a
+//! UDP-based transport (UDT) with selective ACKs; segments are 1500 bytes
+//! on the wire including headers. The receiver echoes the data packet's
+//! transmit timestamp in each ACK, which gives senders exact RTT samples
+//! (equivalent to TCP timestamps) and gives PCP its dispersion measurements.
+
+use netsim::SimTime;
+
+/// Maximum payload bytes per segment (1500-byte wire size minus headers).
+pub const MSS: u32 = 1460;
+/// Header overhead added to every data segment.
+pub const HEADER_BYTES: u32 = 40;
+/// Full-size data segment on the wire (paper §4.1: 1500 bytes w/ header).
+pub const SEG_WIRE_BYTES: u32 = MSS + HEADER_BYTES;
+/// Pure-ACK / SYN / SYN-ACK wire size.
+pub const CTRL_WIRE_BYTES: u32 = 40;
+/// Default advertised flow-control window (paper §4.1: 141 KB, as in
+/// Windows XP; also Halfback's default Pacing Threshold).
+pub const DEFAULT_FCW_BYTES: u32 = 141_000;
+
+/// Index of a segment within a flow (0-based).
+pub type SegId = u32;
+
+/// Why a data segment was transmitted — drives the retransmission
+/// accounting the paper reports (Figs. 5 and 10(b) count *normal*
+/// retransmissions; ROPR/Proactive copies are tracked separately).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendClass {
+    /// First transmission of this segment.
+    New,
+    /// Reactive retransmission after SACK-based loss detection (a "normal"
+    /// retransmission in the paper's terms).
+    FastRetx,
+    /// Reactive retransmission after an RTO (also "normal").
+    RtoRetx,
+    /// Tail-loss-probe retransmission (Reactive TCP's PTO; counted normal).
+    ProbeRetx,
+    /// Proactive copy: Halfback's ROPR or Proactive TCP's duplicate.
+    Proactive,
+}
+
+impl SendClass {
+    /// True for the classes the paper counts as "normal retransmissions".
+    pub fn is_normal_retx(self) -> bool {
+        matches!(
+            self,
+            SendClass::FastRetx | SendClass::RtoRetx | SendClass::ProbeRetx
+        )
+    }
+
+    /// True for proactive (loss-anticipating) copies.
+    pub fn is_proactive(self) -> bool {
+        matches!(self, SendClass::Proactive)
+    }
+
+    /// True for any transmission that is not the first copy.
+    pub fn is_retransmission(self) -> bool {
+        !matches!(self, SendClass::New)
+    }
+}
+
+/// Up to four SACK ranges, mirroring real TCP's option-space limit.
+/// Each block is a half-open segment range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SackBlocks {
+    blocks: [(SegId, SegId); 4],
+    len: u8,
+}
+
+impl SackBlocks {
+    /// No SACK information.
+    pub const EMPTY: SackBlocks = SackBlocks {
+        blocks: [(0, 0); 4],
+        len: 0,
+    };
+
+    /// Build from up to four ranges (extra ranges are dropped).
+    pub fn from_ranges(ranges: &[(SegId, SegId)]) -> Self {
+        let mut s = SackBlocks::EMPTY;
+        for &r in ranges.iter().take(4) {
+            debug_assert!(r.0 < r.1, "empty SACK range {r:?}");
+            s.blocks[s.len as usize] = r;
+            s.len += 1;
+        }
+        s
+    }
+
+    /// The ranges present.
+    pub fn ranges(&self) -> &[(SegId, SegId)] {
+        &self.blocks[..self.len as usize]
+    }
+
+    /// True if no ranges are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// Header of a data segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataHeader {
+    /// Segment index within the flow.
+    pub seg: SegId,
+    /// Transmission class (first copy, reactive retx, proactive copy…).
+    pub class: SendClass,
+}
+
+/// Header of an acknowledgement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckHeader {
+    /// Cumulative ACK: all segments `< cum` have been received.
+    pub cum: SegId,
+    /// Selective acknowledgement ranges above `cum`.
+    pub sack: SackBlocks,
+    /// The segment whose arrival triggered this ACK.
+    pub for_seg: SegId,
+    /// Echo of the triggering data packet's transmit timestamp (exact RTT
+    /// samples, Karn-safe — equivalent to TCP timestamps).
+    pub echo_tx_time: SimTime,
+    /// Receiver's advertised flow-control window in bytes.
+    pub window: u32,
+}
+
+/// PCP probe packet: one element of a packet train.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeHeader {
+    /// Train sequence number (per connection).
+    pub train: u32,
+    /// Position within the train.
+    pub idx: u32,
+    /// Train length.
+    pub len: u32,
+}
+
+/// Receiver's reply to a probe, echoing timing for dispersion measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeAckHeader {
+    /// Train sequence number.
+    pub train: u32,
+    /// Position within the train.
+    pub idx: u32,
+    /// Train length.
+    pub len: u32,
+    /// When the probe left the sender (echoed).
+    pub sent_at: SimTime,
+    /// When the probe reached the receiver.
+    pub recv_at: SimTime,
+}
+
+/// Every message the simulated transport can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Header {
+    /// Connection request. Carries the flow's total size in bytes so the
+    /// receiver can size its bookkeeping (the simulator's stand-in for an
+    /// application-level content-length).
+    Syn {
+        /// Total flow size in bytes.
+        flow_bytes: u64,
+    },
+    /// Connection accept; advertises the receiver window.
+    SynAck {
+        /// Advertised flow-control window in bytes.
+        window: u32,
+    },
+    /// A data segment.
+    Data(DataHeader),
+    /// An acknowledgement.
+    Ack(AckHeader),
+    /// A PCP bandwidth probe.
+    Probe(ProbeHeader),
+    /// Reply to a probe.
+    ProbeAck(ProbeAckHeader),
+}
+
+/// Number of segments needed for a flow of `bytes` payload bytes.
+pub fn segment_count(bytes: u64) -> u32 {
+    if bytes == 0 {
+        return 0;
+    }
+    bytes.div_ceil(MSS as u64).min(u32::MAX as u64) as u32
+}
+
+/// Payload bytes carried by segment `seg` of a flow of `total_bytes`.
+pub fn seg_payload_bytes(total_bytes: u64, seg: SegId) -> u32 {
+    let n = segment_count(total_bytes);
+    debug_assert!(
+        seg < n,
+        "segment {seg} out of range for {total_bytes} bytes"
+    );
+    if seg + 1 < n {
+        MSS
+    } else {
+        let rem = (total_bytes - (n as u64 - 1) * MSS as u64) as u32;
+        if rem == 0 {
+            MSS
+        } else {
+            rem
+        }
+    }
+}
+
+/// On-wire size of segment `seg` of a flow of `total_bytes`.
+pub fn seg_wire_bytes(total_bytes: u64, seg: SegId) -> u32 {
+    seg_payload_bytes(total_bytes, seg) + HEADER_BYTES
+}
+
+/// Total wire bytes (data direction, first copies only) of a flow,
+/// excluding handshake — used by utilization targeting.
+pub fn flow_wire_bytes(total_bytes: u64) -> u64 {
+    let n = segment_count(total_bytes) as u64;
+    total_bytes + n * HEADER_BYTES as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_count_rounds_up() {
+        assert_eq!(segment_count(0), 0);
+        assert_eq!(segment_count(1), 1);
+        assert_eq!(segment_count(MSS as u64), 1);
+        assert_eq!(segment_count(MSS as u64 + 1), 2);
+        assert_eq!(segment_count(100_000), 69); // 100 KB / 1460 = 68.49...
+    }
+
+    #[test]
+    fn last_segment_carries_remainder() {
+        let total = 100_000u64;
+        let n = segment_count(total);
+        let sum: u64 = (0..n).map(|s| seg_payload_bytes(total, s) as u64).sum();
+        assert_eq!(sum, total);
+        assert_eq!(seg_payload_bytes(total, 0), MSS);
+        assert_eq!(seg_payload_bytes(total, n - 1), (total % MSS as u64) as u32);
+    }
+
+    #[test]
+    fn exact_multiple_has_full_last_segment() {
+        let total = (MSS as u64) * 10;
+        let n = segment_count(total);
+        assert_eq!(n, 10);
+        assert_eq!(seg_payload_bytes(total, 9), MSS);
+    }
+
+    #[test]
+    fn wire_bytes_include_headers() {
+        assert_eq!(seg_wire_bytes(MSS as u64, 0), SEG_WIRE_BYTES);
+        assert_eq!(flow_wire_bytes(100_000), 100_000 + 69 * 40);
+    }
+
+    #[test]
+    fn sack_blocks_cap_at_four() {
+        let s = SackBlocks::from_ranges(&[(1, 2), (3, 4), (5, 6), (7, 8), (9, 10)]);
+        assert_eq!(s.ranges().len(), 4);
+        assert_eq!(s.ranges()[3], (7, 8));
+        assert!(SackBlocks::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn send_class_accounting() {
+        assert!(!SendClass::New.is_retransmission());
+        assert!(SendClass::FastRetx.is_normal_retx());
+        assert!(SendClass::RtoRetx.is_normal_retx());
+        assert!(SendClass::ProbeRetx.is_normal_retx());
+        assert!(SendClass::Proactive.is_proactive());
+        assert!(!SendClass::Proactive.is_normal_retx());
+        assert!(SendClass::Proactive.is_retransmission());
+    }
+}

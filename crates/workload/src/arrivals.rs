@@ -1,0 +1,203 @@
+//! Flow arrival processes and utilization targeting.
+//!
+//! The paper's Emulab experiments control offered load by tuning the mean
+//! of an exponential interarrival-time distribution so that
+//! `mean flow wire bytes / mean interarrival = rho * bottleneck rate`
+//! (§4.1: "short flows have ... exponential interarrival-time
+//! distribution"; §4.3.1 "we vary average network utilization ... from 5%
+//! to 90%").
+
+use netsim::rng::SimRng;
+use netsim::{Rate, SimDuration, SimTime};
+use transport::wire::{flow_wire_bytes, CTRL_WIRE_BYTES};
+
+/// Total wire bytes a flow of `payload` bytes puts on the data direction of
+/// the bottleneck, including handshake overhead (first copies only; control
+/// traffic is small but counted for honesty).
+pub fn flow_offered_wire_bytes(payload: u64) -> u64 {
+    flow_wire_bytes(payload) + 2 * CTRL_WIRE_BYTES as u64
+}
+
+/// The mean interarrival time that offers `utilization` (0–1) of
+/// `bottleneck` given flows averaging `mean_flow_payload` bytes.
+pub fn interarrival_for_utilization(
+    bottleneck: Rate,
+    mean_flow_payload: f64,
+    utilization: f64,
+) -> SimDuration {
+    assert!(
+        utilization > 0.0 && utilization <= 1.5,
+        "utilization out of range: {utilization}"
+    );
+    let wire = flow_offered_wire_bytes(mean_flow_payload.max(1.0) as u64) as f64;
+    let flows_per_sec = utilization * bottleneck.as_bps() as f64 / (8.0 * wire);
+    SimDuration::from_secs_f64(1.0 / flows_per_sec)
+}
+
+/// A Poisson arrival process over virtual time.
+#[derive(Debug, Clone)]
+pub struct PoissonArrivals {
+    mean: SimDuration,
+    next: SimTime,
+    rng: SimRng,
+}
+
+impl PoissonArrivals {
+    /// Arrivals with the given mean interarrival, starting after one draw
+    /// from `start`.
+    pub fn new(mean: SimDuration, start: SimTime, rng: SimRng) -> Self {
+        let mut p = PoissonArrivals {
+            mean,
+            next: start,
+            rng,
+        };
+        p.advance();
+        p
+    }
+
+    fn advance(&mut self) {
+        let gap = self.rng.exponential(self.mean.as_secs_f64());
+        self.next += SimDuration::from_secs_f64(gap);
+    }
+
+    /// Time of the next arrival.
+    pub fn peek(&self) -> SimTime {
+        self.next
+    }
+
+    /// Consume the next arrival and schedule the following one.
+    pub fn pop(&mut self) -> SimTime {
+        let t = self.next;
+        self.advance();
+        t
+    }
+
+    /// Generate every arrival up to `horizon`, in order.
+    pub fn take_until(&mut self, horizon: SimTime) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        while self.peek() <= horizon {
+            out.push(self.pop());
+        }
+        out
+    }
+}
+
+/// A pre-materialized arrival schedule: the paper compares schemes under
+/// *identical* flow arrivals ("all the experiments for different schemes
+/// use the same schedule of flow arrivals", §4.3.2), so schedules are
+/// generated once from a seed and replayed for every scheme.
+#[derive(Debug, Clone)]
+pub struct Schedule {
+    /// (arrival time, payload bytes) per flow, ascending in time.
+    pub flows: Vec<(SimTime, u64)>,
+}
+
+impl Schedule {
+    /// Fixed-size flows at Poisson arrivals targeting `utilization`.
+    pub fn fixed_size(
+        bottleneck: Rate,
+        flow_bytes: u64,
+        utilization: f64,
+        horizon: SimTime,
+        rng: SimRng,
+    ) -> Schedule {
+        let mean = interarrival_for_utilization(bottleneck, flow_bytes as f64, utilization);
+        let mut arr = PoissonArrivals::new(mean, SimTime::ZERO, rng);
+        Schedule {
+            flows: arr
+                .take_until(horizon)
+                .into_iter()
+                .map(|t| (t, flow_bytes))
+                .collect(),
+        }
+    }
+
+    /// Variable-size flows drawn via `draw`, at Poisson arrivals targeting
+    /// `utilization` given the distribution's `mean_payload`.
+    pub fn variable_size(
+        bottleneck: Rate,
+        mean_payload: f64,
+        utilization: f64,
+        horizon: SimTime,
+        mut rng: SimRng,
+        mut draw: impl FnMut(&mut SimRng) -> u64,
+    ) -> Schedule {
+        let mean = interarrival_for_utilization(bottleneck, mean_payload, utilization);
+        let arrivals =
+            PoissonArrivals::new(mean, SimTime::ZERO, rng.fork("arrivals")).take_until(horizon);
+        let flows = arrivals.into_iter().map(|t| (t, draw(&mut rng))).collect();
+        Schedule { flows }
+    }
+
+    /// Total offered wire bytes of the schedule.
+    pub fn offered_wire_bytes(&self) -> u64 {
+        self.flows
+            .iter()
+            .map(|&(_, b)| flow_offered_wire_bytes(b))
+            .sum()
+    }
+
+    /// Achieved offered utilization of `bottleneck` over `horizon`.
+    pub fn offered_utilization(&self, bottleneck: Rate, horizon: SimTime) -> f64 {
+        let bits = self.offered_wire_bytes() as f64 * 8.0;
+        bits / (bottleneck.as_bps() as f64 * horizon.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interarrival_math() {
+        // 100 KB flows at 15 Mbps, rho = 0.5: wire ~ 102.8 KB -> 822.4 kbit;
+        // flows/s = 0.5 * 15e6 / 822_480 = 9.12 -> ~109.7 ms apart.
+        let d = interarrival_for_utilization(Rate::from_mbps(15), 100_000.0, 0.5);
+        let ms = d.as_millis_f64();
+        assert!((ms - 109.7).abs() < 1.5, "interarrival {ms}ms");
+    }
+
+    #[test]
+    fn poisson_mean_matches() {
+        let mean = SimDuration::from_millis(50);
+        let mut p = PoissonArrivals::new(mean, SimTime::ZERO, SimRng::new(31));
+        let horizon = SimTime::ZERO + SimDuration::from_secs(400);
+        let arr = p.take_until(horizon);
+        let emp = horizon.as_secs_f64() / arr.len() as f64;
+        assert!((emp / 0.05 - 1.0).abs() < 0.05, "empirical mean {emp}s");
+        // Ascending and strictly positive.
+        assert!(arr.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arr[0] > SimTime::ZERO);
+    }
+
+    #[test]
+    fn schedule_hits_target_utilization() {
+        let horizon = SimTime::ZERO + SimDuration::from_secs(600);
+        let s = Schedule::fixed_size(Rate::from_mbps(15), 100_000, 0.4, horizon, SimRng::new(7));
+        let rho = s.offered_utilization(Rate::from_mbps(15), horizon);
+        assert!((rho - 0.4).abs() < 0.05, "offered utilization {rho}");
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let horizon = SimTime::ZERO + SimDuration::from_secs(60);
+        let a = Schedule::fixed_size(Rate::from_mbps(15), 100_000, 0.4, horizon, SimRng::new(9));
+        let b = Schedule::fixed_size(Rate::from_mbps(15), 100_000, 0.4, horizon, SimRng::new(9));
+        assert_eq!(a.flows, b.flows);
+    }
+
+    #[test]
+    fn variable_size_draws_sizes() {
+        let horizon = SimTime::ZERO + SimDuration::from_secs(60);
+        let s = Schedule::variable_size(
+            Rate::from_mbps(15),
+            50_000.0,
+            0.3,
+            horizon,
+            SimRng::new(11),
+            |rng| if rng.chance(0.5) { 10_000 } else { 90_000 },
+        );
+        assert!(s.flows.iter().any(|&(_, b)| b == 10_000));
+        assert!(s.flows.iter().any(|&(_, b)| b == 90_000));
+    }
+}

@@ -1,0 +1,224 @@
+//! Sampling distributions, including empirical CDFs defined by breakpoint
+//! tables (how the paper approximates the published flow-size
+//! distributions: "the distributions here were approximated from figures in
+//! the publications", §4.2.4 footnote).
+
+use netsim::rng::SimRng;
+
+/// An empirical distribution over positive values, defined by `(value,
+/// cumulative probability)` breakpoints. Sampling inverts the CDF with
+/// log-space interpolation between breakpoints (natural for the heavy-tailed,
+/// log-x-axis flow-size plots the tables are read from).
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf {
+    points: Vec<(f64, f64)>,
+}
+
+impl EmpiricalCdf {
+    /// Build from breakpoints; values must be positive and strictly
+    /// increasing, probabilities non-decreasing and ending at 1.0.
+    pub fn new(points: Vec<(f64, f64)>) -> Self {
+        assert!(points.len() >= 2, "need at least two breakpoints");
+        for w in points.windows(2) {
+            assert!(
+                w[0].0 > 0.0 && w[1].0 > w[0].0,
+                "values must be positive increasing: {points:?}"
+            );
+            assert!(w[1].1 >= w[0].1, "CDF must be non-decreasing: {points:?}");
+        }
+        let last = points.last().unwrap();
+        assert!(
+            (last.1 - 1.0).abs() < 1e-9,
+            "CDF must end at 1.0, ends at {}",
+            last.1
+        );
+        assert!(points[0].1 >= 0.0);
+        EmpiricalCdf { points }
+    }
+
+    /// The value at cumulative probability `p` (inverse CDF).
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "probability out of range: {p}");
+        let first = self.points[0];
+        if p <= first.1 {
+            return first.0;
+        }
+        for w in self.points.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            if p <= p1 {
+                if p1 == p0 {
+                    return v1;
+                }
+                let t = (p - p0) / (p1 - p0);
+                // Log-space interpolation of the value axis.
+                return (v0.ln() + t * (v1.ln() - v0.ln())).exp();
+            }
+        }
+        self.points.last().unwrap().0
+    }
+
+    /// Draw a sample.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.quantile(rng.uniform())
+    }
+
+    /// Draw a sample, truncated: values above `max` are clamped (the paper
+    /// truncates its flow-size distributions at 1 MB for Fig. 11).
+    pub fn sample_truncated(&self, rng: &mut SimRng, max: f64) -> f64 {
+        self.sample(rng).min(max)
+    }
+
+    /// CDF evaluated at `x` (piecewise log-linear, matching `quantile`).
+    pub fn cdf(&self, x: f64) -> f64 {
+        let first = self.points[0];
+        if x <= first.0 {
+            return if x < first.0 { 0.0 } else { first.1 };
+        }
+        for w in self.points.windows(2) {
+            let (v0, p0) = w[0];
+            let (v1, p1) = w[1];
+            if x <= v1 {
+                let t = (x.ln() - v0.ln()) / (v1.ln() - v0.ln());
+                return p0 + t * (p1 - p0);
+            }
+        }
+        1.0
+    }
+
+    /// Approximate mean by numeric integration over the quantile function.
+    pub fn approx_mean(&self) -> f64 {
+        let n = 10_000;
+        (0..n)
+            .map(|i| self.quantile((i as f64 + 0.5) / n as f64))
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// Approximate mean with values clamped at `max`.
+    pub fn approx_mean_truncated(&self, max: f64) -> f64 {
+        let n = 10_000;
+        (0..n)
+            .map(|i| self.quantile((i as f64 + 0.5) / n as f64).min(max))
+            .sum::<f64>()
+            / n as f64
+    }
+
+    /// Breakpoints (for rendering Fig. 2).
+    pub fn points(&self) -> &[(f64, f64)] {
+        &self.points
+    }
+}
+
+/// A discrete choice among weighted alternatives.
+#[derive(Debug, Clone)]
+pub struct WeightedChoice<T: Clone> {
+    items: Vec<(T, f64)>,
+    total: f64,
+}
+
+impl<T: Clone> WeightedChoice<T> {
+    /// Build from `(item, weight)` pairs with positive weights.
+    pub fn new(items: Vec<(T, f64)>) -> Self {
+        assert!(!items.is_empty());
+        assert!(
+            items.iter().all(|(_, w)| *w > 0.0),
+            "weights must be positive"
+        );
+        let total = items.iter().map(|(_, w)| w).sum();
+        WeightedChoice { items, total }
+    }
+
+    /// Draw one item.
+    pub fn sample(&self, rng: &mut SimRng) -> T {
+        let mut x = rng.uniform() * self.total;
+        for (item, w) in &self.items {
+            if x < *w {
+                return item.clone();
+            }
+            x -= w;
+        }
+        self.items.last().unwrap().0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> EmpiricalCdf {
+        EmpiricalCdf::new(vec![
+            (1_000.0, 0.1),
+            (10_000.0, 0.5),
+            (100_000.0, 0.9),
+            (1_000_000.0, 1.0),
+        ])
+    }
+
+    #[test]
+    fn quantile_hits_breakpoints() {
+        let d = simple();
+        let close = |a: f64, b: f64| (a / b - 1.0).abs() < 1e-9;
+        assert!(close(d.quantile(0.1), 1_000.0));
+        assert!(close(d.quantile(0.5), 10_000.0));
+        assert!(close(d.quantile(1.0), 1_000_000.0));
+        assert!(close(d.quantile(0.0), 1_000.0));
+    }
+
+    #[test]
+    fn quantile_interpolates_in_log_space() {
+        let d = simple();
+        // Halfway (in probability) between 0.1 and 0.5 is sqrt(1e3 * 1e4).
+        let v = d.quantile(0.3);
+        let expect = (1_000.0f64 * 10_000.0).sqrt();
+        assert!((v / expect - 1.0).abs() < 1e-9, "{v} vs {expect}");
+    }
+
+    #[test]
+    fn cdf_inverts_quantile() {
+        let d = simple();
+        for p in [0.15, 0.3, 0.62, 0.88, 0.97] {
+            let x = d.quantile(p);
+            assert!((d.cdf(x) - p).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn samples_match_cdf() {
+        let d = simple();
+        let mut rng = SimRng::new(11);
+        let n = 40_000;
+        let below_10k = (0..n).filter(|_| d.sample(&mut rng) <= 10_000.0).count();
+        let frac = below_10k as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn truncation_clamps() {
+        let d = simple();
+        let mut rng = SimRng::new(12);
+        assert!((0..10_000).all(|_| d.sample_truncated(&mut rng, 50_000.0) <= 50_000.0));
+    }
+
+    #[test]
+    fn truncated_mean_below_full_mean() {
+        let d = simple();
+        assert!(d.approx_mean_truncated(50_000.0) < d.approx_mean());
+    }
+
+    #[test]
+    fn weighted_choice_frequencies() {
+        let wc = WeightedChoice::new(vec![("a", 1.0), ("b", 3.0)]);
+        let mut rng = SimRng::new(13);
+        let n = 40_000;
+        let b = (0..n).filter(|_| wc.sample(&mut rng) == "b").count();
+        let frac = b as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_decreasing_cdf() {
+        EmpiricalCdf::new(vec![(1.0, 0.5), (2.0, 0.4), (3.0, 1.0)]);
+    }
+}

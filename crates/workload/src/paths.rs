@@ -1,0 +1,220 @@
+//! Path populations: the PlanetLab stand-in (§4.2.1) and the four home
+//! access networks (§4.2.2).
+//!
+//! The paper's PlanetLab numbers are driven by two population statistics we
+//! reproduce directly: the RTT spread (0.2–400 ms across five continents)
+//! and the loss split (75 % of 100 KB transfers see no packet loss). Our
+//! synthetic population draws per-path RTT, bottleneck bandwidth, buffer
+//! depth and residual wire loss from distributions calibrated to those
+//! statistics; queue-overflow loss from each scheme's own aggressiveness
+//! then emerges inside the simulation, exactly as it did on the real paths
+//! ("this happens when the bandwidth of the bottleneck link is noticeably
+//! smaller than the pacing rate ... and/or the bottleneck router buffer is
+//! small").
+
+use crate::dist::WeightedChoice;
+use netsim::loss::LossModel;
+use netsim::rng::SimRng;
+use netsim::topology::PathSpec;
+use netsim::{Rate, SimDuration};
+
+/// Draw the PlanetLab-like population of `n` paths.
+pub fn planetlab_paths(n: usize, seed: u64) -> Vec<PathSpec> {
+    let root = SimRng::new(seed);
+    let bw_choice = WeightedChoice::new(vec![
+        (10u64, 0.08),
+        (20, 0.14),
+        (50, 0.22),
+        (100, 0.26),
+        (200, 0.15),
+        (500, 0.10),
+        (1000, 0.05),
+    ]);
+    (0..n)
+        .map(|i| {
+            let mut rng = root.fork_indexed("pl-path", i as u64);
+            // RTT: lognormal, median ~80 ms, clamped to the paper's range.
+            let rtt_ms = rng.lognormal(80f64.ln(), 0.9).clamp(0.2, 400.0);
+            let rtt = SimDuration::from_secs_f64(rtt_ms / 1000.0);
+            let rate = Rate::from_mbps(bw_choice.sample(&mut rng));
+            // Buffer: 0.5–2 BDP, floored at 8 full segments so tiny-RTT
+            // paths still hold a handful of packets.
+            let bdp = rate.bytes_in(rtt).max(1);
+            let buffer = ((bdp as f64) * rng.uniform_range(0.5, 2.0)) as u64;
+            let buffer = buffer.clamp(8 * 1500, 2_000_000);
+            // Residual loss: most paths clean; the lossy quarter gets a
+            // light Bernoulli process (heavy loss on PlanetLab was rare).
+            let loss = if rng.chance(0.80) {
+                LossModel::None
+            } else {
+                LossModel::Bernoulli {
+                    p: rng.uniform_range(0.002, 0.03),
+                }
+            };
+            PathSpec {
+                rate,
+                reverse_rate: rate,
+                rtt,
+                buffer,
+                loss,
+                reverse_loss: LossModel::None,
+            }
+        })
+        .collect()
+}
+
+/// One of the four §4.2.2 home access networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HomeNetwork {
+    /// AT&T DSL, ~6 Mbps downlink behind a home wireless router.
+    AttDslWireless,
+    /// Comcast cable, 25 Mbps wired.
+    ComcastWired,
+    /// Campus/building shared WiFi.
+    ConnectivityUWireless,
+    /// Campus wired connection.
+    ConnectivityUWired,
+}
+
+impl HomeNetwork {
+    /// All four, in the paper's comparison order.
+    pub const ALL: [HomeNetwork; 4] = [
+        HomeNetwork::ComcastWired,
+        HomeNetwork::ConnectivityUWired,
+        HomeNetwork::ConnectivityUWireless,
+        HomeNetwork::AttDslWireless,
+    ];
+
+    /// Display name matching Fig. 9's legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            HomeNetwork::AttDslWireless => "Wireless AT&T",
+            HomeNetwork::ComcastWired => "Wired Comcast",
+            HomeNetwork::ConnectivityUWireless => "Wireless ConnectivityU",
+            HomeNetwork::ConnectivityUWired => "Wired ConnectivityU",
+        }
+    }
+
+    /// Downlink rate of the access bottleneck.
+    pub fn downlink(self) -> Rate {
+        match self {
+            HomeNetwork::AttDslWireless => Rate::from_mbps(6),
+            HomeNetwork::ComcastWired => Rate::from_mbps(25),
+            HomeNetwork::ConnectivityUWireless => Rate::from_mbps(40),
+            HomeNetwork::ConnectivityUWired => Rate::from_mbps(100),
+        }
+    }
+
+    /// Access-link buffer (home gear is bufferbloat-prone; DSL most so).
+    pub fn buffer_bytes(self) -> u64 {
+        match self {
+            HomeNetwork::AttDslWireless => 192_000,
+            HomeNetwork::ComcastWired => 128_000,
+            HomeNetwork::ConnectivityUWireless => 96_000,
+            HomeNetwork::ConnectivityUWired => 128_000,
+        }
+    }
+
+    /// Residual loss model of the access hop.
+    pub fn loss(self) -> LossModel {
+        match self {
+            HomeNetwork::AttDslWireless => LossModel::GilbertElliott {
+                p_good_to_bad: 0.004,
+                p_bad_to_good: 0.12,
+                loss_good: 0.0005,
+                loss_bad: 0.25,
+            },
+            HomeNetwork::ComcastWired => LossModel::None,
+            HomeNetwork::ConnectivityUWireless => LossModel::wifi_bursty(),
+            HomeNetwork::ConnectivityUWired => LossModel::None,
+        }
+    }
+
+    /// Paths from this home client to `n_servers` PlanetLab-like servers
+    /// (the paper's §4.2.2 setup: 170 servers, clients in Champaign IL).
+    pub fn server_paths(self, n_servers: usize, seed: u64) -> Vec<PathSpec> {
+        let root = SimRng::new(seed).fork(self.name());
+        (0..n_servers)
+            .map(|i| {
+                let mut rng = root.fork_indexed("server", i as u64);
+                // Server RTTs from a US-centric client: median ~60 ms.
+                let rtt_ms = rng.lognormal(60f64.ln(), 0.7).clamp(5.0, 400.0);
+                PathSpec {
+                    rate: self.downlink(),
+                    // Uplink (ACK direction) is slower on DSL but never the
+                    // binding constraint for 40-byte ACKs.
+                    reverse_rate: self.downlink(),
+                    rtt: SimDuration::from_secs_f64(rtt_ms / 1000.0),
+                    buffer: self.buffer_bytes(),
+                    loss: self.loss(),
+                    reverse_loss: LossModel::None,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planetlab_population_statistics() {
+        let paths = planetlab_paths(2600, 1);
+        assert_eq!(paths.len(), 2600);
+        let rtts: Vec<f64> = paths.iter().map(|p| p.rtt.as_millis_f64()).collect();
+        assert!(rtts.iter().all(|&r| (0.2..=400.0).contains(&r)));
+        // Median RTT near 80 ms.
+        let mut sorted = rtts.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!((50.0..=120.0).contains(&median), "median rtt {median}");
+        // Roughly 20% of paths carry residual loss.
+        let lossy = paths
+            .iter()
+            .filter(|p| !matches!(p.loss, LossModel::None))
+            .count();
+        let frac = lossy as f64 / paths.len() as f64;
+        assert!((0.15..=0.25).contains(&frac), "lossy fraction {frac}");
+        // Buffers respect bounds.
+        assert!(paths
+            .iter()
+            .all(|p| p.buffer >= 8 * 1500 && p.buffer <= 2_000_000));
+    }
+
+    #[test]
+    fn planetlab_deterministic() {
+        let a = planetlab_paths(50, 3);
+        let b = planetlab_paths(50, 3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.rtt, y.rtt);
+            assert_eq!(x.rate, y.rate);
+            assert_eq!(x.buffer, y.buffer);
+        }
+    }
+
+    #[test]
+    fn home_networks_have_expected_ordering() {
+        // Wired campus is the fastest link; DSL the slowest.
+        assert!(HomeNetwork::ConnectivityUWired.downlink() > HomeNetwork::ComcastWired.downlink());
+        assert!(HomeNetwork::ComcastWired.downlink() > HomeNetwork::AttDslWireless.downlink());
+        // Wireless profiles carry loss; wired are clean.
+        assert!(matches!(HomeNetwork::ComcastWired.loss(), LossModel::None));
+        assert!(!matches!(
+            HomeNetwork::AttDslWireless.loss(),
+            LossModel::None
+        ));
+    }
+
+    #[test]
+    fn server_paths_count_and_bounds() {
+        for hn in HomeNetwork::ALL {
+            let paths = hn.server_paths(170, 9);
+            assert_eq!(paths.len(), 170);
+            assert!(paths.iter().all(|p| {
+                let ms = p.rtt.as_millis_f64();
+                (5.0..=400.0).contains(&ms)
+            }));
+        }
+    }
+}

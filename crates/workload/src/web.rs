@@ -1,0 +1,171 @@
+//! Synthetic web-page corpus for the application-level benchmark (§4.4).
+//!
+//! The paper replays the front pages of the 100 most popular web sites,
+//! serving all objects in Chrome's request order over the browser's
+//! concurrent connections. Without the original page archives we synthesize
+//! a 100-page corpus with object-count and object-size distributions
+//! matching published web measurements of the era (tens of objects per
+//! page, median object ~10 KB, page weight a few hundred KB to ~2 MB), and
+//! replay each page over at most [`MAX_CONCURRENT_CONNECTIONS`] connections
+//! in order — which preserves the phenomenon Fig. 16 measures: concurrent
+//! short flows creating transient overload.
+
+use netsim::rng::SimRng;
+
+/// Browser concurrency limit per page load (Chrome-era default per host).
+pub const MAX_CONCURRENT_CONNECTIONS: usize = 6;
+
+/// One web page: the HTML document plus its subresource objects, in
+/// request order.
+#[derive(Debug, Clone)]
+pub struct Page {
+    /// Object sizes in bytes; index 0 is the HTML document.
+    pub objects: Vec<u64>,
+}
+
+impl Page {
+    /// Total page weight in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.iter().sum()
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True if the page has no objects (never happens for generated pages).
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+/// A corpus of synthetic pages.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// The pages.
+    pub pages: Vec<Page>,
+}
+
+impl Corpus {
+    /// Generate `n` pages from a seed (deterministic).
+    pub fn synthesize(n: usize, seed: u64) -> Corpus {
+        let mut rng = SimRng::new(seed).fork("web-corpus");
+        let pages = (0..n)
+            .map(|_| {
+                // Object count: lognormal around ~30 objects.
+                let count = (rng.lognormal(30f64.ln(), 0.55)).round().clamp(5.0, 150.0) as usize;
+                let mut objects = Vec::with_capacity(count);
+                // HTML document: median ~20 KB.
+                objects.push(clamp_size(rng.lognormal(20_000f64.ln(), 0.7)));
+                for _ in 1..count {
+                    // Subresources: a bimodal mix of small assets
+                    // (scripts, styles, icons; median ~6 KB) and images
+                    // (median ~25 KB). Calibrated to 2015-era top-100
+                    // front pages, which were light (a few hundred KB
+                    // total, few objects above 100 KB).
+                    let size = if rng.chance(0.30) {
+                        rng.lognormal(25_000f64.ln(), 0.7)
+                    } else {
+                        rng.lognormal(6_000f64.ln(), 1.0)
+                    };
+                    objects.push(clamp_size(size));
+                }
+                // Chrome-like request order: the document first, then
+                // subresources roughly small-to-large (scripts and styles
+                // come before hero images), which also staggers the large
+                // transfers instead of pacing six of them concurrently.
+                objects[1..].sort_unstable();
+                Page { objects }
+            })
+            .collect();
+        Corpus { pages }
+    }
+
+    /// Number of pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Mean page weight in bytes (for utilization targeting).
+    pub fn mean_page_bytes(&self) -> f64 {
+        self.pages
+            .iter()
+            .map(|p| p.total_bytes() as f64)
+            .sum::<f64>()
+            / self.pages.len() as f64
+    }
+
+    /// Pick a page uniformly at random (the §4.4 client "randomly requests
+    /// the front page of one of the 100 most popular web sites").
+    pub fn pick<'a>(&'a self, rng: &mut SimRng) -> &'a Page {
+        &self.pages[rng.index(self.pages.len())]
+    }
+}
+
+fn clamp_size(x: f64) -> u64 {
+    (x as u64).clamp(400, 250_000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = Corpus::synthesize(100, 5);
+        let b = Corpus::synthesize(100, 5);
+        assert_eq!(a.pages.len(), 100);
+        for (pa, pb) in a.pages.iter().zip(&b.pages) {
+            assert_eq!(pa.objects, pb.objects);
+        }
+        let c = Corpus::synthesize(100, 6);
+        assert!(a
+            .pages
+            .iter()
+            .zip(&c.pages)
+            .any(|(x, y)| x.objects != y.objects));
+    }
+
+    #[test]
+    fn page_shapes_are_realistic() {
+        let corpus = Corpus::synthesize(100, 1);
+        let mean_objects: f64 =
+            corpus.pages.iter().map(|p| p.len() as f64).sum::<f64>() / corpus.len() as f64;
+        assert!(
+            (12.0..=60.0).contains(&mean_objects),
+            "mean objects {mean_objects}"
+        );
+        let mean_bytes = corpus.mean_page_bytes();
+        assert!(
+            (200_000.0..=1_200_000.0).contains(&mean_bytes),
+            "mean page bytes {mean_bytes}"
+        );
+        for p in &corpus.pages {
+            assert!(p.len() >= 5 && p.len() <= 150);
+            assert!(p.objects.iter().all(|&b| (400..=250_000).contains(&b)));
+        }
+    }
+
+    #[test]
+    fn pick_is_uniformish() {
+        let corpus = Corpus::synthesize(10, 2);
+        let mut rng = SimRng::new(3);
+        let mut hits = vec![0u32; 10];
+        for _ in 0..10_000 {
+            let p = corpus.pick(&mut rng);
+            let idx = corpus
+                .pages
+                .iter()
+                .position(|q| std::ptr::eq(q, p))
+                .unwrap();
+            hits[idx] += 1;
+        }
+        assert!(hits.iter().all(|&h| h > 700), "{hits:?}");
+    }
+}

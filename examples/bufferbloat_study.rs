@@ -1,0 +1,55 @@
+//! Bufferbloat study (§4.2.3 / Fig. 10): sweep the bottleneck router's
+//! buffer from tiny to bloated while one long TCP flow keeps it occupied,
+//! and watch what each scheme's short flows pay.
+//!
+//! ```text
+//! cargo run --release -p scenarios --example bufferbloat_study
+//! ```
+
+use scenarios::figures::bufferbloat::cell;
+use scenarios::{Protocol, Scale};
+
+fn main() {
+    let buffers_kb = [15u64, 60, 115, 250, 400, 600];
+    let schemes = [
+        Protocol::Tcp,
+        Protocol::Tcp10,
+        Protocol::JumpStart,
+        Protocol::Halfback,
+    ];
+
+    println!("Short-flow mean FCT (ms) vs router buffer, one background TCP flow:\n");
+    print!("{:>12}", "buffer (KB)");
+    for p in schemes {
+        print!(" {:>11}", p.name());
+    }
+    println!();
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
+    for &kb in &buffers_kb {
+        print!("{kb:>12}");
+        for (i, p) in schemes.into_iter().enumerate() {
+            let stats = cell(p, kb * 1000, Scale::Quick);
+            print!(" {:>11.0}", stats.mean_ms);
+            per_scheme[i].push(stats.mean_ms);
+        }
+        println!();
+    }
+    println!();
+    for (i, p) in schemes.into_iter().enumerate() {
+        let min = per_scheme[i].iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = per_scheme[i].iter().cloned().fold(0.0f64, f64::max);
+        println!(
+            "{:<10} spread across buffers: {:>5.0} ms",
+            p.name(),
+            max - min
+        );
+    }
+    println!(
+        "\nTwo effects, as in the paper: small buffers punish aggressive\n\
+         startups (JumpStart most — its retransmissions burst into the full\n\
+         queue; Halfback recovers via ROPR), while bloated buffers inflate\n\
+         every RTT-bound scheme's completion time. Halfback is least\n\
+         affected at both extremes because it finishes in few RTTs *and*\n\
+         repairs loss without timeouts."
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: transmit one 100 KB short flow with Halfback over the
+//! paper's Emulab dumbbell (15 Mbps / 60 ms RTT / 115 KB buffer) and
+//! compare it with vanilla TCP.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release -p scenarios --example quickstart
+//! ```
+
+use halfback::Halfback;
+use netsim::topology::{build_dumbbell, DumbbellSpec};
+use netsim::FlowId;
+use transport::strategy::Strategy;
+use transport::{Host, TransportSim};
+
+/// Run one flow with the given strategy; return (fct ms, proactive copies).
+fn run_one(strategy: Box<dyn Strategy>) -> (f64, u64, u64) {
+    let mut sim = TransportSim::new(42);
+    let spec = DumbbellSpec::emulab(1);
+    let net = build_dumbbell(&mut sim, &spec, |_, _| Box::new(Host::new()));
+    sim.with_node_mut::<Host, _>(net.left_hosts[0], |h, _| {
+        h.wire(net.left_hosts[0], net.left_egress[0])
+    });
+    sim.with_node_mut::<Host, _>(net.right_hosts[0], |h, _| {
+        h.wire(net.right_hosts[0], net.right_egress[0])
+    });
+    sim.with_node_mut::<Host, _>(net.left_hosts[0], |h, core| {
+        h.start_flow(core, FlowId(1), net.right_hosts[0], 100_000, strategy)
+    });
+    sim.run_to_completion(1_000_000);
+    let rec = &sim.node_as::<Host>(net.left_hosts[0]).unwrap().completed()[0];
+    (
+        rec.fct.as_millis_f64(),
+        rec.counters.proactive_retx,
+        rec.counters.data_packets_sent,
+    )
+}
+
+fn main() {
+    println!("One 100 KB flow over the paper's Emulab dumbbell (Fig. 4):");
+    println!("  15 Mbps bottleneck, 60 ms RTT, 115 KB drop-tail buffer\n");
+
+    let (hb_fct, hb_pro, hb_pkts) = run_one(Box::new(Halfback::new()));
+    let (tcp_fct, _, tcp_pkts) = run_one(Box::new(baselines::Tcp::new()));
+
+    println!(
+        "Halfback: FCT {hb_fct:.0} ms  ({hb_pkts} data packets, {hb_pro} proactive ROPR copies)"
+    );
+    println!("TCP:      FCT {tcp_fct:.0} ms  ({tcp_pkts} data packets)");
+    println!();
+    println!(
+        "Halfback finishes in {:.1}x less time: the whole flow is paced out in\n\
+         the first RTT after the handshake, while TCP slow-starts through\n\
+         ~6 doubling rounds. ROPR re-sent ~half the flow ({} of 69 segments)\n\
+         as loss insurance, clocked by returning ACKs.",
+        tcp_fct / hb_fct,
+        hb_pro
+    );
+}

@@ -1,0 +1,56 @@
+//! Web browsing scenario: load synthetic top-100-style pages (Chrome-like
+//! request order, up to 6 concurrent connections per page) under a chosen
+//! background utilization, comparing page response time across schemes —
+//! the paper's application-level benchmark (§4.4).
+//!
+//! ```text
+//! cargo run --release -p scenarios --example web_browsing [utilization]
+//! cargo run --release -p scenarios --example web_browsing 0.3
+//! ```
+
+use scenarios::figures::web_response::run_web;
+use scenarios::{Protocol, Scale};
+
+fn main() {
+    let utilization: f64 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("utilization must be a number in (0, 1)"))
+        .unwrap_or(0.3);
+    assert!(
+        utilization > 0.0 && utilization < 0.95,
+        "utilization must be in (0, 0.95)"
+    );
+
+    println!(
+        "Web page response time at {:.0}% offered utilization",
+        utilization * 100.0
+    );
+    println!("(synthetic 100-page corpus, <=6 concurrent connections per page)\n");
+    println!(
+        "{:<12} {:>8} {:>10} {:>12} {:>12}",
+        "scheme", "pages", "mean (ms)", "completion", "RTO objects"
+    );
+    for p in [
+        Protocol::Halfback,
+        Protocol::JumpStart,
+        Protocol::Tcp,
+        Protocol::Tcp10,
+    ] {
+        let r = run_web(p, utilization, Scale::Quick);
+        println!(
+            "{:<12} {:>8} {:>10.0} {:>11.0}% {:>9}/{}",
+            p.name(),
+            r.response_ms.len(),
+            r.mean_ms(),
+            r.completion_rate() * 100.0,
+            r.rto_objects,
+            r.objects,
+        );
+    }
+    println!(
+        "\nThe paper's §4.4 finding: concurrent short flows create transient\n\
+         overload, so flow-level winners can lose at the page level —\n\
+         JumpStart's response time crosses above TCP's at ~30% utilization\n\
+         while Halfback's ROPR keeps recovering without timeouts."
+    );
+}

@@ -1,0 +1,172 @@
+//! Robustness: every scheme must complete flows under hostile conditions —
+//! heavy random loss, bursty wireless loss, tiny buffers, tiny and odd
+//! flow sizes, extreme RTTs — without stalling or panicking.
+
+use netsim::loss::LossModel;
+use netsim::topology::PathSpec;
+use netsim::{Rate, SimDuration, SimTime};
+use scenarios::runner::{run_path, run_single_path_flow, FlowPlan};
+use scenarios::Protocol;
+
+const ALL: [Protocol; 8] = Protocol::EVALUATED;
+
+fn clean_path() -> PathSpec {
+    PathSpec::clean(Rate::from_mbps(20), SimDuration::from_millis(50))
+}
+
+#[test]
+fn heavy_random_loss_still_completes() {
+    let mut spec = clean_path();
+    spec.loss = LossModel::Bernoulli { p: 0.10 };
+    for p in ALL {
+        let rec = run_single_path_flow(&spec, p, 100_000, 77)
+            .unwrap_or_else(|| panic!("{p} did not finish under 10% loss"));
+        assert!(rec.fct.as_millis_f64() > 100.0, "{p}");
+    }
+}
+
+#[test]
+fn bursty_wifi_loss_still_completes() {
+    let mut spec = clean_path();
+    spec.loss = LossModel::wifi_bursty();
+    for p in ALL {
+        for seed in [1u64, 2, 3] {
+            assert!(
+                run_single_path_flow(&spec, p, 100_000, seed).is_some(),
+                "{p} stalled under bursty wifi loss (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn lossy_ack_path_still_completes() {
+    let mut spec = clean_path();
+    spec.reverse_loss = LossModel::Bernoulli { p: 0.05 };
+    for p in ALL {
+        assert!(
+            run_single_path_flow(&spec, p, 100_000, 5).is_some(),
+            "{p} stalled with lossy ACKs"
+        );
+    }
+}
+
+#[test]
+fn tiny_buffer_still_completes() {
+    let mut spec = clean_path();
+    spec.buffer = 3_000; // two packets
+    for p in ALL {
+        assert!(
+            run_single_path_flow(&spec, p, 100_000, 6).is_some(),
+            "{p} stalled with a 2-packet buffer"
+        );
+    }
+}
+
+#[test]
+fn odd_flow_sizes_complete() {
+    let spec = clean_path();
+    // 1 byte, one MSS, MSS+1, an odd prime, a fraction of the window, and
+    // just past the 141 KB pacing threshold.
+    for bytes in [1u64, 1460, 1461, 77_777, 140_999, 141_001, 142_000] {
+        for p in ALL {
+            let rec = run_single_path_flow(&spec, p, bytes, 8)
+                .unwrap_or_else(|| panic!("{p} did not finish {bytes} bytes"));
+            assert_eq!(rec.bytes, bytes, "{p}");
+        }
+    }
+}
+
+#[test]
+fn extreme_rtts_complete() {
+    for rtt_ms in [1u64, 400] {
+        let spec = PathSpec::clean(Rate::from_mbps(20), SimDuration::from_millis(rtt_ms));
+        for p in ALL {
+            let rec = run_single_path_flow(&spec, p, 100_000, 9)
+                .unwrap_or_else(|| panic!("{p} failed at {rtt_ms}ms RTT"));
+            assert!(
+                rec.fct.as_millis_f64() >= rtt_ms as f64,
+                "{p}: FCT below one RTT at {rtt_ms}ms?"
+            );
+        }
+    }
+}
+
+#[test]
+fn slow_link_completes() {
+    // 1 Mbps DSL-ish: 100 KB takes at least 800 ms of serialization.
+    let spec = PathSpec::clean(Rate::from_mbps(1), SimDuration::from_millis(40));
+    for p in ALL {
+        let rec = run_single_path_flow(&spec, p, 100_000, 10)
+            .unwrap_or_else(|| panic!("{p} failed on 1 Mbps link"));
+        assert!(rec.fct.as_millis_f64() > 800.0, "{p} beat the line rate");
+    }
+}
+
+#[test]
+fn syn_loss_is_survived() {
+    let mut spec = clean_path();
+    // Drop the very first packet on the wire (the SYN).
+    spec.loss = LossModel::DropList { ordinals: vec![1] };
+    for p in ALL {
+        let rec = run_single_path_flow(&spec, p, 50_000, 11)
+            .unwrap_or_else(|| panic!("{p} never recovered from SYN loss"));
+        // Handshake retry costs at least the initial RTO (1 s).
+        assert!(rec.fct.as_millis_f64() > 1000.0, "{p}: {}", rec.fct);
+        assert!(rec.counters.syn_sent >= 2, "{p}");
+    }
+}
+
+#[test]
+fn back_to_back_flows_on_one_path() {
+    // Five sequential flows per scheme on the same path; all must finish
+    // and TCP-Cache must warm up.
+    let spec = clean_path();
+    for p in ALL {
+        let plans: Vec<FlowPlan> = (0..5)
+            .map(|i| FlowPlan {
+                at: SimTime::ZERO + SimDuration::from_millis(1500 * i),
+                bytes: 100_000,
+                protocol: p,
+            })
+            .collect();
+        let (records, censored) = run_path(&spec, &plans, 13, SimDuration::from_secs(60));
+        assert_eq!(censored, 0, "{p}");
+        assert_eq!(records.len(), 5, "{p}");
+        if p == Protocol::TcpCache {
+            let first = records[0].fct;
+            let last = records[4].fct;
+            assert!(last < first, "TCP-Cache did not warm up: {first} -> {last}");
+        }
+    }
+}
+
+#[test]
+fn concurrent_flows_one_sender() {
+    // Two flows from the same host at the same instant must not interfere
+    // with each other's bookkeeping.
+    use netsim::topology::build_path;
+    use transport::{Host, TransportSim};
+    let spec = clean_path();
+    let mut sim = TransportSim::new(21);
+    let net = build_path(&mut sim, &spec, |_| Box::new(Host::new()));
+    sim.with_node_mut::<Host, _>(net.sender, |h, _| h.wire(net.sender, net.forward));
+    sim.with_node_mut::<Host, _>(net.receiver, |h, _| h.wire(net.receiver, net.reverse));
+    let cache = baselines::path_cache();
+    for (i, p) in [Protocol::Halfback, Protocol::Tcp].into_iter().enumerate() {
+        let strategy = p.make(&cache, (net.sender, net.receiver));
+        sim.with_node_mut::<Host, _>(net.sender, |h, core| {
+            h.start_flow(
+                core,
+                netsim::FlowId(i as u64 + 1),
+                net.receiver,
+                50_000,
+                strategy,
+            )
+        });
+    }
+    sim.run_to_completion(10_000_000);
+    let host = sim.node_as::<Host>(net.sender).unwrap();
+    assert_eq!(host.completed().len(), 2);
+    assert_eq!(host.stray_packets, 0);
+}

@@ -1,0 +1,68 @@
+//! Property-style fuzzing of the whole stack: random protocol mixes,
+//! sizes, and loads on the dumbbell must always run to completion without
+//! panics, stray packets, or unaccounted flows.
+
+use netsim::rng::SimRng;
+use netsim::topology::DumbbellSpec;
+use netsim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use scenarios::runner::{run_dumbbell, FlowPlan, RunOptions};
+use scenarios::Protocol;
+
+const MENU: [Protocol; 10] = [
+    Protocol::Tcp,
+    Protocol::Tcp10,
+    Protocol::TcpCache,
+    Protocol::Reactive,
+    Protocol::Proactive,
+    Protocol::JumpStart,
+    Protocol::Pcp,
+    Protocol::Halfback,
+    Protocol::HalfbackForward,
+    Protocol::HalfbackBurst,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary mixed workloads: everything completes (given generous
+    /// grace) and accounting adds up.
+    #[test]
+    fn random_mixes_run_clean(
+        seed in 1u64..10_000,
+        n_flows in 1usize..40,
+        util_scale in 1u32..8, // controls arrival spacing
+    ) {
+        let spec = DumbbellSpec::emulab(1);
+        let mut rng = SimRng::new(seed);
+        let mut at = SimTime::ZERO;
+        let mut plans = Vec::with_capacity(n_flows);
+        for _ in 0..n_flows {
+            at = at + SimDuration::from_millis((rng.exponential(80.0 * util_scale as f64)) as u64);
+            let bytes = match rng.index(4) {
+                0 => 1 + rng.index(3000) as u64,
+                1 => 10_000 + rng.index(90_000) as u64,
+                2 => 100_000,
+                _ => 200_000 + rng.index(800_000) as u64,
+            };
+            let protocol = MENU[rng.index(MENU.len())];
+            plans.push(FlowPlan { at, bytes, protocol });
+        }
+        let opts = RunOptions {
+            host_pairs: 6,
+            grace: SimDuration::from_secs(180),
+            seed,
+            trace_bin_ns: None,
+            min_rto: None,
+        };
+        let out = run_dumbbell(&spec, &plans, &opts);
+        prop_assert_eq!(out.records.len() + out.censored, plans.len());
+        // With 180 s of grace at these light loads nothing should be stuck.
+        prop_assert_eq!(out.censored, 0, "censored flows in a light mix");
+        // Each record corresponds to a planned flow with matching size.
+        for r in &out.records {
+            prop_assert!(plans.iter().any(|p| p.bytes == r.bytes && p.protocol.name() == r.protocol));
+            prop_assert!(r.fct.as_nanos() > 0);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+#!/usr/bin/env sh
+# Assert the paper's headline mean-FCT ordering in a fig6 summary:
+#   Halfback < JumpStart < TCP
+# Usage: check_fig6_ordering.sh path/to/fig6.summary.txt
+set -eu
+
+summary=${1:?usage: check_fig6_ordering.sh fig6.summary.txt}
+
+mean_fct() {
+    # Lines look like: "Halfback: mean FCT 346 ms, 99th pct 1195 ms"
+    sed -n "s/^$1: mean FCT \([0-9][0-9]*\) ms.*/\1/p" "$summary"
+}
+
+hb=$(mean_fct Halfback)
+js=$(mean_fct JumpStart)
+tcp=$(mean_fct TCP)
+
+for v in hb js tcp; do
+    eval "val=\$$v"
+    if [ -z "$val" ]; then
+        echo "FAIL: no mean-FCT line for $v in $summary" >&2
+        cat "$summary" >&2
+        exit 1
+    fi
+done
+
+echo "mean FCT: Halfback=${hb}ms JumpStart=${js}ms TCP=${tcp}ms"
+if [ "$hb" -lt "$js" ] && [ "$js" -lt "$tcp" ]; then
+    echo "OK: Halfback < JumpStart < TCP"
+else
+    echo "FAIL: expected Halfback < JumpStart < TCP" >&2
+    exit 1
+fi

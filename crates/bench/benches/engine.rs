@@ -2,7 +2,7 @@
 //! throughput, queue operations, and per-flow transport cost. These bound
 //! how large a paper-scale experiment can be.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::{run_benches, Bench};
 use netsim::link::LinkSpec;
 use netsim::packet::{FlowId, Packet};
 use netsim::queue::{DropTail, QueueDiscipline};
@@ -26,114 +26,106 @@ impl Node<u32> for Sink {
 }
 
 /// Raw engine: push N packets through a saturated link.
-fn engine_throughput(c: &mut Criterion) {
+fn engine_throughput(c: &mut Bench) {
     let n = 20_000u64;
     let mut g = c.benchmark_group("engine_packet_events");
-    g.throughput(Throughput::Elements(n));
+    g.throughput_elements(n);
     g.sample_size(10);
-    g.bench_function("saturated_link", |b| {
-        b.iter(|| {
-            let mut sim: Simulator<u32> = Simulator::new(1);
-            let a = sim.add_node(Box::new(Sink));
-            let z = sim.add_node(Box::new(Sink));
-            let l = sim.add_link(LinkSpec::drop_tail(
-                a,
-                z,
-                Rate::from_gbps(10),
-                SimDuration::from_micros(10),
-                1_000_000_000,
-            ));
-            for i in 0..n {
-                sim.core()
-                    .send_on(l, Packet::new(FlowId(i), a, z, 1500, 0u32));
-            }
-            sim.run_to_completion(10 * n);
-            black_box(sim.events_processed());
-        })
+    g.bench_function("saturated_link", || {
+        let mut sim: Simulator<u32> = Simulator::new(1);
+        let a = sim.add_node(Box::new(Sink));
+        let z = sim.add_node(Box::new(Sink));
+        let l = sim.add_link(LinkSpec::drop_tail(
+            a,
+            z,
+            Rate::from_gbps(10),
+            SimDuration::from_micros(10),
+            1_000_000_000,
+        ));
+        for i in 0..n {
+            sim.core()
+                .send_on(l, Packet::new(FlowId(i), a, z, 1500, 0u32));
+        }
+        sim.run_to_completion(10 * n);
+        black_box(sim.events_processed());
     });
     g.finish();
 }
 
 /// Drop-tail enqueue/dequeue cycle.
-fn queue_ops(c: &mut Criterion) {
+fn queue_ops(c: &mut Bench) {
     let n = 100_000u64;
     let mut g = c.benchmark_group("queue_ops");
-    g.throughput(Throughput::Elements(n));
+    g.throughput_elements(n);
     g.sample_size(10);
-    g.bench_function("droptail_cycle", |b| {
-        b.iter(|| {
-            let mut q: DropTail<u32> = DropTail::new(64 * 1500);
-            let src = netsim::NodeId(0);
-            let dst = netsim::NodeId(1);
-            for i in 0..n {
-                let _ = q.enqueue(Packet::new(FlowId(i), src, dst, 1500, 0u32), SimTime::ZERO);
-                if i % 2 == 1 {
-                    black_box(q.dequeue(SimTime::ZERO));
-                }
+    g.bench_function("droptail_cycle", || {
+        let mut q: DropTail<u32> = DropTail::new(64 * 1500);
+        let src = netsim::NodeId(0);
+        let dst = netsim::NodeId(1);
+        for i in 0..n {
+            let _ = q.enqueue(Packet::new(FlowId(i), src, dst, 1500, 0u32), SimTime::ZERO);
+            if i % 2 == 1 {
+                black_box(q.dequeue(SimTime::ZERO));
             }
-        })
+        }
     });
     g.finish();
 }
 
 /// Full transport stack: one 100 KB Halfback flow on the Emulab dumbbell.
-fn transport_flow(c: &mut Criterion) {
+fn transport_flow(c: &mut Bench) {
     let mut g = c.benchmark_group("transport_flow");
     g.sample_size(20);
-    g.bench_function("halfback_100kb_dumbbell", |b| {
-        b.iter(|| {
-            let mut sim = transport::TransportSim::new(7);
-            let net = build_dumbbell(&mut sim, &DumbbellSpec::emulab(1), |_, _| {
-                Box::new(transport::Host::new())
-            });
-            sim.with_node_mut::<transport::Host, _>(net.left_hosts[0], |h, _| {
-                h.wire(net.left_hosts[0], net.left_egress[0])
-            });
-            sim.with_node_mut::<transport::Host, _>(net.right_hosts[0], |h, _| {
-                h.wire(net.right_hosts[0], net.right_egress[0])
-            });
-            sim.with_node_mut::<transport::Host, _>(net.left_hosts[0], |h, core| {
-                h.start_flow(
-                    core,
-                    FlowId(1),
-                    net.right_hosts[0],
-                    100_000,
-                    Box::new(halfback::Halfback::new()),
-                )
-            });
-            sim.run_to_completion(1_000_000);
-            black_box(sim.events_processed());
-        })
+    g.bench_function("halfback_100kb_dumbbell", || {
+        let mut sim = transport::TransportSim::new(7);
+        let net = build_dumbbell(&mut sim, &DumbbellSpec::emulab(1), |_, _| {
+            Box::new(transport::Host::new())
+        });
+        sim.with_node_mut::<transport::Host, _>(net.left_hosts[0], |h, _| {
+            h.wire(net.left_hosts[0], net.left_egress[0])
+        });
+        sim.with_node_mut::<transport::Host, _>(net.right_hosts[0], |h, _| {
+            h.wire(net.right_hosts[0], net.right_egress[0])
+        });
+        sim.with_node_mut::<transport::Host, _>(net.left_hosts[0], |h, core| {
+            h.start_flow(
+                core,
+                FlowId(1),
+                net.right_hosts[0],
+                100_000,
+                Box::new(halfback::Halfback::new()),
+            )
+        });
+        sim.run_to_completion(1_000_000);
+        black_box(sim.events_processed());
     });
     g.finish();
 }
 
 /// Workload generation cost (path populations and schedules).
-fn workload_generation(c: &mut Criterion) {
+fn workload_generation(c: &mut Bench) {
     let mut g = c.benchmark_group("workload_generation");
     g.sample_size(10);
-    g.bench_function("planetlab_2600_paths", |b| {
-        b.iter(|| black_box(workload::planetlab_paths(2600, 17)))
+    g.bench_function("planetlab_2600_paths", || {
+        black_box(workload::planetlab_paths(2600, 17));
     });
-    g.bench_function("poisson_schedule_600s", |b| {
-        b.iter(|| {
-            black_box(workload::Schedule::fixed_size(
-                Rate::from_mbps(15),
-                100_000,
-                0.5,
-                SimTime::ZERO + SimDuration::from_secs(600),
-                SimRng::new(5),
-            ))
-        })
+    g.bench_function("poisson_schedule_600s", || {
+        black_box(workload::Schedule::fixed_size(
+            Rate::from_mbps(15),
+            100_000,
+            0.5,
+            SimTime::ZERO + SimDuration::from_secs(600),
+            SimRng::new(5),
+        ));
     });
     g.finish();
 }
 
-criterion_group!(
-    engine,
-    engine_throughput,
-    queue_ops,
-    transport_flow,
-    workload_generation
-);
-criterion_main!(engine);
+fn main() {
+    run_benches(&[
+        ("engine_throughput", engine_throughput),
+        ("queue_ops", queue_ops),
+        ("transport_flow", transport_flow),
+        ("workload_generation", workload_generation),
+    ]);
+}

@@ -1,43 +1,38 @@
-//! One Criterion group per table/figure of the paper.
+//! One benchmark group per table/figure of the paper.
 //!
 //! Each bench runs the *same code path* as `repro <id>` at a reduced scale
 //! (fewer paths, shorter virtual horizons), so `cargo bench` both times the
 //! harness and regenerates every result end-to-end. Reduced scale keeps the
 //! full suite in minutes; the paper-scale run is `repro all --out out/`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::{run_benches, Bench};
 use netsim::{Rate, SimDuration, SimTime};
 use scenarios::figures::{
-    bufferbloat, flowsize_sweep, friendliness, home, long_short, table1,
-    throughput_trace, traffic_cdf, walkthrough, web_response,
+    bufferbloat, flowsize_sweep, friendliness, home, long_short, table1, throughput_trace,
+    traffic_cdf, walkthrough, web_response,
 };
 use scenarios::runner::{run_single_path_flow, FlowPlan};
 use scenarios::{Protocol, Scale};
 use std::hint::black_box;
 
-fn small(c: &mut Criterion, name: &str, mut f: impl FnMut()) {
+fn small(c: &mut Bench, name: &str, f: impl FnMut()) {
     let mut g = c.benchmark_group(name);
     g.sample_size(10);
-    g.bench_function("run", |b| b.iter(&mut f));
+    g.bench_function("run", f);
     g.finish();
 }
 
 /// Fig. 1 + Fig. 12: one cell of the utilization sweep (the full quick
 /// sweep is minutes; a bench iteration must stay sub-second).
-fn fig01_12_tradeoff(c: &mut Criterion) {
+fn fig01_12_tradeoff(c: &mut Bench) {
     use netsim::rng::SimRng;
     use netsim::topology::DumbbellSpec;
     use scenarios::runner::{plans_from_schedule, run_dumbbell, RunOptions};
     use workload::Schedule;
     let spec = DumbbellSpec::emulab(1);
     let horizon = SimTime::ZERO + SimDuration::from_secs(15);
-    let schedule = Schedule::fixed_size(
-        spec.bottleneck_rate,
-        100_000,
-        0.5,
-        horizon,
-        SimRng::new(42),
-    );
+    let schedule =
+        Schedule::fixed_size(spec.bottleneck_rate, 100_000, 0.5, horizon, SimRng::new(42));
     small(c, "fig01_12_feasible_cell_50pct", || {
         let plans = plans_from_schedule(&schedule, Protocol::Halfback);
         black_box(run_dumbbell(&spec, &plans, &RunOptions::default()));
@@ -45,14 +40,14 @@ fn fig01_12_tradeoff(c: &mut Criterion) {
 }
 
 /// Fig. 2: byte-weighted traffic CDFs.
-fn fig02_traffic_cdf(c: &mut Criterion) {
+fn fig02_traffic_cdf(c: &mut Bench) {
     small(c, "fig02_traffic_cdf", || {
         black_box(traffic_cdf::figures(Scale::Quick));
     });
 }
 
 /// Fig. 3: the deterministic walkthrough.
-fn fig03_walkthrough(c: &mut Criterion) {
+fn fig03_walkthrough(c: &mut Bench) {
     small(c, "fig03_walkthrough", || {
         black_box(walkthrough::run());
     });
@@ -60,7 +55,7 @@ fn fig03_walkthrough(c: &mut Criterion) {
 
 /// Figs. 5-8: the PlanetLab-substitute population (single protocol subset
 /// per iteration).
-fn fig05_08_planetlab(c: &mut Criterion) {
+fn fig05_08_planetlab(c: &mut Bench) {
     let paths = workload::planetlab_paths(40, 17);
     small(c, "fig05_08_planetlab_40paths", || {
         for (i, spec) in paths.iter().enumerate() {
@@ -72,14 +67,14 @@ fn fig05_08_planetlab(c: &mut Criterion) {
 }
 
 /// Fig. 9: home networks.
-fn fig09_home(c: &mut Criterion) {
+fn fig09_home(c: &mut Bench) {
     small(c, "fig09_home_networks", || {
         black_box(home::figures(Scale::Quick));
     });
 }
 
 /// Fig. 10: the bufferbloat sweep (one cell per iteration).
-fn fig10_bufferbloat(c: &mut Criterion) {
+fn fig10_bufferbloat(c: &mut Bench) {
     small(c, "fig10_bufferbloat_cell", || {
         black_box(bufferbloat::cell(Protocol::Halfback, 115_000, Scale::Quick));
         black_box(bufferbloat::cell(
@@ -91,7 +86,7 @@ fn fig10_bufferbloat(c: &mut Criterion) {
 }
 
 /// Fig. 11: flow-size sweep (one trace/protocol cell).
-fn fig11_flowsize(c: &mut Criterion) {
+fn fig11_flowsize(c: &mut Bench) {
     small(c, "fig11_flowsize_cell", || {
         black_box(flowsize_sweep::cell(
             workload::TraceKind::Internet,
@@ -102,21 +97,21 @@ fn fig11_flowsize(c: &mut Criterion) {
 }
 
 /// Fig. 13: the 10/90 short/long mix (one cell).
-fn fig13_longshort(c: &mut Criterion) {
+fn fig13_longshort(c: &mut Bench) {
     small(c, "fig13_longshort_cell", || {
         black_box(long_short::cell(Protocol::Halfback, 0.5, Scale::Quick));
     });
 }
 
 /// Fig. 14: TCP-friendliness (one scatter point).
-fn fig14_friendliness(c: &mut Criterion) {
+fn fig14_friendliness(c: &mut Bench) {
     small(c, "fig14_friendliness_point", || {
         black_box(friendliness::point(Protocol::Halfback, 0.2, Scale::Quick));
     });
 }
 
 /// Fig. 15: throughput traces.
-fn fig15_throughput(c: &mut Criterion) {
+fn fig15_throughput(c: &mut Bench) {
     small(c, "fig15_throughput_panel", || {
         black_box(throughput_trace::panel(
             &[(100_000, Protocol::Halfback)],
@@ -126,7 +121,7 @@ fn fig15_throughput(c: &mut Criterion) {
 }
 
 /// Fig. 16: web response (one protocol/utilization cell).
-fn fig16_web(c: &mut Criterion) {
+fn fig16_web(c: &mut Bench) {
     small(c, "fig16_web_cell", || {
         black_box(web_response::run_web(Protocol::Halfback, 0.3, Scale::Quick));
     });
@@ -134,20 +129,15 @@ fn fig16_web(c: &mut Criterion) {
 
 /// Fig. 17: one ablation-variant cell (sweep machinery identical to
 /// Fig. 12's; the variant exercises the Halfback-Forward code path).
-fn fig17_ablation(c: &mut Criterion) {
+fn fig17_ablation(c: &mut Bench) {
     use netsim::rng::SimRng;
     use netsim::topology::DumbbellSpec;
     use scenarios::runner::{plans_from_schedule, run_dumbbell, RunOptions};
     use workload::Schedule;
     let spec = DumbbellSpec::emulab(1);
     let horizon = SimTime::ZERO + SimDuration::from_secs(15);
-    let schedule = Schedule::fixed_size(
-        spec.bottleneck_rate,
-        100_000,
-        0.5,
-        horizon,
-        SimRng::new(42),
-    );
+    let schedule =
+        Schedule::fixed_size(spec.bottleneck_rate, 100_000, 0.5, horizon, SimRng::new(42));
     small(c, "fig17_ablation_forward_cell_50pct", || {
         let plans = plans_from_schedule(&schedule, Protocol::HalfbackForward);
         black_box(run_dumbbell(&spec, &plans, &RunOptions::default()));
@@ -155,14 +145,14 @@ fn fig17_ablation(c: &mut Criterion) {
 }
 
 /// Table 1: the taxonomy rendering.
-fn table1_taxonomy(c: &mut Criterion) {
+fn table1_taxonomy(c: &mut Bench) {
     small(c, "table1_taxonomy", || {
         black_box(table1::figures(Scale::Quick));
     });
 }
 
 /// PlanetLab single-flow baseline: how fast is one simulated transfer?
-fn headline_single_flow(c: &mut Criterion) {
+fn headline_single_flow(c: &mut Bench) {
     let spec = netsim::topology::PathSpec::clean(Rate::from_mbps(50), SimDuration::from_millis(60));
     small(c, "single_flow_halfback_100kb", || {
         black_box(run_single_path_flow(&spec, Protocol::Halfback, 100_000, 1));
@@ -171,21 +161,21 @@ fn headline_single_flow(c: &mut Criterion) {
     let _: Option<FlowPlan> = None;
 }
 
-criterion_group!(
-    figures,
-    fig01_12_tradeoff,
-    fig02_traffic_cdf,
-    fig03_walkthrough,
-    fig05_08_planetlab,
-    fig09_home,
-    fig10_bufferbloat,
-    fig11_flowsize,
-    fig13_longshort,
-    fig14_friendliness,
-    fig15_throughput,
-    fig16_web,
-    fig17_ablation,
-    table1_taxonomy,
-    headline_single_flow,
-);
-criterion_main!(figures);
+fn main() {
+    run_benches(&[
+        ("fig01_12_tradeoff", fig01_12_tradeoff),
+        ("fig02_traffic_cdf", fig02_traffic_cdf),
+        ("fig03_walkthrough", fig03_walkthrough),
+        ("fig05_08_planetlab", fig05_08_planetlab),
+        ("fig09_home", fig09_home),
+        ("fig10_bufferbloat", fig10_bufferbloat),
+        ("fig11_flowsize", fig11_flowsize),
+        ("fig13_longshort", fig13_longshort),
+        ("fig14_friendliness", fig14_friendliness),
+        ("fig15_throughput", fig15_throughput),
+        ("fig16_web", fig16_web),
+        ("fig17_ablation", fig17_ablation),
+        ("table1_taxonomy", table1_taxonomy),
+        ("headline_single_flow", headline_single_flow),
+    ]);
+}

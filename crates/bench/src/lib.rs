@@ -1,1 +1,97 @@
-//! Bench-only crate; see `benches/`.
+//! Minimal std-only micro-benchmark harness.
+//!
+//! The container this reproduction builds in has no access to crates.io,
+//! so Criterion is out of reach; this module provides the small subset the
+//! figure/engine benches need: named groups, warmup, a fixed sample count,
+//! and median/mean wall-clock reporting (plus optional per-element
+//! throughput). Run with `cargo bench` — each bench target is a plain
+//! binary with `harness = false`.
+
+use std::time::{Duration, Instant};
+
+/// One benchmark group: a name plus shared sample settings.
+pub struct Group {
+    name: String,
+    samples: usize,
+    elements: Option<u64>,
+}
+
+impl Group {
+    /// Number of timed samples per benchmark (default 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Report per-element throughput alongside wall-clock time.
+    pub fn throughput_elements(&mut self, n: u64) -> &mut Self {
+        self.elements = Some(n);
+        self
+    }
+
+    /// Time `f` over the group's sample count and print a summary line.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut()) -> &mut Self {
+        // One untimed warmup iteration (fills caches, faults pages).
+        f();
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            f();
+            times.push(t0.elapsed());
+        }
+        times.sort();
+        let median = times[times.len() / 2];
+        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        let mut line = format!(
+            "{}/{:<28} median {:>10.3} ms  mean {:>10.3} ms  ({} samples)",
+            self.name,
+            id,
+            median.as_secs_f64() * 1e3,
+            mean.as_secs_f64() * 1e3,
+            times.len()
+        );
+        if let Some(n) = self.elements {
+            let per_sec = n as f64 / median.as_secs_f64();
+            line.push_str(&format!("  {per_sec:.0} elem/s"));
+        }
+        println!("{line}");
+        self
+    }
+
+    /// No-op, kept for call-site symmetry with Criterion.
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point handed to each bench function (Criterion-shaped).
+#[derive(Default)]
+pub struct Bench;
+
+impl Bench {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> Group {
+        Group {
+            name: name.to_string(),
+            samples: 10,
+            elements: None,
+        }
+    }
+}
+
+/// One registered bench function.
+pub type BenchFn = fn(&mut Bench);
+
+/// Run a list of bench functions, honoring an optional substring filter
+/// passed on the command line: `cargo bench -- <filter>` runs only the
+/// functions whose registered name contains the filter.
+pub fn run_benches(benches: &[(&str, BenchFn)]) {
+    let filter: Option<String> = std::env::args().nth(1).filter(|a| !a.starts_with('-'));
+    let mut b = Bench;
+    for (name, f) in benches {
+        if let Some(pat) = &filter {
+            if !name.contains(pat.as_str()) {
+                continue;
+            }
+        }
+        f(&mut b);
+    }
+}

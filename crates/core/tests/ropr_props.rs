@@ -1,12 +1,13 @@
-//! Property-based tests of Halfback end to end: under *arbitrary*
+//! Property-style tests of Halfback end to end: under *arbitrary*
 //! deterministic drop patterns the flow must always complete, ROPR must
-//! stay within its budget, and runs must be reproducible.
+//! stay within its budget, and runs must be reproducible. Cases are drawn
+//! from a seeded [`SimRng`] so every run checks the same corpus.
 
 use halfback::{Halfback, HalfbackConfig};
 use netsim::loss::LossModel;
+use netsim::rng::SimRng;
 use netsim::topology::{build_path, PathSpec};
 use netsim::{FlowId, Rate, SimDuration};
-use proptest::prelude::*;
 use transport::wire::{segment_count, MSS};
 use transport::{Host, TransportSim};
 
@@ -37,83 +38,110 @@ fn run_with_drops(segs: u32, drops: Vec<u64>, cfg: HalfbackConfig) -> transport:
     host.completed()[0].clone()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_drops(rng: &mut SimRng, max_count: usize, ordinal_range: u64) -> Vec<u64> {
+    let n = rng.index(max_count);
+    (0..n)
+        .map(|_| 1 + rng.index(ordinal_range as usize - 1) as u64)
+        .collect()
+}
 
-    /// Any pattern of forward-path drops: the flow completes and ROPR's
-    /// proactive budget never exceeds the paced batch.
-    #[test]
-    fn completes_under_arbitrary_drops(
-        segs in 2u32..60,
-        drops in prop::collection::vec(1u64..200, 0..25),
-    ) {
-        let rec = run_with_drops(segs, drops, HalfbackConfig::paper());
+/// Any pattern of forward-path drops: the flow completes and ROPR's
+/// proactive budget never exceeds the paced batch.
+#[test]
+fn completes_under_arbitrary_drops() {
+    let mut rng = SimRng::new(0xD201);
+    for case in 0..64 {
+        let segs = 2 + rng.index(58) as u32;
+        let drops = random_drops(&mut rng, 25, 200);
+        let rec = run_with_drops(segs, drops.clone(), HalfbackConfig::paper());
         let batch = segment_count(rec.bytes).min(segs);
-        prop_assert!(
+        assert!(
             rec.counters.proactive_retx <= batch as u64,
-            "ROPR sent {} proactive copies for a {}-segment batch",
+            "case {case} (segs {segs}, drops {drops:?}): ROPR sent {} proactive copies \
+             for a {}-segment batch",
             rec.counters.proactive_retx,
             batch
         );
-        prop_assert_eq!(rec.bytes, segs as u64 * MSS as u64);
+        assert_eq!(rec.bytes, segs as u64 * MSS as u64, "case {case}");
     }
+}
 
-    /// Loss-free runs: ROPR covers about half the flow (the meeting-point
-    /// property that names the scheme), within rounding.
-    #[test]
-    fn lossfree_ropr_covers_half(segs in 4u32..90) {
+/// Loss-free runs: ROPR covers about half the flow (the meeting-point
+/// property that names the scheme), within rounding.
+#[test]
+fn lossfree_ropr_covers_half() {
+    let mut rng = SimRng::new(0x4A1F);
+    for case in 0..64 {
+        let segs = 4 + rng.index(86) as u32;
         let rec = run_with_drops(segs, vec![], HalfbackConfig::paper());
         let pro = rec.counters.proactive_retx as i64;
         let half = (segs / 2) as i64;
-        prop_assert!(
+        assert!(
             (pro - half).abs() <= 1,
-            "{} segments: {} proactive copies, expected ~{}",
-            segs, pro, half
+            "case {case}: {segs} segments: {pro} proactive copies, expected ~{half}"
         );
-        prop_assert_eq!(rec.counters.normal_retx, 0);
-        prop_assert_eq!(rec.counters.rto_events, 0);
+        assert_eq!(rec.counters.normal_retx, 0, "case {case}");
+        assert_eq!(rec.counters.rto_events, 0, "case {case}");
     }
+}
 
-    /// The tunable ratio extension stays within its advertised budget:
-    /// (sends per acks) bounds total proactive copies.
-    #[test]
-    fn tuned_ratio_budget(segs in 8u32..60, acks_per_send in 2u32..5) {
+/// The tunable ratio extension stays within its advertised budget:
+/// (sends per acks) bounds total proactive copies.
+#[test]
+fn tuned_ratio_budget() {
+    let mut rng = SimRng::new(0x7A710);
+    for case in 0..64 {
+        let segs = 8 + rng.index(52) as u32;
+        let acks_per_send = 2 + rng.index(3) as u32;
         let cfg = HalfbackConfig::with_ratio(1, acks_per_send);
         let rec = run_with_drops(segs, vec![], cfg);
         let bound = (segs / acks_per_send + 2) as u64;
-        prop_assert!(
+        assert!(
             rec.counters.proactive_retx <= bound,
-            "ratio 1/{}: {} copies > bound {}",
-            acks_per_send, rec.counters.proactive_retx, bound
+            "case {case}: ratio 1/{acks_per_send}: {} copies > bound {bound}",
+            rec.counters.proactive_retx
         );
     }
+}
 
-    /// Ablation variants also always complete under drops.
-    #[test]
-    fn variants_complete_under_drops(
-        segs in 2u32..40,
-        drops in prop::collection::vec(1u64..120, 0..12),
-        which in 0usize..3,
-    ) {
-        let cfg = match which {
+/// Ablation variants also always complete under drops.
+#[test]
+fn variants_complete_under_drops() {
+    let mut rng = SimRng::new(0xAB1A);
+    for case in 0..64 {
+        let segs = 2 + rng.index(38) as u32;
+        let drops = random_drops(&mut rng, 12, 120);
+        let cfg = match rng.index(3) {
             0 => HalfbackConfig::forward(),
             1 => HalfbackConfig::burst(),
             _ => HalfbackConfig::burst_first(),
         };
-        let rec = run_with_drops(segs, drops, cfg);
-        prop_assert_eq!(rec.bytes, segs as u64 * MSS as u64);
+        let rec = run_with_drops(segs, drops.clone(), cfg);
+        assert_eq!(
+            rec.bytes,
+            segs as u64 * MSS as u64,
+            "case {case} (segs {segs}, drops {drops:?})"
+        );
     }
+}
 
-    /// Determinism: identical drop patterns give identical outcomes.
-    #[test]
-    fn deterministic_under_drops(
-        segs in 2u32..40,
-        drops in prop::collection::vec(1u64..120, 0..10),
-    ) {
+/// Determinism: identical drop patterns give identical outcomes.
+#[test]
+fn deterministic_under_drops() {
+    let mut rng = SimRng::new(0xDE7E);
+    for case in 0..64 {
+        let segs = 2 + rng.index(38) as u32;
+        let drops = random_drops(&mut rng, 10, 120);
         let a = run_with_drops(segs, drops.clone(), HalfbackConfig::paper());
         let b = run_with_drops(segs, drops, HalfbackConfig::paper());
-        prop_assert_eq!(a.fct, b.fct);
-        prop_assert_eq!(a.counters.data_packets_sent, b.counters.data_packets_sent);
-        prop_assert_eq!(a.counters.proactive_retx, b.counters.proactive_retx);
+        assert_eq!(a.fct, b.fct, "case {case}");
+        assert_eq!(
+            a.counters.data_packets_sent, b.counters.data_packets_sent,
+            "case {case}"
+        );
+        assert_eq!(
+            a.counters.proactive_retx, b.counters.proactive_retx,
+            "case {case}"
+        );
     }
 }

@@ -687,9 +687,18 @@ mod tests {
             let mut sim = Simulator::new(seed);
             let a = sim.add_node(recorder());
             let b = sim.add_node(recorder());
+            // Queue sized for the whole burst, so every packet reaches the
+            // wire-loss draw: 200 Bernoulli draws make two seeds' delivery
+            // sets collide with probability ~0.82^200.
             let l = sim.add_link(
-                LinkSpec::drop_tail(a, b, Rate::from_mbps(10), SimDuration::from_millis(1), 5000)
-                    .with_loss(crate::loss::LossModel::Bernoulli { p: 0.1 }),
+                LinkSpec::drop_tail(
+                    a,
+                    b,
+                    Rate::from_mbps(10),
+                    SimDuration::from_millis(1),
+                    250_000,
+                )
+                .with_loss(crate::loss::LossModel::Bernoulli { p: 0.1 }),
             );
             for i in 0..200 {
                 sim.core().send_on(l, pkt(a, b, 1000, i));
@@ -750,9 +759,7 @@ mod compaction_tests {
         let n = 20_000u64;
         let mut ids = Vec::new();
         for i in 0..n {
-            let id = sim
-                .core()
-                .set_timer(a, SimDuration::from_millis(1 + i), i);
+            let id = sim.core().set_timer(a, SimDuration::from_millis(1 + i), i);
             ids.push(id);
         }
         for (i, id) in ids.iter().enumerate() {

@@ -7,23 +7,30 @@
 //! harness relies on when comparing protocols under *identical* flow-arrival
 //! schedules (paper §4.3.2).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 /// A seeded random number generator with labelled forking.
+///
+/// The generator is xoshiro256++ (Blackman & Vigna), seeded through
+/// SplitMix64 as its authors recommend. It is implemented in-repo so the
+/// simulator has no external dependencies and its streams are identical on
+/// every platform and toolchain.
 #[derive(Debug, Clone)]
 pub struct SimRng {
     seed: u64,
-    inner: StdRng,
+    state: [u64; 4],
 }
 
 impl SimRng {
     /// Create a generator from a root seed.
     pub fn new(seed: u64) -> Self {
-        SimRng {
-            seed,
-            inner: StdRng::seed_from_u64(seed),
+        // Expand the 64-bit seed into the 256-bit state with SplitMix64;
+        // the all-zero state is unreachable this way.
+        let mut s = seed;
+        let mut state = [0u64; 4];
+        for w in &mut state {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            *w = splitmix64(s);
         }
+        SimRng { seed, state }
     }
 
     /// The seed this generator was created with.
@@ -49,7 +56,8 @@ impl SimRng {
 
     /// Uniform draw in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 high bits of a u64 draw, scaled into [0, 1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform draw in `[lo, hi)`.
@@ -61,7 +69,16 @@ impl SimRng {
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "cannot draw an index from an empty range");
-        self.inner.gen_range(0..n)
+        // Lemire's multiply-shift method with rejection: unbiased for any n.
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let lo = m as u64;
+            if lo >= n.wrapping_neg() % n {
+                return (m >> 64) as usize;
+            }
+        }
     }
 
     /// Bernoulli trial with success probability `p`.
@@ -103,7 +120,17 @@ impl SimRng {
 
     /// Raw `u64` draw (for seeding nested structures).
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.gen()
+        // xoshiro256++ step.
+        let s = &mut self.state;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Shuffle a slice in place (Fisher–Yates).

@@ -224,6 +224,10 @@ where
     }
 }
 
+/// One hop's cross-traffic endpoints in a [`ParkingLot`]:
+/// (senders, receivers, sender egress links, receiver egress links).
+pub type CrossHop = (Vec<NodeId>, Vec<NodeId>, Vec<LinkId>, Vec<LinkId>);
+
 /// Parameters of a parking-lot topology: `hops` bottleneck links in a row
 /// with one router between each pair. "Through" traffic crosses every hop;
 /// per-hop cross traffic enters at hop `i` and exits at hop `i+1`. This is
@@ -282,7 +286,7 @@ pub struct ParkingLot {
     pub through_receiver_egress: Vec<LinkId>,
     /// `cross[h]` = (senders, receivers, sender egress, receiver egress)
     /// for the cross traffic of hop `h`.
-    pub cross: Vec<(Vec<NodeId>, Vec<NodeId>, Vec<LinkId>, Vec<LinkId>)>,
+    pub cross: Vec<CrossHop>,
     /// The routers, one per hop boundary (hops + 1 of them).
     pub routers: Vec<NodeId>,
     /// Forward bottleneck link of each hop.
@@ -302,7 +306,9 @@ where
     let access_delay = SimDuration::from_micros(10);
     let access_buffer = 10_000_000;
     // Routers R0..R_hops.
-    let routers: Vec<NodeId> = (0..=spec.hops).map(|_| sim.add_node(Box::new(Router::new()))).collect();
+    let routers: Vec<NodeId> = (0..=spec.hops)
+        .map(|_| sim.add_node(Box::new(Router::new())))
+        .collect();
 
     // Bottleneck chain, both directions.
     let mut hop_links = Vec::with_capacity(spec.hops);
@@ -325,9 +331,13 @@ where
         // Default routes: everything unknown goes "forward" from the left
         // routers and "backward" from the right ones; per-host routes are
         // added below, so defaults only matter for cross-chain traffic.
-        sim.node_as_mut::<Router>(routers[h]).unwrap().set_default_route(fwd);
+        sim.node_as_mut::<Router>(routers[h])
+            .unwrap()
+            .set_default_route(fwd);
         if h == spec.hops - 1 {
-            sim.node_as_mut::<Router>(routers[h + 1]).unwrap().set_default_route(rev);
+            sim.node_as_mut::<Router>(routers[h + 1])
+                .unwrap()
+                .set_default_route(rev);
         }
         let _ = rev;
     }
@@ -356,13 +366,17 @@ where
             access_delay,
             access_buffer,
         ));
-        sim.node_as_mut::<Router>(routers[at]).unwrap().add_route(host, down);
+        sim.node_as_mut::<Router>(routers[at])
+            .unwrap()
+            .add_route(host, down);
         for r in 0..routers.len() {
             if r == at {
                 continue;
             }
             let next = if r < at { hop_fwd[r] } else { hop_rev[r - 1] };
-            sim.node_as_mut::<Router>(routers[r]).unwrap().add_route(host, next);
+            sim.node_as_mut::<Router>(routers[r])
+                .unwrap()
+                .add_route(host, next);
         }
         (host, up)
     };
@@ -565,19 +579,37 @@ mod tests {
         let spec = ParkingLotSpec::emulab_like(3);
         let net = build_parking_lot(&mut sim, &spec, || Box::new(Echo { got: vec![] }));
         // Through sender 0 -> through receiver 0 crosses all three hops.
-        let pkt = Packet::new(FlowId(1), net.through_senders[0], net.through_receivers[0], 1500, 11);
+        let pkt = Packet::new(
+            FlowId(1),
+            net.through_senders[0],
+            net.through_receivers[0],
+            1500,
+            11,
+        );
         sim.core().send_on(net.through_egress[0], pkt);
         sim.run_to_completion(1000);
-        assert_eq!(sim.node_as::<Echo>(net.through_receivers[0]).unwrap().got, vec![11]);
+        assert_eq!(
+            sim.node_as::<Echo>(net.through_receivers[0]).unwrap().got,
+            vec![11]
+        );
         // ~3 hops of 10 ms + serialization.
         let t = sim.now().as_millis_f64();
         assert!(t > 30.0 && t < 34.0, "through latency {t}ms");
 
         // Reverse direction (ACK path) works too.
-        let pkt = Packet::new(FlowId(1), net.through_receivers[0], net.through_senders[0], 40, 12);
+        let pkt = Packet::new(
+            FlowId(1),
+            net.through_receivers[0],
+            net.through_senders[0],
+            40,
+            12,
+        );
         sim.core().send_on(net.through_receiver_egress[0], pkt);
         sim.run_to_completion(1000);
-        assert_eq!(sim.node_as::<Echo>(net.through_senders[0]).unwrap().got, vec![12]);
+        assert_eq!(
+            sim.node_as::<Echo>(net.through_senders[0]).unwrap().got,
+            vec![12]
+        );
 
         // Cross traffic of hop 1 only crosses hop 1.
         let (ss, rs, ses, _res) = &net.cross[1];
@@ -590,7 +622,12 @@ mod tests {
         assert!(dt > 10.0 && dt < 12.0, "cross latency {dt}ms");
         // No router dropped anything for lack of a route.
         for &r in &net.routers {
-            assert_eq!(sim.node_as::<crate::router::Router>(r).unwrap().unroutable(), 0);
+            assert_eq!(
+                sim.node_as::<crate::router::Router>(r)
+                    .unwrap()
+                    .unroutable(),
+                0
+            );
         }
     }
 

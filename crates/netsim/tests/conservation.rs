@@ -1,7 +1,8 @@
 //! Substrate conservation laws, checked over randomized traffic with the
 //! trace hook: every packet offered to the network is eventually delivered,
 //! dropped by a queue, or dropped by the wire — nothing is duplicated or
-//! lost silently.
+//! lost silently. Cases are drawn from a seeded [`SimRng`] so every run
+//! checks the same corpus.
 
 use netsim::engine::TraceEvent;
 use netsim::link::LinkSpec;
@@ -12,7 +13,6 @@ use netsim::queue::DropTail;
 use netsim::rng::SimRng;
 use netsim::time::{Rate, SimDuration};
 use netsim::{Ctx, Simulator};
-use proptest::prelude::*;
 use std::any::Any;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -31,17 +31,16 @@ impl Node<u32> for Count {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+#[test]
+fn offered_equals_delivered_plus_dropped() {
+    let mut gen = SimRng::new(0xC0_05E4);
+    for case in 0..32 {
+        let seed = gen.index(1000) as u64;
+        let n = 1 + gen.index(399) as u64;
+        let buf_pkts = 1 + gen.index(19) as u64;
+        let loss_p = gen.uniform_range(0.0, 0.4);
+        let rate_kbps = 50 + gen.index(4950) as u64;
 
-    #[test]
-    fn offered_equals_delivered_plus_dropped(
-        seed in 0u64..1000,
-        n in 1u64..400,
-        buf_pkts in 1u64..20,
-        loss_p in 0.0f64..0.4,
-        rate_kbps in 50u64..5_000,
-    ) {
         let mut sim: Simulator<u32> = Simulator::new(seed);
         let a = sim.add_node(Box::new(Count(0)));
         let b = sim.add_node(Box::new(Count(0)));
@@ -71,7 +70,8 @@ proptest! {
         for i in 0..n {
             let burst = 1 + rng.index(5) as u64;
             for _ in 0..burst {
-                sim.core().send_on(l, Packet::new(FlowId(i), a, b, 1500, 0u32));
+                sim.core()
+                    .send_on(l, Packet::new(FlowId(i), a, b, 1500, 0u32));
                 sent += 1;
             }
             // Let some time pass between bursts.
@@ -84,14 +84,22 @@ proptest! {
         let delivered = *deliveries.borrow();
         let qd = *queue_drops.borrow();
         let wd = *wire_drops.borrow();
-        prop_assert_eq!(delivered + qd + wd, sent, "conservation violated");
+        assert_eq!(
+            delivered + qd + wd,
+            sent,
+            "case {case} (seed {seed}): conservation violated"
+        );
         // Node-level receive count agrees with the trace.
-        prop_assert_eq!(sim.node_as::<Count>(b).unwrap().0, delivered);
+        assert_eq!(sim.node_as::<Count>(b).unwrap().0, delivered, "case {case}");
         // Link stats agree: transmitted = offered - queue drops.
-        prop_assert_eq!(sim.link_stats(l).tx_packets, sent - qd);
-        prop_assert_eq!(sim.link_stats(l).wire_lost, wd);
-        prop_assert_eq!(sim.queue_stats(l).dropped, qd);
+        assert_eq!(sim.link_stats(l).tx_packets, sent - qd, "case {case}");
+        assert_eq!(sim.link_stats(l).wire_lost, wd, "case {case}");
+        assert_eq!(sim.queue_stats(l).dropped, qd, "case {case}");
         // Queue fully drained.
-        prop_assert_eq!(sim.queue_stats(l).enqueued, sim.queue_stats(l).dequeued);
+        assert_eq!(
+            sim.queue_stats(l).enqueued,
+            sim.queue_stats(l).dequeued,
+            "case {case}"
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! `repro` — regenerate any table or figure of the Halfback paper.
 //!
 //! ```text
-//! repro <experiment>... [--quick] [--out DIR]
+//! repro <experiment>... [--quick | --scale quick|full] [--jobs N] [--out DIR]
 //! repro all [--quick] [--out DIR]
 //! repro list
 //! ```
@@ -10,9 +10,14 @@
 //! fig13 fig14 fig15 fig16 fig17 table1. `--quick` runs the reduced-scale
 //! version (the same code paths the test suite and benches exercise);
 //! without it the paper-scale parameters run (use `--release`!).
+//!
+//! `--jobs N` sets the simulation worker-pool size (default: all cores).
+//! Results are byte-identical for every N: jobs carry stable keys and are
+//! collected in submission order, so `out/*.csv` never depends on thread
+//! interleaving.
 
 use scenarios::figures::{distinct_experiment_ids, run_experiment};
-use scenarios::Scale;
+use scenarios::{harness, Scale};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -23,11 +28,35 @@ fn rss_mb() -> Option<f64> {
     Some(line.split_whitespace().nth(1)?.parse::<f64>().ok()? / 1024.0)
 }
 
+/// Per-experiment job accounting, printed to stderr only so the files in
+/// `--out` stay byte-identical across `--jobs` settings.
+fn report_jobs(id: &str, wall_s: f64) {
+    let metrics = harness::take_metrics();
+    if metrics.is_empty() {
+        return;
+    }
+    let virt_s: f64 = metrics.iter().map(|m| m.virtual_ns as f64 / 1e9).sum();
+    let events: u64 = metrics.iter().map(|m| m.events).sum();
+    let busy_s: f64 = metrics.iter().map(|m| m.wall.as_secs_f64()).sum();
+    let panicked = metrics.iter().filter(|m| !m.ok).count();
+    eprintln!(
+        ">> {id}: {} jobs on {} workers: wall {wall_s:.1}s, cpu {busy_s:.1}s, \
+         virtual {virt_s:.0}s, {events} events{}",
+        metrics.len(),
+        harness::workers(),
+        if panicked > 0 {
+            format!(", {panicked} PANICKED")
+        } else {
+            String::new()
+        }
+    );
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
         eprintln!(
-            "usage: repro <experiment>... [--quick] [--chart] [--out DIR] | repro all | repro list"
+            "usage: repro <experiment>... [--quick] [--scale quick|full] [--jobs N] [--chart] [--out DIR] | repro all | repro list"
         );
         return ExitCode::FAILURE;
     }
@@ -40,6 +69,21 @@ fn main() -> ExitCode {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" | "-q" => scale = Scale::Quick,
+            "--scale" => match it.next().as_deref() {
+                Some("quick") => scale = Scale::Quick,
+                Some("full") => scale = Scale::Full,
+                other => {
+                    eprintln!("--scale needs 'quick' or 'full', got {other:?}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" | "-j" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => harness::set_workers(n),
+                _ => {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--chart" | "-c" => chart = true,
             "--out" | "-o" => match it.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
@@ -66,9 +110,13 @@ fn main() -> ExitCode {
             .collect();
     }
 
+    harness::set_progress(true);
     let started = std::time::Instant::now();
     for id in &experiments {
-        eprintln!(">> running {id} ({scale:?} scale)...");
+        eprintln!(
+            ">> running {id} ({scale:?} scale, {} workers)...",
+            harness::workers()
+        );
         let exp_started = std::time::Instant::now();
         match run_experiment(id, scale) {
             Some(figs) => {
@@ -90,9 +138,10 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        let wall_s = exp_started.elapsed().as_secs_f64();
+        report_jobs(id, wall_s);
         eprintln!(
-            ">> {id} done in {:.1}s (rss {:.0} MB)",
-            exp_started.elapsed().as_secs_f64(),
+            ">> {id} done in {wall_s:.1}s (rss {:.0} MB)",
             rss_mb().unwrap_or(0.0)
         );
     }

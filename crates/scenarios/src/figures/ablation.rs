@@ -7,13 +7,12 @@ use crate::metrics::feasible_capacity;
 use crate::report::Figure;
 use crate::{Protocol, Scale};
 
-/// Run the sweep over the ablation protocol set.
+/// Run the sweep over the ablation protocol set, one harness job per
+/// (protocol, utilization) cell.
 pub fn run(scale: Scale) -> FeasibleData {
-    let sweeps = Protocol::ABLATION
-        .into_iter()
-        .map(|p| (p, feasible::sweep(p, scale, 42)))
-        .collect();
-    FeasibleData { sweeps }
+    FeasibleData {
+        sweeps: feasible::sweep_many(&Protocol::ABLATION, scale, 42),
+    }
 }
 
 /// Render Fig. 17.

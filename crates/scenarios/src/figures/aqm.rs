@@ -66,14 +66,31 @@ pub fn figures(scale: Scale) -> Vec<Figure> {
         "mean short-flow FCT (ms)",
     );
     let mut results = Vec::new();
-    for p in [
+    let protos = [
         Protocol::Tcp,
         Protocol::Tcp10,
         Protocol::JumpStart,
         Protocol::Halfback,
-    ] {
-        let dt = cell(p, false, scale);
-        let cd = cell(p, true, scale);
+    ];
+    // One harness job per (protocol, queue-discipline) cell.
+    let grid: Vec<(Protocol, bool)> = protos
+        .into_iter()
+        .flat_map(|p| [(p, false), (p, true)])
+        .collect();
+    let stats = crate::harness::parallel_map(
+        grid,
+        |&(p, codel)| {
+            format!(
+                "aqm/{}/{}",
+                p.name(),
+                if codel { "codel" } else { "droptail" }
+            )
+        },
+        |(p, codel)| cell(p, codel, scale),
+    );
+    for (pi, p) in protos.into_iter().enumerate() {
+        let dt = stats[pi * 2].clone();
+        let cd = stats[pi * 2 + 1].clone();
         fig.note(format!(
             "{}: drop-tail {:.0} ms -> CoDel {:.0} ms ({:+.0}%)",
             p.name(),

@@ -94,9 +94,23 @@ pub fn figures(scale: Scale) -> Vec<Figure> {
         "mean normal retransmissions",
     );
     let bufs = buffers(scale);
+    // One harness job per (protocol, buffer) cell.
+    let grid: Vec<(Protocol, u64)> = protocols()
+        .into_iter()
+        .flat_map(|p| bufs.iter().map(move |&b| (p, b)))
+        .collect();
+    let stats = crate::harness::parallel_map(
+        grid,
+        |&(p, b)| format!("fig10/{}/buf{}k", p.name(), b / 1000),
+        |(p, b)| cell(p, b, scale),
+    );
     let mut small_buf_retx: Vec<(Protocol, f64)> = Vec::new();
-    for p in protocols() {
-        let cells: Vec<(u64, FctStats)> = bufs.iter().map(|&b| (b, cell(p, b, scale))).collect();
+    for (pi, p) in protocols().into_iter().enumerate() {
+        let cells: Vec<(u64, FctStats)> = bufs
+            .iter()
+            .zip(&stats[pi * bufs.len()..(pi + 1) * bufs.len()])
+            .map(|(&b, s)| (b, s.clone()))
+            .collect();
         fig_a.push_series(
             p.name(),
             cells

@@ -30,39 +30,69 @@ pub fn utilizations(scale: Scale) -> Vec<f64> {
     }
 }
 
-/// Sweep one protocol across utilizations with per-utilization identical
-/// schedules (shared across protocols via the seed discipline).
-pub fn sweep(protocol: Protocol, scale: Scale, seed: u64) -> Vec<SweepPoint> {
+/// One sweep cell: `protocol` at offered utilization `u`, one full
+/// dumbbell simulation. The unit of parallelism for Figs. 1/12/17 and the
+/// ratio/variance/sensitivity extensions.
+pub fn point(protocol: Protocol, u: f64, scale: Scale, seed: u64) -> SweepPoint {
     let spec = DumbbellSpec::emulab(1);
     let horizon =
         SimTime::ZERO + scale.pick(SimDuration::from_secs(120), SimDuration::from_secs(50));
-    utilizations(scale)
-        .into_iter()
-        .map(|u| {
-            // Schedule seed depends on utilization but NOT protocol: §4.3.2
-            // "same schedule of flow arrivals for each network utilization".
-            let srng = SimRng::new(seed).fork_indexed("sched", (u * 1000.0) as u64);
-            let schedule = Schedule::fixed_size(spec.bottleneck_rate, 100_000, u, horizon, srng);
-            let plans = plans_from_schedule(&schedule, protocol);
-            let opts = RunOptions {
-                host_pairs: 12,
-                grace: SimDuration::from_secs(30),
-                seed: seed ^ 0x5eed,
-                trace_bin_ns: None,
+    // Schedule seed depends on utilization but NOT protocol: §4.3.2
+    // "same schedule of flow arrivals for each network utilization".
+    let srng = SimRng::new(seed).fork_indexed("sched", (u * 1000.0) as u64);
+    let schedule = Schedule::fixed_size(spec.bottleneck_rate, 100_000, u, horizon, srng);
+    let plans = plans_from_schedule(&schedule, protocol);
+    let opts = RunOptions {
+        host_pairs: 12,
+        grace: SimDuration::from_secs(30),
+        seed: seed ^ 0x5eed,
+        trace_bin_ns: None,
         min_rto: None,
-            };
-            let out = run_dumbbell(&spec, &plans, &opts);
-            // Normalize by the arrival horizon (the denominator of the
-            // offered load), not the longer drain period.
-            let achieved = (out.bottleneck_tx_bytes as f64 * 8.0)
-                / (spec.bottleneck_rate.as_bps() as f64
-                    * horizon.saturating_since(SimTime::ZERO).as_secs_f64());
-            SweepPoint {
-                utilization: u,
-                achieved_utilization: achieved,
-                stats: FctStats::from_records(&out.records, out.censored),
-            }
-        })
+    };
+    let out = run_dumbbell(&spec, &plans, &opts);
+    // Normalize by the arrival horizon (the denominator of the
+    // offered load), not the longer drain period.
+    let achieved = (out.bottleneck_tx_bytes as f64 * 8.0)
+        / (spec.bottleneck_rate.as_bps() as f64
+            * horizon.saturating_since(SimTime::ZERO).as_secs_f64());
+    SweepPoint {
+        utilization: u,
+        achieved_utilization: achieved,
+        stats: FctStats::from_records(&out.records, out.censored),
+    }
+}
+
+/// Sweep one protocol across utilizations with per-utilization identical
+/// schedules (shared across protocols via the seed discipline). Cells run
+/// as parallel harness jobs.
+pub fn sweep(protocol: Protocol, scale: Scale, seed: u64) -> Vec<SweepPoint> {
+    sweep_many(&[protocol], scale, seed)
+        .pop()
+        .map(|(_, pts)| pts)
+        .unwrap_or_default()
+}
+
+/// Sweep several protocols at once: one harness job per (protocol,
+/// utilization) cell, results regrouped per protocol in input order.
+pub fn sweep_many(
+    protocols: &[Protocol],
+    scale: Scale,
+    seed: u64,
+) -> Vec<(Protocol, Vec<SweepPoint>)> {
+    let utils = utilizations(scale);
+    let cells: Vec<(Protocol, f64)> = protocols
+        .iter()
+        .flat_map(|&p| utils.iter().map(move |&u| (p, u)))
+        .collect();
+    let points = crate::harness::parallel_map(
+        cells,
+        |&(p, u)| format!("fig12/{}/u{:.0}/s{seed}", p.name(), u * 100.0),
+        |(p, u)| point(p, u, scale, seed),
+    );
+    protocols
+        .iter()
+        .zip(points.chunks(utils.len()))
+        .map(|(&p, pts)| (p, pts.to_vec()))
         .collect()
 }
 
@@ -74,11 +104,9 @@ pub struct FeasibleData {
 
 /// Run the full sweep for the Fig. 12 protocol set.
 pub fn run(scale: Scale) -> FeasibleData {
-    let sweeps = Protocol::EVALUATED
-        .into_iter()
-        .map(|p| (p, sweep(p, scale, 42)))
-        .collect();
-    FeasibleData { sweeps }
+    FeasibleData {
+        sweeps: sweep_many(&Protocol::EVALUATED, scale, 42),
+    }
 }
 
 /// Render Fig. 12 (FCT vs utilization) and Fig. 1 (tradeoff scatter).

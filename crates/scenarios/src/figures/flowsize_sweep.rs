@@ -72,6 +72,16 @@ pub fn figures(scale: Scale) -> Vec<Figure> {
             Protocol::Halfback,
         ],
     };
+    // One harness job per (trace, protocol) cell.
+    let grid: Vec<(TraceKind, Protocol)> = TraceKind::ALL
+        .into_iter()
+        .flat_map(|t| protos.iter().map(move |&p| (t, p)))
+        .collect();
+    let cells = crate::harness::parallel_map(
+        grid,
+        |&(t, p)| format!("fig11/{}/{}", t.name(), p.name()),
+        |(t, p)| cell(t, p, scale),
+    );
     TraceKind::ALL
         .into_iter()
         .enumerate()
@@ -85,9 +95,9 @@ pub fn figures(scale: Scale) -> Vec<Figure> {
             );
             let mut tiny: Vec<(Protocol, f64)> = Vec::new();
             let mut big: Vec<(Protocol, f64)> = Vec::new();
-            for &p in &protos {
-                let recs = cell(trace, p, scale);
-                let series = bucketize(&recs);
+            for (pi, &p) in protos.iter().enumerate() {
+                let recs = &cells[i * protos.len() + pi];
+                let series = bucketize(recs);
                 if let Some(&(_, y)) = series.first() {
                     tiny.push((p, y));
                 }

@@ -77,11 +77,20 @@ pub fn figures(scale: Scale) -> Vec<Figure> {
         "FCT of TCP vs reference",
         "FCT of non-TCP scheme vs reference",
     );
-    for p in protocols() {
-        let pts: Vec<(f64, f64)> = utilizations(scale)
-            .into_iter()
-            .map(|u| point(p, u, scale))
-            .collect();
+    // One harness job per (scheme, utilization) point (each point is
+    // three dumbbell runs: mixed + two references).
+    let utils = utilizations(scale);
+    let grid: Vec<(Protocol, f64)> = protocols()
+        .into_iter()
+        .flat_map(|p| utils.iter().map(move |&u| (p, u)))
+        .collect();
+    let points = crate::harness::parallel_map(
+        grid,
+        |&(p, u)| format!("fig14/{}/u{:.0}", p.name(), u * 100.0),
+        |(p, u)| point(p, u, scale),
+    );
+    for (pi, p) in protocols().into_iter().enumerate() {
+        let pts: Vec<(f64, f64)> = points[pi * utils.len()..(pi + 1) * utils.len()].to_vec();
         // Distance from the friendly point (1, 1), worst case across loads.
         let worst = pts
             .iter()

@@ -14,38 +14,46 @@ use workload::HomeNetwork;
 /// Per-network results: each scheme's completed flow records.
 pub type HomeResults = Vec<(HomeNetwork, Vec<(Protocol, Vec<FlowRecord>)>)>;
 
-/// Run both schemes over every server path of every home network.
+/// Run both schemes over every server path of every home network: one
+/// harness job per (network, protocol) cell.
 pub fn run(scale: Scale) -> HomeResults {
     let n_servers = scale.pick(170, 40);
+    let cells: Vec<(HomeNetwork, Protocol)> = HomeNetwork::ALL
+        .into_iter()
+        .flat_map(|hn| [Protocol::Halfback, Protocol::Tcp].map(|p| (hn, p)))
+        .collect();
+    let recs = crate::harness::parallel_map(
+        cells,
+        |&(hn, p)| format!("fig9/{}/{}", hn.name(), p.name()),
+        |(hn, p)| {
+            let paths = hn.server_paths(n_servers, 23);
+            paths
+                .iter()
+                .enumerate()
+                .filter_map(|(i, spec)| {
+                    let plan = [FlowPlan {
+                        at: SimTime::ZERO,
+                        bytes: 100_000,
+                        protocol: p,
+                    }];
+                    let (r, _) =
+                        run_path(spec, &plan, 7_000 + i as u64, SimDuration::from_secs(180));
+                    r.into_iter().next()
+                })
+                .collect::<Vec<FlowRecord>>()
+        },
+    );
     HomeNetwork::ALL
         .into_iter()
-        .map(|hn| {
-            let paths = hn.server_paths(n_servers, 23);
-            let results = [Protocol::Halfback, Protocol::Tcp]
-                .into_iter()
-                .map(|p| {
-                    let recs: Vec<FlowRecord> = paths
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, spec)| {
-                            let plan = [FlowPlan {
-                                at: SimTime::ZERO,
-                                bytes: 100_000,
-                                protocol: p,
-                            }];
-                            let (r, _) = run_path(
-                                spec,
-                                &plan,
-                                7_000 + i as u64,
-                                SimDuration::from_secs(180),
-                            );
-                            r.into_iter().next()
-                        })
-                        .collect();
-                    (p, recs)
-                })
-                .collect();
-            (hn, results)
+        .zip(recs.chunks(2))
+        .map(|(hn, pair)| {
+            (
+                hn,
+                [Protocol::Halfback, Protocol::Tcp]
+                    .into_iter()
+                    .zip(pair.iter().cloned())
+                    .collect(),
+            )
         })
         .collect()
 }

@@ -116,13 +116,23 @@ pub fn protocols() -> [Protocol; 6] {
 /// the all-TCP baseline.
 pub fn figures(scale: Scale) -> Vec<Figure> {
     let utils = utilizations(scale);
-    // Baseline: shorts also run TCP.
+    // One harness job per (protocol, utilization) cell; the all-TCP
+    // baseline (shorts also run TCP) rides in the same job list.
+    let mut all: Vec<Protocol> = vec![Protocol::Tcp];
+    all.extend(protocols());
+    let grid: Vec<(Protocol, f64)> = all
+        .iter()
+        .flat_map(|&p| utils.iter().map(move |&u| (p, u)))
+        .collect();
+    let cells = crate::harness::parallel_map(
+        grid,
+        |&(p, u)| format!("fig13/{}/u{:.0}", p.name(), u * 100.0),
+        |(p, u)| cell(p, u, scale),
+    );
     let baseline: Vec<(f64, FctStats, FctStats)> = utils
         .iter()
-        .map(|&u| {
-            let (s, l) = cell(Protocol::Tcp, u, scale);
-            (u, s, l)
-        })
+        .zip(&cells[..utils.len()])
+        .map(|(&u, (s, l))| (u, s.clone(), l.clone()))
         .collect();
     let mut fig_a = Figure::new(
         "fig13a",
@@ -136,11 +146,12 @@ pub fn figures(scale: Scale) -> Vec<Figure> {
         "utilization (%)",
         "normalized FCT",
     );
-    for p in protocols() {
+    for (pi, p) in protocols().into_iter().enumerate() {
+        let row = &cells[(pi + 1) * utils.len()..(pi + 2) * utils.len()];
         let mut pa = Vec::new();
         let mut pb = Vec::new();
         for (i, &u) in utils.iter().enumerate() {
-            let (s, l) = cell(p, u, scale);
+            let (s, l) = &row[i];
             let (bs, bl) = (&baseline[i].1, &baseline[i].2);
             if s.mean_ms.is_finite() && bs.mean_ms.is_finite() {
                 pa.push((u * 100.0, s.mean_ms / bs.mean_ms));

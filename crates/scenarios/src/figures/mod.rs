@@ -15,10 +15,10 @@ pub mod multihop;
 pub mod planetlab;
 pub mod ratio;
 pub mod sensitivity;
-pub mod variance;
 pub mod table1;
 pub mod throughput_trace;
 pub mod traffic_cdf;
+pub mod variance;
 pub mod walkthrough;
 pub mod web_response;
 
@@ -68,7 +68,23 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Figure>> {
 /// fig5–fig8 share runs).
 pub fn distinct_experiment_ids() -> Vec<&'static str> {
     vec![
-        "fig2", "fig3", "fig6", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
-        "fig16", "fig17", "table1", "aqm", "ratio", "multihop", "sensitivity", "variance",
+        "fig2",
+        "fig3",
+        "fig6",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "fig13",
+        "fig14",
+        "fig15",
+        "fig16",
+        "fig17",
+        "table1",
+        "aqm",
+        "ratio",
+        "multihop",
+        "sensitivity",
+        "variance",
     ]
 }

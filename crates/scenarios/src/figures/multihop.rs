@@ -32,13 +32,18 @@ pub fn run_through(protocol: Protocol, cross_util: f64, scale: Scale) -> FctStat
         }
     };
     wire(&mut sim, &net.through_senders, &net.through_egress);
-    wire(&mut sim, &net.through_receivers, &net.through_receiver_egress);
+    wire(
+        &mut sim,
+        &net.through_receivers,
+        &net.through_receiver_egress,
+    );
     for (ss, rs, ses, res) in &net.cross {
         wire(&mut sim, ss, ses);
         wire(&mut sim, rs, res);
     }
 
-    let horizon = SimTime::ZERO + scale.pick(SimDuration::from_secs(120), SimDuration::from_secs(30));
+    let horizon =
+        SimTime::ZERO + scale.pick(SimDuration::from_secs(120), SimDuration::from_secs(30));
     let cache = path_cache();
     let mut next_flow = 1u64;
 
@@ -47,7 +52,11 @@ pub fn run_through(protocol: Protocol, cross_util: f64, scale: Scale) -> FctStat
     let mut arrivals: Vec<(SimTime, Option<usize>)> = Vec::new();
     let cross_gap = workload::interarrival_for_utilization(spec.hop_rate, 100_000.0, cross_util);
     for h in 0..spec.hops {
-        let mut p = PoissonArrivals::new(cross_gap, SimTime::ZERO, root.fork_indexed("cross", h as u64));
+        let mut p = PoissonArrivals::new(
+            cross_gap,
+            SimTime::ZERO,
+            root.fork_indexed("cross", h as u64),
+        );
         arrivals.extend(p.take_until(horizon).into_iter().map(|t| (t, Some(h))));
     }
     // Through flows at a light 10% additional load.
@@ -85,6 +94,10 @@ pub fn run_through(protocol: Protocol, cross_util: f64, scale: Scale) -> FctStat
         }
     }
     sim.run_until(horizon + SimDuration::from_secs(30));
+    crate::harness::meter_add(
+        sim.now().saturating_since(SimTime::ZERO).as_nanos(),
+        sim.events_processed(),
+    );
 
     let mut records = Vec::new();
     for &h in &net.through_senders {
@@ -102,10 +115,27 @@ pub fn figures(scale: Scale) -> Vec<Figure> {
         "mean through-flow FCT (ms)",
     );
     let utils = scale.pick(vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6], vec![0.2, 0.4]);
-    for p in [Protocol::Tcp, Protocol::Tcp10, Protocol::JumpStart, Protocol::Halfback] {
+    let protos = [
+        Protocol::Tcp,
+        Protocol::Tcp10,
+        Protocol::JumpStart,
+        Protocol::Halfback,
+    ];
+    // One harness job per (protocol, cross-utilization) cell.
+    let grid: Vec<(Protocol, f64)> = protos
+        .into_iter()
+        .flat_map(|p| utils.iter().map(move |&u| (p, u)))
+        .collect();
+    let stats = crate::harness::parallel_map(
+        grid,
+        |&(p, u)| format!("multihop/{}/x{:.0}", p.name(), u * 100.0),
+        |(p, u)| run_through(p, u, scale),
+    );
+    for (pi, p) in protos.into_iter().enumerate() {
         let pts: Vec<(f64, f64)> = utils
             .iter()
-            .map(|&u| (u * 100.0, run_through(p, u, scale).mean_ms))
+            .zip(&stats[pi * utils.len()..(pi + 1) * utils.len()])
+            .map(|(&u, s)| (u * 100.0, s.mean_ms))
             .collect();
         let last = pts.last().map(|&(_, y)| y).unwrap_or(f64::NAN);
         fig.note(format!(

@@ -67,32 +67,53 @@ impl PlanetlabData {
     }
 }
 
-/// Run every PlanetLab scheme over the path population.
+/// Paths per harness job: each job simulates every scheme over one chunk
+/// of the path population (fine enough to saturate the pool, coarse
+/// enough to keep progress output readable at 2.6 K paths).
+const PATHS_PER_JOB: usize = 64;
+
+/// Run every PlanetLab scheme over the path population, fanned out as one
+/// harness job per path chunk.
 pub fn run(scale: Scale) -> PlanetlabData {
     let n = scale.pick(2600, 150);
     let paths = planetlab_paths(n, 17);
-    let per_path = paths
-        .iter()
+    let chunks: Vec<(usize, &[netsim::topology::PathSpec])> = paths
+        .chunks(PATHS_PER_JOB)
         .enumerate()
-        .map(|(i, spec)| {
-            Protocol::PLANETLAB
-                .into_iter()
-                .map(|p| {
-                    let plan = [FlowPlan {
-                        at: SimTime::ZERO,
-                        bytes: FLOW_BYTES,
-                        protocol: p,
-                    }];
-                    // Same seed per path across schemes: identical wire-loss
-                    // draws for the packets each scheme exposes.
-                    let (recs, _) =
-                        run_path(spec, &plan, 1000 + i as u64, SimDuration::from_secs(180));
-                    (p, recs.into_iter().next())
-                })
-                .collect()
-        })
+        .map(|(c, chunk)| (c * PATHS_PER_JOB, chunk))
         .collect();
-    PlanetlabData { per_path }
+    let rows = crate::harness::parallel_map(
+        chunks,
+        |&(start, chunk)| format!("fig5-8/paths[{start}..{}]", start + chunk.len()),
+        |(start, chunk)| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(j, spec)| {
+                    let i = start + j;
+                    Protocol::PLANETLAB
+                        .into_iter()
+                        .map(|p| {
+                            let plan = [FlowPlan {
+                                at: SimTime::ZERO,
+                                bytes: FLOW_BYTES,
+                                protocol: p,
+                            }];
+                            // Same seed per path across schemes: identical
+                            // wire-loss draws for the packets each scheme
+                            // exposes.
+                            let (recs, _) =
+                                run_path(spec, &plan, 1000 + i as u64, SimDuration::from_secs(180));
+                            (p, recs.into_iter().next())
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        },
+    );
+    PlanetlabData {
+        per_path: rows.into_iter().flatten().collect(),
+    }
 }
 
 /// Render Figs. 5, 6, 7 and 8 from one run.

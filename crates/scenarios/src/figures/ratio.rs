@@ -32,8 +32,7 @@ pub fn figures(scale: Scale) -> Vec<Figure> {
         "mean FCT (ms)",
     );
     let mut rows = Vec::new();
-    for p in variants() {
-        let pts = feasible::sweep(p, scale, 42);
+    for (p, pts) in feasible::sweep_many(&variants(), scale, 42) {
         let fc = feasible_capacity(
             &pts,
             feasible::COLLAPSE_FACTOR,

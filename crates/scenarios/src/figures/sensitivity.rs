@@ -19,38 +19,54 @@ use netsim::topology::DumbbellSpec;
 use netsim::{SimDuration, SimTime};
 use workload::Schedule;
 
-/// One sweep with a given minimum-RTO floor.
-pub fn sweep_with_floor(protocol: Protocol, floor: SimDuration, scale: Scale) -> Vec<SweepPoint> {
+/// The utilizations scanned.
+fn utilizations(scale: Scale) -> Vec<f64> {
+    scale.pick(vec![0.05, 0.3, 0.5, 0.6, 0.7, 0.8], vec![0.05, 0.5, 0.7])
+}
+
+/// One sweep cell: `protocol` at utilization `u` under the given
+/// minimum-RTO floor.
+pub fn point(protocol: Protocol, floor: SimDuration, u: f64, scale: Scale) -> SweepPoint {
     let spec = DumbbellSpec::emulab(1);
     let horizon =
         SimTime::ZERO + scale.pick(SimDuration::from_secs(120), SimDuration::from_secs(40));
-    let utils = scale.pick(vec![0.05, 0.3, 0.5, 0.6, 0.7, 0.8], vec![0.05, 0.5, 0.7]);
-    utils
-        .into_iter()
-        .map(|u| {
-            let srng = SimRng::new(42).fork_indexed("sens", (u * 1000.0) as u64);
-            let schedule = Schedule::fixed_size(spec.bottleneck_rate, 100_000, u, horizon, srng);
-            let plans = plans_from_schedule(&schedule, protocol);
-            let opts = RunOptions {
-                host_pairs: 12,
-                grace: SimDuration::from_secs(30),
-                seed: 42 ^ 0x5eed,
-                trace_bin_ns: None,
-                min_rto: Some(floor),
-            };
-            let out = run_dumbbell(&spec, &plans, &opts);
-            // Normalize by the arrival horizon (the denominator of the
-            // offered load), not the longer drain period.
-            let achieved = (out.bottleneck_tx_bytes as f64 * 8.0)
-                / (spec.bottleneck_rate.as_bps() as f64
-                    * horizon.saturating_since(SimTime::ZERO).as_secs_f64());
-            SweepPoint {
-                utilization: u,
-                achieved_utilization: achieved,
-                stats: FctStats::from_records(&out.records, out.censored),
-            }
-        })
-        .collect()
+    let srng = SimRng::new(42).fork_indexed("sens", (u * 1000.0) as u64);
+    let schedule = Schedule::fixed_size(spec.bottleneck_rate, 100_000, u, horizon, srng);
+    let plans = plans_from_schedule(&schedule, protocol);
+    let opts = RunOptions {
+        host_pairs: 12,
+        grace: SimDuration::from_secs(30),
+        seed: 42 ^ 0x5eed,
+        trace_bin_ns: None,
+        min_rto: Some(floor),
+    };
+    let out = run_dumbbell(&spec, &plans, &opts);
+    // Normalize by the arrival horizon (the denominator of the
+    // offered load), not the longer drain period.
+    let achieved = (out.bottleneck_tx_bytes as f64 * 8.0)
+        / (spec.bottleneck_rate.as_bps() as f64
+            * horizon.saturating_since(SimTime::ZERO).as_secs_f64());
+    SweepPoint {
+        utilization: u,
+        achieved_utilization: achieved,
+        stats: FctStats::from_records(&out.records, out.censored),
+    }
+}
+
+/// One sweep with a given minimum-RTO floor, one harness job per cell.
+pub fn sweep_with_floor(protocol: Protocol, floor: SimDuration, scale: Scale) -> Vec<SweepPoint> {
+    crate::harness::parallel_map(
+        utilizations(scale),
+        |&u| {
+            format!(
+                "sensitivity/{}/rto{}ms/u{:.0}",
+                protocol.name(),
+                floor.as_millis_f64(),
+                u * 100.0
+            )
+        },
+        |u| point(protocol, floor, u, scale),
+    )
 }
 
 /// Render the sensitivity figure.

@@ -48,6 +48,10 @@ pub fn panel(shorts: &[(u64, Protocol)], scale: Scale) -> Panel {
     }
     rig.sim
         .run_until(SimTime::ZERO + SimDuration::from_secs(horizon));
+    crate::harness::meter_add(
+        rig.sim.now().saturating_since(SimTime::ZERO).as_nanos(),
+        rig.sim.events_processed(),
+    );
 
     let mut out: Panel = Vec::new();
     let offset_ms = (SHORT_AT_S * 1000) as f64;
@@ -103,24 +107,34 @@ pub fn optimal_panel() -> Panel {
 
 /// Render Fig. 15(a–d).
 pub fn figures(scale: Scale) -> Vec<Figure> {
-    let panels: Vec<(&str, &str, Panel)> = vec![
-        ("fig15a", "Optimal situation", optimal_panel()),
+    // Panels (b)–(d) each simulate an independent dumbbell: one harness
+    // job apiece. Panel (a) is analytic and stays inline.
+    type PanelSpec = (&'static str, &'static str, Vec<(u64, Protocol)>);
+    let sim_specs: Vec<PanelSpec> = vec![
         (
             "fig15b",
             "Halfback short flow",
-            panel(&[(100_000, Protocol::Halfback)], scale),
+            vec![(100_000, Protocol::Halfback)],
         ),
         (
             "fig15c",
             "One TCP short flow",
-            panel(&[(100_000, Protocol::Tcp)], scale),
+            vec![(100_000, Protocol::Tcp)],
         ),
         (
             "fig15d",
             "Two TCP short flows with half flow size",
-            panel(&[(50_000, Protocol::Tcp), (50_000, Protocol::Tcp)], scale),
+            vec![(50_000, Protocol::Tcp), (50_000, Protocol::Tcp)],
         ),
     ];
+    let sim_panels = crate::harness::parallel_map(
+        sim_specs,
+        |&(id, _, _)| format!("fig15/{id}"),
+        |(id, title, shorts)| (id, title, panel(&shorts, scale)),
+    );
+    let mut panels: Vec<(&str, &str, Panel)> =
+        vec![("fig15a", "Optimal situation", optimal_panel())];
+    panels.extend(sim_panels);
     panels
         .into_iter()
         .map(|(id, title, panel)| {

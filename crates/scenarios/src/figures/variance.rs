@@ -12,14 +12,25 @@ pub fn seeds(scale: Scale) -> Vec<u64> {
     scale.pick(vec![42, 1, 7, 1234, 99991], vec![42, 7])
 }
 
-/// Per-seed (feasible capacity, low-load FCT ms) for one scheme.
+/// Per-seed (feasible capacity, low-load FCT ms) for one scheme; one
+/// harness job per (seed, utilization) cell.
 pub fn per_seed(protocol: Protocol, scale: Scale) -> Vec<(f64, f64)> {
-    seeds(scale)
-        .into_iter()
-        .map(|seed| {
-            let pts = feasible::sweep(protocol, scale, seed);
+    let seeds = seeds(scale);
+    let utils = feasible::utilizations(scale);
+    let cells: Vec<(u64, f64)> = seeds
+        .iter()
+        .flat_map(|&s| utils.iter().map(move |&u| (s, u)))
+        .collect();
+    let points = crate::harness::parallel_map(
+        cells,
+        |&(s, u)| format!("variance/{}/seed{s}/u{:.0}", protocol.name(), u * 100.0),
+        |(s, u)| feasible::point(protocol, u, scale, s),
+    );
+    points
+        .chunks(utils.len())
+        .map(|pts| {
             let fc = feasible_capacity(
-                &pts,
+                pts,
                 feasible::COLLAPSE_FACTOR,
                 feasible::COLLAPSE_FLOOR_MS,
                 feasible::MIN_COMPLETION,
@@ -42,7 +53,10 @@ pub fn figures(scale: Scale) -> Vec<Figure> {
         let rows = per_seed(p, scale);
         fig.push_series(
             p.name(),
-            rows.iter().enumerate().map(|(i, &(fc, _))| (i as f64, fc * 100.0)).collect(),
+            rows.iter()
+                .enumerate()
+                .map(|(i, &(fc, _))| (i as f64, fc * 100.0))
+                .collect(),
         );
         let fcs: Vec<f64> = rows.iter().map(|r| r.0).collect();
         let lows: Vec<f64> = rows.iter().map(|r| r.1).collect();

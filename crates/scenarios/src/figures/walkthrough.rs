@@ -74,7 +74,14 @@ pub fn run() -> (Vec<String>, transport::FlowRecord) {
             ));
         }
         lines.sort_by(|a, b| {
-            let t = |s: &str| s.trim_start().split(' ').next().unwrap().parse::<f64>().unwrap_or(0.0);
+            let t = |s: &str| {
+                s.trim_start()
+                    .split(' ')
+                    .next()
+                    .unwrap()
+                    .parse::<f64>()
+                    .unwrap_or(0.0)
+            };
             t(a).partial_cmp(&t(b)).unwrap()
         });
     }

@@ -186,6 +186,10 @@ pub fn run_web(protocol: Protocol, utilization: f64, scale: Scale) -> WebRun {
         }
     }
 
+    crate::harness::meter_add(
+        rig.sim.now().saturating_since(SimTime::ZERO).as_nanos(),
+        rig.sim.events_processed(),
+    );
     let censored = pages.len() - response_ms.len();
     WebRun {
         response_ms,
@@ -222,14 +226,22 @@ pub fn figures(scale: Scale) -> Vec<Figure> {
         "response time (ms)",
     );
     let utils = utilizations(scale);
+    // One harness job per (protocol, utilization) web run.
+    let grid: Vec<(Protocol, f64)> = protocols()
+        .into_iter()
+        .flat_map(|p| utils.iter().map(move |&u| (p, u)))
+        .collect();
+    let runs = crate::harness::parallel_map(
+        grid,
+        |&(p, u)| format!("fig16/{}/u{:.0}", p.name(), u * 100.0),
+        |(p, u)| run_web(p, u, scale),
+    );
     let mut at30: Vec<(Protocol, f64)> = Vec::new();
-    for p in protocols() {
+    for (pi, p) in protocols().into_iter().enumerate() {
         let pts: Vec<(f64, f64, f64)> = utils
             .iter()
-            .map(|&u| {
-                let r = run_web(p, u, scale);
-                (u * 100.0, r.mean_ms(), r.completion_rate())
-            })
+            .zip(&runs[pi * utils.len()..(pi + 1) * utils.len()])
+            .map(|(&u, r)| (u * 100.0, r.mean_ms(), r.completion_rate()))
             .collect();
         if let Some(&(_, m, _)) = pts.iter().find(|&&(u, _, _)| (u - 30.0).abs() < 1.0) {
             at30.push((p, m));

@@ -1,0 +1,332 @@
+//! Parallel experiment execution: a fixed-size worker pool fanning out
+//! independent simulation jobs.
+//!
+//! Every experiment in `figures/` decomposes into cells — one simulation
+//! per (figure, seed, protocol, load-point) — that share no state. This
+//! module runs such cells on a pool of OS threads while keeping the
+//! results **deterministic**: jobs carry stable keys, results are returned
+//! in submission order regardless of completion order, and nothing a job
+//! prints or returns depends on the worker count. `repro --jobs 1` and
+//! `--jobs 8` therefore produce byte-identical `out/` trees.
+//!
+//! Panics inside a job are isolated with [`std::panic::catch_unwind`]: one
+//! diverging simulation aborts that cell, not the whole sweep. Each job
+//! also reports wall-clock time, simulated virtual time, and event count
+//! (fed by the runners through [`meter_add`]), which `repro` summarizes on
+//! stderr — never into `out/`, preserving byte-identity.
+
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One unit of work: a stable key (used in progress lines, metrics, and
+/// panic reports) plus the closure that computes the result.
+pub struct Job<'a, T> {
+    /// Stable identifier, e.g. `"fig12/Halfback/u35"`.
+    pub key: String,
+    run: Box<dyn FnOnce() -> T + Send + 'a>,
+}
+
+impl<'a, T> Job<'a, T> {
+    /// Package a closure as a job.
+    pub fn new(key: impl Into<String>, f: impl FnOnce() -> T + Send + 'a) -> Job<'a, T> {
+        Job {
+            key: key.into(),
+            run: Box::new(f),
+        }
+    }
+}
+
+/// A job that panicked instead of returning.
+#[derive(Debug, Clone)]
+pub struct JobPanic {
+    /// The job's key.
+    pub key: String,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job '{}' panicked: {}", self.key, self.message)
+    }
+}
+
+/// Timing record of one completed job.
+#[derive(Debug, Clone)]
+pub struct JobMetrics {
+    /// The job's key.
+    pub key: String,
+    /// Wall-clock execution time.
+    pub wall: Duration,
+    /// Simulated virtual time advanced by the job's simulations (ns).
+    pub virtual_ns: u64,
+    /// Discrete events processed by the job's simulations.
+    pub events: u64,
+    /// Whether the job returned normally.
+    pub ok: bool,
+}
+
+/// Worker count: 0 = unset, resolve to available parallelism on use.
+static WORKERS: AtomicUsize = AtomicUsize::new(0);
+/// Whether to print a progress line per completed job (repro turns this
+/// on; tests leave it off).
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+/// Completed-job metrics, drained by [`take_metrics`].
+static METRICS: Mutex<Vec<JobMetrics>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// (virtual ns, events) accumulated by the job running on this thread.
+    static METER: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+    /// Set while a job executes: nested `run_jobs` calls then run inline
+    /// instead of spawning a second pool.
+    static IN_JOB: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Set the worker-pool size used by [`run_jobs`] (the `--jobs N` flag).
+pub fn set_workers(n: usize) {
+    WORKERS.store(n, Ordering::Relaxed);
+}
+
+/// The effective worker count: the value set via [`set_workers`], or the
+/// machine's available parallelism.
+pub fn workers() -> usize {
+    match WORKERS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Enable or disable per-job progress lines on stderr.
+pub fn set_progress(on: bool) {
+    PROGRESS.store(on, Ordering::Relaxed);
+}
+
+/// Credit the currently running job with simulated time and events.
+/// Called by the runners after each simulation; a no-op outside a job.
+pub fn meter_add(virtual_ns: u64, events: u64) {
+    METER.with(|m| {
+        let (v, e) = m.get();
+        m.set((v.saturating_add(virtual_ns), e.saturating_add(events)));
+    });
+}
+
+/// Drain the metrics of all jobs completed since the last call.
+pub fn take_metrics() -> Vec<JobMetrics> {
+    std::mem::take(&mut METRICS.lock().unwrap())
+}
+
+/// Run one job under the panic guard and the meter; record its metrics.
+fn execute<T>(job: Job<'_, T>, done: &AtomicUsize, total: usize) -> Result<T, JobPanic> {
+    let key = job.key;
+    let run = job.run;
+    METER.with(|m| m.set((0, 0)));
+    IN_JOB.with(|f| f.set(true));
+    let t0 = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(run));
+    let wall = t0.elapsed();
+    IN_JOB.with(|f| f.set(false));
+    let (virtual_ns, events) = METER.with(|m| m.get());
+    let ok = result.is_ok();
+    let n_done = done.fetch_add(1, Ordering::Relaxed) + 1;
+    if PROGRESS.load(Ordering::Relaxed) {
+        eprintln!(
+            ":: [{n_done}/{total}] {key}: wall {:.2}s, virtual {:.1}s, {events} events{}",
+            wall.as_secs_f64(),
+            virtual_ns as f64 / 1e9,
+            if ok { "" } else { " [PANICKED]" },
+        );
+    }
+    METRICS.lock().unwrap().push(JobMetrics {
+        key: key.clone(),
+        wall,
+        virtual_ns,
+        events,
+        ok,
+    });
+    result.map_err(|payload| {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_string()
+        };
+        JobPanic { key, message }
+    })
+}
+
+/// Run jobs on the configured pool ([`workers`]); results come back in
+/// submission order, one `Result` per job.
+pub fn run_jobs<T: Send>(jobs: Vec<Job<'_, T>>) -> Vec<Result<T, JobPanic>> {
+    run_jobs_on(jobs, workers())
+}
+
+/// Run jobs on a pool of exactly `n_workers` threads.
+///
+/// Scheduling is work-stealing from a shared queue, so execution *order*
+/// varies with the worker count — but results are collected by submission
+/// slot, so the returned vector (and anything derived from it) does not.
+pub fn run_jobs_on<T: Send>(jobs: Vec<Job<'_, T>>, n_workers: usize) -> Vec<Result<T, JobPanic>> {
+    let total = jobs.len();
+    let done = AtomicUsize::new(0);
+    // Serial path: one worker, one job, or a nested call from inside a
+    // running job (the pool is already busy executing us).
+    if n_workers <= 1 || total <= 1 || IN_JOB.with(|f| f.get()) {
+        return jobs.into_iter().map(|j| execute(j, &done, total)).collect();
+    }
+
+    let slots: Mutex<Vec<Option<Job<'_, T>>>> = Mutex::new(jobs.into_iter().map(Some).collect());
+    let results: Mutex<Vec<Option<Result<T, JobPanic>>>> =
+        Mutex::new((0..total).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers.min(total) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= total {
+                    break;
+                }
+                let job = slots.lock().unwrap()[i].take().expect("job taken twice");
+                let outcome = execute(job, &done, total);
+                results.lock().unwrap()[i] = Some(outcome);
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("worker exited without storing a result"))
+        .collect()
+}
+
+/// Map `f` over `items` in parallel, preserving order. Panics (with the
+/// offending job's key) if any item's job panics — the behaviour the
+/// figure modules had when they ran their loops inline.
+pub fn parallel_map<I, T>(
+    items: Vec<I>,
+    key: impl Fn(&I) -> String,
+    f: impl Fn(I) -> T + Sync,
+) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+{
+    let f = &f;
+    let jobs: Vec<Job<'_, T>> = items
+        .into_iter()
+        .map(|item| {
+            let k = key(&item);
+            Job::new(k, move || f(item))
+        })
+        .collect();
+    run_jobs(jobs)
+        .into_iter()
+        .map(|r| match r {
+            Ok(v) => v,
+            Err(p) => panic!("{p}"),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_submission_order() {
+        let jobs: Vec<Job<'_, usize>> = (0..64)
+            .map(|i| Job::new(format!("j{i}"), move || i * i))
+            .collect();
+        let out = run_jobs_on(jobs, 8);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), i * i);
+        }
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let mk = || {
+            (0..32)
+                .map(|i| Job::new(format!("j{i}"), move || i * 7 + 1))
+                .collect::<Vec<Job<'_, usize>>>()
+        };
+        let serial: Vec<usize> = run_jobs_on(mk(), 1)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        let parallel: Vec<usize> = run_jobs_on(mk(), 8)
+            .into_iter()
+            .map(|r| r.unwrap())
+            .collect();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn panics_are_isolated() {
+        let jobs: Vec<Job<'_, u32>> = vec![
+            Job::new("ok1", || 1),
+            Job::new("boom", || panic!("deliberate test panic")),
+            Job::new("ok2", || 2),
+        ];
+        let out = run_jobs_on(jobs, 4);
+        assert_eq!(*out[0].as_ref().unwrap(), 1);
+        let err = out[1].as_ref().unwrap_err();
+        assert_eq!(err.key, "boom");
+        assert!(err.message.contains("deliberate test panic"));
+        assert_eq!(*out[2].as_ref().unwrap(), 2);
+    }
+
+    #[test]
+    fn nested_run_jobs_runs_inline() {
+        let jobs: Vec<Job<'_, usize>> = (0..4)
+            .map(|i| {
+                Job::new(format!("outer{i}"), move || {
+                    let inner: Vec<Job<'_, usize>> = (0..3)
+                        .map(|j| Job::new(format!("inner{j}"), move || i + j))
+                        .collect();
+                    run_jobs_on(inner, 8).into_iter().map(|r| r.unwrap()).sum()
+                })
+            })
+            .collect();
+        let out = run_jobs_on(jobs, 2);
+        for (i, r) in out.iter().enumerate() {
+            assert_eq!(*r.as_ref().unwrap(), 3 * i + 3);
+        }
+    }
+
+    #[test]
+    fn meter_accumulates_per_job() {
+        let jobs: Vec<Job<'_, ()>> = vec![
+            Job::new("meter/a", || meter_add(10, 2)),
+            Job::new("meter/b", || {
+                meter_add(5, 1);
+                meter_add(5, 1);
+            }),
+        ];
+        run_jobs_on(jobs, 1);
+        // Other tests in this binary push into the global metrics buffer
+        // concurrently; select our own jobs by key.
+        let m: Vec<JobMetrics> = take_metrics()
+            .into_iter()
+            .filter(|x| x.key.starts_with("meter/"))
+            .collect();
+        assert_eq!(m.len(), 2);
+        assert_eq!((m[0].virtual_ns, m[0].events), (10, 2));
+        assert_eq!((m[1].virtual_ns, m[1].events), (10, 2));
+        assert!(m.iter().all(|x| x.ok));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = parallel_map((0..20).collect(), |i| format!("k{i}"), |i: i32| i * 2);
+        assert_eq!(out, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+    }
+}

@@ -4,15 +4,17 @@
 //!
 //! * [`protocols`] — the scheme registry (all eight schemes + ablations)
 //! * [`runner`] — schedule execution on dumbbells and two-host paths
+//! * [`harness`] — the parallel job pool the figure modules fan out on
 //! * [`metrics`] — FCT statistics and the feasible-capacity knee detector
 //! * [`report`] — text tables and CSV output
 //!
 //! The `repro` binary regenerates any figure:
-//! `cargo run --release -p scenarios --bin repro -- fig12`.
+//! `cargo run --release -p scenarios --bin repro -- fig12 --jobs 4`.
 
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod harness;
 pub mod metrics;
 pub mod protocols;
 pub mod report;

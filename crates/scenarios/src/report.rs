@@ -117,8 +117,12 @@ impl Figure {
         if pts.is_empty() {
             return String::from("(no data)\n");
         }
-        let (x0, x1) = pts.iter().fold((f64::MAX, f64::MIN), |(a, b), &(x, _)| (a.min(x), b.max(x)));
-        let (y0, y1) = pts.iter().fold((f64::MAX, f64::MIN), |(a, b), &(_, y)| (a.min(y), b.max(y)));
+        let (x0, x1) = pts
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(a, b), &(x, _)| (a.min(x), b.max(x)));
+        let (y0, y1) = pts
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(a, b), &(_, y)| (a.min(y), b.max(y)));
         let xr = (x1 - x0).max(1e-12);
         let yr = (y1 - y0).max(1e-12);
         let mut grid = vec![vec![b' '; W]; H];
@@ -139,9 +143,20 @@ impl Figure {
             let _ = writeln!(out, "{:>10} |{}", "", String::from_utf8_lossy(row));
         }
         let _ = writeln!(out, "{:>10.6} +{}", y0, "-".repeat(W));
-        let _ = writeln!(out, "{:>12}{:<32}{:>32}", "", format!("{:.3}", x0), format!("{:.3}", x1));
+        let _ = writeln!(
+            out,
+            "{:>12}{:<32}{:>32}",
+            "",
+            format!("{:.3}", x0),
+            format!("{:.3}", x1)
+        );
         for (si, s) in self.series.iter().enumerate() {
-            let _ = writeln!(out, "   {} = {}", GLYPHS[si % GLYPHS.len()] as char, s.label);
+            let _ = writeln!(
+                out,
+                "   {} = {}",
+                GLYPHS[si % GLYPHS.len()] as char,
+                s.label
+            );
         }
         out
     }
@@ -244,7 +259,10 @@ mod tests {
         let gp = std::fs::read_to_string(dir.join("figG.gp")).unwrap();
         assert!(gp.contains("figG.png"));
         assert!(gp.contains("\"A\""));
-        assert!(gp.contains("B;C"), "commas in labels must be escaped like the CSV");
+        assert!(
+            gp.contains("B;C"),
+            "commas in labels must be escaped like the CSV"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

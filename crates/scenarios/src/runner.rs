@@ -130,8 +130,13 @@ impl DumbbellRig {
         flow
     }
 
-    /// Collect the outcome after the run.
+    /// Collect the outcome after the run (credits the harness meter with
+    /// the virtual time and events this simulation consumed).
     pub fn outcome(&mut self) -> RunOutcome {
+        crate::harness::meter_add(
+            self.sim.now().saturating_since(SimTime::ZERO).as_nanos(),
+            self.sim.events_processed(),
+        );
         let mut records = Vec::new();
         for &h in &self.net.left_hosts {
             records.extend(
@@ -198,6 +203,10 @@ pub fn run_path(
         last = f.at;
     }
     sim.run_until(last + grace);
+    crate::harness::meter_add(
+        sim.now().saturating_since(SimTime::ZERO).as_nanos(),
+        sim.events_processed(),
+    );
     let host = sim.node_as::<Host>(net.sender).unwrap();
     let records: Vec<FlowRecord> = host.completed().to_vec();
     let censored = flows.len() - records.len();

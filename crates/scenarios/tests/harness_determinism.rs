@@ -1,0 +1,111 @@
+//! The tentpole guarantee of the parallel harness: the worker count is
+//! invisible in the output. Running a real figure with 1 worker and with 8
+//! must yield byte-identical CSV and summary files, and a panicking job
+//! must not take down its siblings.
+
+use scenarios::figures::run_experiment;
+use scenarios::{harness, Scale};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The harness worker count and metrics buffer are process-global;
+/// serialize the tests that touch them.
+static HARNESS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Render `experiment` at quick scale with `n` workers and write its
+/// CSV/summary files under `dir`.
+fn render_to(experiment: &str, n_workers: usize, dir: &Path) {
+    harness::set_workers(n_workers);
+    let figs = run_experiment(experiment, Scale::Quick).expect("known experiment");
+    for fig in figs {
+        fig.write_csv(dir).unwrap();
+    }
+}
+
+/// Read every file under `dir` as (name, bytes), sorted by name.
+fn snapshot(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                fs::read(e.path()).unwrap(),
+            )
+        })
+        .collect();
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    files
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("halfback-harness-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn serial_and_parallel_runs_are_byte_identical() {
+    let _guard = HARNESS_LOCK.lock().unwrap();
+    let d1 = scratch("serial");
+    let d8 = scratch("parallel");
+    // fig9 is the cheapest multi-cell experiment: 4 home networks x 2
+    // protocols = 8 jobs, enough to exercise real out-of-order completion.
+    render_to("fig9", 1, &d1);
+    render_to("fig9", 8, &d8);
+    harness::set_workers(0); // restore the default for other tests
+    harness::take_metrics();
+
+    let a = snapshot(&d1);
+    let b = snapshot(&d8);
+    assert!(!a.is_empty(), "no output files written");
+    assert_eq!(
+        a.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+        b.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+        "file sets differ between --jobs 1 and --jobs 8"
+    );
+    for ((name, bytes1), (_, bytes8)) in a.iter().zip(&b) {
+        assert_eq!(
+            bytes1, bytes8,
+            "{name} differs between --jobs 1 and --jobs 8"
+        );
+    }
+    let _ = fs::remove_dir_all(&d1);
+    let _ = fs::remove_dir_all(&d8);
+}
+
+#[test]
+fn panicking_job_does_not_poison_the_pool() {
+    let _guard = HARNESS_LOCK.lock().unwrap();
+    harness::take_metrics();
+    use scenarios::harness::{run_jobs_on, Job};
+    // A realistic mix: simulation-sized jobs around one that dies.
+    let jobs: Vec<Job<'_, usize>> = (0..6)
+        .map(|i| {
+            Job::new(format!("cell{i}"), move || {
+                if i == 3 {
+                    panic!("divergent simulation in cell {i}");
+                }
+                (0..1000).map(|x: usize| x.wrapping_mul(i)).sum::<usize>() & 0xff
+            })
+        })
+        .collect();
+    let out = run_jobs_on(jobs, 4);
+    assert_eq!(out.len(), 6);
+    for (i, r) in out.iter().enumerate() {
+        if i == 3 {
+            let err = r.as_ref().unwrap_err();
+            assert_eq!(err.key, "cell3");
+            assert!(err.message.contains("divergent simulation"));
+        } else {
+            assert!(r.is_ok(), "sibling job {i} was poisoned");
+        }
+    }
+    // After the pool drains, metrics exist for every job including the
+    // panicked one.
+    let metrics = harness::take_metrics();
+    assert!(metrics.len() >= 6);
+    assert_eq!(metrics.iter().filter(|m| !m.ok).count(), 1);
+}

@@ -142,7 +142,11 @@ impl Host {
     /// Debug: (timer arms by kind [Rto, Pace, Pto, User], cancels) and the
     /// number of timer-route entries still alive.
     pub fn timer_census(&self) -> ([u64; 4], u64, usize) {
-        (self.core.timer_arms, self.core.timer_cancels, self.core.routes.len())
+        (
+            self.core.timer_arms,
+            self.core.timer_cancels,
+            self.core.routes.len(),
+        )
     }
 
     /// Receiver-side connection state for a flow, if any.

@@ -181,7 +181,7 @@ impl RangeSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use netsim::rng::SimRng;
     use std::collections::BTreeSet;
 
     #[test]
@@ -264,39 +264,68 @@ mod tests {
         assert_eq!(r.ranges_within(10, 20), vec![]);
     }
 
-    proptest! {
-        /// RangeSet agrees with a reference BTreeSet on arbitrary operations.
-        #[test]
-        fn matches_reference_set(ops in prop::collection::vec((0u32..200, 1u32..20), 0..60)) {
+    /// Random `(start, len)` insert operations for the reference tests.
+    fn random_ops(
+        rng: &mut SimRng,
+        max_ops: usize,
+        max_start: u32,
+        max_len: u32,
+    ) -> Vec<(u32, u32)> {
+        let n = rng.index(max_ops + 1);
+        (0..n)
+            .map(|_| {
+                (
+                    rng.index(max_start as usize) as u32,
+                    1 + rng.index(max_len as usize - 1) as u32,
+                )
+            })
+            .collect()
+    }
+
+    /// RangeSet agrees with a reference BTreeSet on arbitrary operations.
+    #[test]
+    fn matches_reference_set() {
+        let mut rng = SimRng::new(0xA11CE);
+        for case in 0..256 {
+            let ops = random_ops(&mut rng, 60, 200, 20);
             let mut rs = RangeSet::new();
             let mut reference = BTreeSet::new();
-            for (start, len) in ops {
+            for &(start, len) in &ops {
                 let end = start + len;
                 rs.insert_range(start, end);
                 for v in start..end {
                     reference.insert(v);
                 }
-                prop_assert_eq!(rs.len(), reference.len() as u64);
+                assert_eq!(rs.len(), reference.len() as u64, "case {case} ops {ops:?}");
             }
             for v in 0u32..240 {
-                prop_assert_eq!(rs.contains(v), reference.contains(&v), "value {}", v);
+                assert_eq!(
+                    rs.contains(v),
+                    reference.contains(&v),
+                    "case {case} value {v} ops {ops:?}"
+                );
             }
             // Ranges must be disjoint, sorted and coalesced.
             let ranges: Vec<_> = rs.iter_ranges().collect();
             for w in ranges.windows(2) {
-                prop_assert!(w[0].1 < w[1].0, "ranges {:?} not coalesced", ranges);
+                assert!(
+                    w[0].1 < w[1].0,
+                    "case {case}: ranges {ranges:?} not coalesced"
+                );
             }
         }
+    }
 
-        /// first_missing_from matches a linear scan of the reference.
-        #[test]
-        fn first_missing_matches_reference(
-            ops in prop::collection::vec((0u32..100, 1u32..10), 0..30),
-            probe in 0u32..120,
-        ) {
+    /// first_missing_from matches a linear scan of the reference.
+    #[test]
+    fn first_missing_matches_reference() {
+        let mut rng = SimRng::new(0xF157);
+        for case in 0..256 {
+            let ops = random_ops(&mut rng, 30, 100, 10);
+            let probe = rng.index(120) as u32;
             let mut rs = RangeSet::new();
             let mut reference = BTreeSet::new();
-            for (start, len) in ops {
+            for &(start, len) in &ops {
                 rs.insert_range(start, start + len);
                 for v in start..start + len {
                     reference.insert(v);
@@ -306,25 +335,35 @@ mod tests {
             while reference.contains(&expect) {
                 expect += 1;
             }
-            prop_assert_eq!(rs.first_missing_from(probe), expect);
+            assert_eq!(
+                rs.first_missing_from(probe),
+                expect,
+                "case {case} probe {probe} ops {ops:?}"
+            );
         }
+    }
 
-        /// count_above matches a linear scan.
-        #[test]
-        fn count_above_matches_reference(
-            ops in prop::collection::vec((0u32..100, 1u32..10), 0..30),
-            probe in 0u32..120,
-        ) {
+    /// count_above matches a linear scan.
+    #[test]
+    fn count_above_matches_reference() {
+        let mut rng = SimRng::new(0xC07);
+        for case in 0..256 {
+            let ops = random_ops(&mut rng, 30, 100, 10);
+            let probe = rng.index(120) as u32;
             let mut rs = RangeSet::new();
             let mut reference = BTreeSet::new();
-            for (start, len) in ops {
+            for &(start, len) in &ops {
                 rs.insert_range(start, start + len);
                 for v in start..start + len {
                     reference.insert(v);
                 }
             }
             let expect = reference.iter().filter(|&&v| v > probe).count() as u64;
-            prop_assert_eq!(rs.count_above(probe), expect);
+            assert_eq!(
+                rs.count_above(probe),
+                expect,
+                "case {case} probe {probe} ops {ops:?}"
+            );
         }
     }
 }
@@ -332,7 +371,7 @@ mod tests {
 #[cfg(test)]
 mod missing_tests {
     use super::*;
-    use proptest::prelude::*;
+    use netsim::rng::SimRng;
 
     #[test]
     fn missing_within_basic() {
@@ -346,16 +385,19 @@ mod missing_tests {
         assert_eq!(r.missing_within(5, 5), vec![]);
     }
 
-    proptest! {
-        #[test]
-        fn missing_within_matches_reference(
-            ops in prop::collection::vec((0u32..80, 1u32..10), 0..20),
-            lo in 0u32..90,
-            len in 0u32..30,
-        ) {
+    #[test]
+    fn missing_within_matches_reference() {
+        let mut rng = SimRng::new(0x6a95);
+        for case in 0..256 {
+            let n_ops = rng.index(21);
+            let ops: Vec<(u32, u32)> = (0..n_ops)
+                .map(|_| (rng.index(80) as u32, 1 + rng.index(9) as u32))
+                .collect();
+            let lo = rng.index(90) as u32;
+            let len = rng.index(30) as u32;
             let mut rs = RangeSet::new();
             let mut member = std::collections::BTreeSet::new();
-            for (s, l) in ops {
+            for &(s, l) in &ops {
                 rs.insert_range(s, s + l);
                 for v in s..s + l {
                     member.insert(v);
@@ -372,15 +414,15 @@ mod missing_tests {
             }
             let mut got = Vec::new();
             for (s, e) in &gaps {
-                prop_assert!(s < e);
+                assert!(s < e, "case {case} ops {ops:?}");
                 for v in *s..*e {
                     got.push(v);
                 }
             }
-            prop_assert_eq!(got, expect);
+            assert_eq!(got, expect, "case {case} [{lo}, {hi}) ops {ops:?}");
             // Gaps must be disjoint and sorted.
             for w in gaps.windows(2) {
-                prop_assert!(w[0].1 <= w[1].0);
+                assert!(w[0].1 <= w[1].0, "case {case} gaps {gaps:?}");
             }
         }
     }

@@ -51,10 +51,18 @@ fn rig(spec: &PathSpec, seed: u64) -> (TransportSim, netsim::topology::PathNet) 
 fn syn_retries_back_off_exponentially() {
     let mut spec = PathSpec::clean(Rate::from_mbps(50), SimDuration::from_millis(40));
     // Drop the first two SYNs.
-    spec.loss = LossModel::DropList { ordinals: vec![1, 2] };
+    spec.loss = LossModel::DropList {
+        ordinals: vec![1, 2],
+    };
     let (mut sim, net) = rig(&spec, 1);
     sim.with_node_mut::<Host, _>(net.sender, |h, core| {
-        h.start_flow(core, FlowId(1), net.receiver, 20_000, Box::new(MiniTcp::new()))
+        h.start_flow(
+            core,
+            FlowId(1),
+            net.receiver,
+            20_000,
+            Box::new(MiniTcp::new()),
+        )
     });
     sim.run_to_completion(1_000_000);
     let rec = sim.node_as::<Host>(net.sender).unwrap().completed()[0].clone();
@@ -72,7 +80,13 @@ fn completion_bus_receives_records_in_order() {
     sim.with_node_mut::<Host, _>(net.sender, |h, _| h.set_bus(bus.clone()));
     for i in 0..3u64 {
         sim.with_node_mut::<Host, _>(net.sender, |h, core| {
-            h.start_flow(core, FlowId(i + 1), net.receiver, 10_000 * (i + 1), Box::new(MiniTcp::new()))
+            h.start_flow(
+                core,
+                FlowId(i + 1),
+                net.receiver,
+                10_000 * (i + 1),
+                Box::new(MiniTcp::new()),
+            )
         });
     }
     sim.run_to_completion(1_000_000);
@@ -81,7 +95,10 @@ fn completion_bus_receives_records_in_order() {
     // Smaller flows complete first (same start, same path).
     assert!(drained[0].bytes <= drained[1].bytes);
     // Host keeps its own copy too.
-    assert_eq!(sim.node_as::<Host>(net.sender).unwrap().completed().len(), 3);
+    assert_eq!(
+        sim.node_as::<Host>(net.sender).unwrap().completed().len(),
+        3
+    );
 }
 
 #[test]
@@ -90,11 +107,20 @@ fn delivery_traces_cover_the_flow() {
     let (mut sim, net) = rig(&spec, 3);
     sim.with_node_mut::<Host, _>(net.receiver, |h, _| h.trace_bin_ns = Some(10_000_000));
     sim.with_node_mut::<Host, _>(net.sender, |h, core| {
-        h.start_flow(core, FlowId(1), net.receiver, 50_000, Box::new(MiniTcp::new()))
+        h.start_flow(
+            core,
+            FlowId(1),
+            net.receiver,
+            50_000,
+            Box::new(MiniTcp::new()),
+        )
     });
     sim.run_to_completion(1_000_000);
     let host = sim.node_as::<Host>(net.receiver).unwrap();
-    let tb = host.delivery_traces.get(&FlowId(1)).expect("trace recorded");
+    let tb = host
+        .delivery_traces
+        .get(&FlowId(1))
+        .expect("trace recorded");
     let total: f64 = tb.series().iter().map(|&(_, v)| v).sum();
     assert!((total - 50_000.0).abs() < 1.0, "trace bytes {total}");
 }
@@ -107,14 +133,24 @@ fn receiver_handles_duplicate_syn() {
     spec.reverse_loss = LossModel::DropList { ordinals: vec![1] };
     let (mut sim, net) = rig(&spec, 4);
     sim.with_node_mut::<Host, _>(net.sender, |h, core| {
-        h.start_flow(core, FlowId(1), net.receiver, 20_000, Box::new(MiniTcp::new()))
+        h.start_flow(
+            core,
+            FlowId(1),
+            net.receiver,
+            20_000,
+            Box::new(MiniTcp::new()),
+        )
     });
     sim.run_to_completion(1_000_000);
     let sender = sim.node_as::<Host>(net.sender).unwrap();
     assert_eq!(sender.completed().len(), 1);
     assert_eq!(sender.completed()[0].counters.syn_sent, 2);
     let receiver = sim.node_as::<Host>(net.receiver).unwrap();
-    assert_eq!(receiver.receivers().count(), 1, "duplicate SYN must not duplicate state");
+    assert_eq!(
+        receiver.receivers().count(),
+        1,
+        "duplicate SYN must not duplicate state"
+    );
     assert_eq!(receiver.stray_packets, 0);
 }
 
@@ -128,7 +164,10 @@ fn stray_data_is_counted_not_fatal() {
         net.sender,
         net.receiver,
         1500,
-        transport::Header::Data(transport::wire::DataHeader { seg: 0, class: SendClass::New }),
+        transport::Header::Data(transport::wire::DataHeader {
+            seg: 0,
+            class: SendClass::New,
+        }),
     );
     sim.core().send_on(net.forward, pkt);
     sim.run_to_completion(100);
@@ -142,7 +181,13 @@ fn late_acks_after_completion_are_ignored() {
     let spec = PathSpec::clean(Rate::from_mbps(50), SimDuration::from_millis(40));
     let (mut sim, net) = rig(&spec, 6);
     sim.with_node_mut::<Host, _>(net.sender, |h, core| {
-        h.start_flow(core, FlowId(1), net.receiver, 30_000, Box::new(baselines_proactive()))
+        h.start_flow(
+            core,
+            FlowId(1),
+            net.receiver,
+            30_000,
+            Box::new(baselines_proactive()),
+        )
     });
     sim.run_to_completion(1_000_000);
     let host = sim.node_as::<Host>(net.sender).unwrap();
@@ -178,15 +223,15 @@ fn no_timer_leak_under_heavy_loss() {
     // Run for 30 virtual seconds (plenty of RTO cycles at 30% loss).
     sim.run_until(netsim::SimTime::ZERO + SimDuration::from_secs(30));
     let live = sim.core().live_timer_count();
-    let active = sim
-        .node_as::<Host>(net.sender)
-        .unwrap()
-        .active_senders();
+    let active = sim.node_as::<Host>(net.sender).unwrap().active_senders();
     assert!(
         live <= active * 3 + 2,
         "timer leak: {live} live timers for {active} active flows"
     );
     // And the flows do eventually finish.
     sim.run_to_completion(50_000_000);
-    assert_eq!(sim.node_as::<Host>(net.sender).unwrap().completed().len(), 4);
+    assert_eq!(
+        sim.node_as::<Host>(net.sender).unwrap().completed().len(),
+        4
+    );
 }

@@ -1,8 +1,9 @@
-//! Property-based tests of the sender scoreboard against a reference
+//! Property-style tests of the sender scoreboard against a reference
 //! model: pipe accounting, loss marking and coverage must stay consistent
-//! under arbitrary interleavings of transmissions and ACKs.
+//! under arbitrary interleavings of transmissions and ACKs. Cases are
+//! generated from a seeded [`SimRng`] so every run checks the same corpus.
 
-use proptest::prelude::*;
+use netsim::rng::SimRng;
 use transport::scoreboard::Scoreboard;
 use transport::wire::{AckHeader, SackBlocks, SegId, MSS};
 
@@ -16,22 +17,25 @@ enum Op {
     Ack(SegId, Option<(SegId, SegId)>, Option<(SegId, SegId)>),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u32..SEGS).prop_map(Op::Tx),
-        (
-            0u32..=SEGS,
-            proptest::option::of((0u32..SEGS, 1u32..6)),
-            proptest::option::of((0u32..SEGS, 1u32..6))
-        )
-            .prop_map(|(cum, a, b)| {
-                let norm = |r: Option<(u32, u32)>| {
-                    r.map(|(s, l)| (s, (s + l).min(SEGS)))
-                        .filter(|(s, e)| s < e)
-                };
-                Op::Ack(cum, norm(a), norm(b))
-            }),
-    ]
+fn random_op(rng: &mut SimRng) -> Op {
+    if rng.chance(0.5) {
+        Op::Tx(rng.index(SEGS as usize) as u32)
+    } else {
+        let cum = rng.index(SEGS as usize + 1) as u32;
+        let sack_range = |rng: &mut SimRng| -> Option<(u32, u32)> {
+            if rng.chance(0.5) {
+                let s = rng.index(SEGS as usize) as u32;
+                let l = 1 + rng.index(5) as u32;
+                let e = (s + l).min(SEGS);
+                (s < e).then_some((s, e))
+            } else {
+                None
+            }
+        };
+        let a = sack_range(rng);
+        let b = sack_range(rng);
+        Op::Ack(cum, a, b)
+    }
 }
 
 /// Reference model: per-seg delivered set implied by the ACK stream.
@@ -42,16 +46,17 @@ struct Model {
     cum: u32,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn scoreboard_matches_reference(ops in prop::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn scoreboard_matches_reference() {
+    let mut rng = SimRng::new(0x5c0_12e);
+    for case in 0..256 {
+        let n_ops = 1 + rng.index(119);
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
         let mut b = Scoreboard::new(SEGS as u64 * MSS as u64, SEGS);
         let mut m = Model::default();
 
-        for op in ops {
-            match op {
+        for op in &ops {
+            match *op {
                 Op::Tx(seg) => {
                     // Only transmit uncovered segments (like real senders).
                     if !m.covered[seg as usize] {
@@ -62,11 +67,6 @@ proptest! {
                 Op::Ack(cum, s1, s2) => {
                     // ACK streams never regress: clamp to the model's cum.
                     let cum = cum.max(m.cum);
-                    // Only ACK what was actually sent at least once in the
-                    // model (receivers can't ack undelivered data); relax by
-                    // accepting any cum/sack — the scoreboard must tolerate
-                    // that too, but coverage accounting below only checks
-                    // one direction.
                     let mut ranges = Vec::new();
                     for r in [s1, s2].into_iter().flatten() {
                         ranges.push(r);
@@ -96,17 +96,20 @@ proptest! {
             // Invariants after every step:
             // 1. Coverage agrees with the model.
             for seg in 0..SEGS {
-                prop_assert_eq!(
+                assert_eq!(
                     b.is_covered(seg),
                     m.covered[seg as usize] || seg < m.cum,
-                    "coverage mismatch at {}", seg
+                    "case {case}: coverage mismatch at {seg}"
                 );
             }
             // 2. cum agrees.
-            prop_assert_eq!(b.cum_ack(), m.cum);
+            assert_eq!(b.cum_ack(), m.cum, "case {case}");
             // 3. A segment is never both covered and marked lost.
             for seg in 0..SEGS {
-                prop_assert!(!(b.is_covered(seg) && b.is_lost(seg)), "covered+lost {}", seg);
+                assert!(
+                    !(b.is_covered(seg) && b.is_lost(seg)),
+                    "case {case}: covered+lost {seg}"
+                );
             }
             // 4. Lost segments count no pipe; pipe is bounded by what the
             //    model thinks is outstanding.
@@ -114,30 +117,41 @@ proptest! {
                 .filter(|&s| !m.covered[s as usize] && s >= m.cum)
                 .map(|s| m.outstanding[s as usize] as u64 * MSS as u64)
                 .sum();
-            prop_assert!(
+            assert!(
                 b.pipe_bytes() <= model_pipe,
-                "pipe {} exceeds model {}", b.pipe_bytes(), model_pipe
+                "case {case}: pipe {} exceeds model {}",
+                b.pipe_bytes(),
+                model_pipe
             );
             // 5. complete() iff every segment cum-acked.
-            prop_assert_eq!(b.complete(), m.cum >= SEGS);
+            assert_eq!(b.complete(), m.cum >= SEGS, "case {case}");
         }
     }
+}
 
-    /// After an RTO, the pipe is empty and every uncovered sent segment is
-    /// marked lost; covered segments never are.
-    #[test]
-    fn rto_invariants(
-        txs in prop::collection::vec(0u32..SEGS, 1..40),
-        cum in 0u32..SEGS,
-        sack_start in 0u32..SEGS,
-        sack_len in 1u32..8,
-    ) {
+/// After an RTO, the pipe is empty and every uncovered sent segment is
+/// marked lost; covered segments never are.
+#[test]
+fn rto_invariants() {
+    let mut rng = SimRng::new(0x270);
+    for case in 0..256 {
+        let n_txs = 1 + rng.index(39);
+        let txs: Vec<u32> = (0..n_txs)
+            .map(|_| rng.index(SEGS as usize) as u32)
+            .collect();
+        let cum = rng.index(SEGS as usize) as u32;
+        let sack_start = rng.index(SEGS as usize) as u32;
+        let sack_len = 1 + rng.index(7) as u32;
         let mut b = Scoreboard::new(SEGS as u64 * MSS as u64, SEGS);
-        for t in txs {
+        for &t in &txs {
             b.on_transmit(t);
         }
         let e = (sack_start + sack_len).min(SEGS);
-        let ranges = if sack_start < e { vec![(sack_start, e)] } else { vec![] };
+        let ranges = if sack_start < e {
+            vec![(sack_start, e)]
+        } else {
+            vec![]
+        };
         b.on_ack(&AckHeader {
             cum,
             sack: SackBlocks::from_ranges(&ranges),
@@ -146,29 +160,51 @@ proptest! {
             window: 141_000,
         });
         b.on_rto();
-        prop_assert_eq!(b.pipe_bytes(), 0);
+        assert_eq!(b.pipe_bytes(), 0, "case {case}");
         for seg in 0..SEGS {
             if b.is_covered(seg) {
-                prop_assert!(!b.is_lost(seg), "covered segment {} marked lost", seg);
+                assert!(
+                    !b.is_lost(seg),
+                    "case {case}: covered segment {seg} marked lost"
+                );
             } else if b.was_sent(seg) {
-                prop_assert!(b.is_lost(seg), "sent uncovered segment {} not lost after RTO", seg);
+                assert!(
+                    b.is_lost(seg),
+                    "case {case}: sent uncovered segment {seg} not lost after RTO"
+                );
             } else {
-                prop_assert!(!b.is_lost(seg), "never-sent segment {} lost", seg);
+                assert!(
+                    !b.is_lost(seg),
+                    "case {case}: never-sent segment {seg} lost"
+                );
             }
         }
     }
+}
 
-    /// acked_bytes is monotone along any ACK stream and capped at the flow
-    /// size.
-    #[test]
-    fn acked_bytes_monotone(acks in prop::collection::vec((0u32..=SEGS, 0u32..SEGS, 1u32..6), 1..40)) {
+/// acked_bytes is monotone along any ACK stream and capped at the flow
+/// size.
+#[test]
+fn acked_bytes_monotone() {
+    let mut rng = SimRng::new(0xACED);
+    for case in 0..256 {
+        let n_acks = 1 + rng.index(39);
+        let acks: Vec<(u32, u32, u32)> = (0..n_acks)
+            .map(|_| {
+                (
+                    rng.index(SEGS as usize + 1) as u32,
+                    rng.index(SEGS as usize) as u32,
+                    1 + rng.index(5) as u32,
+                )
+            })
+            .collect();
         let mut b = Scoreboard::new(SEGS as u64 * MSS as u64, SEGS);
         for s in 0..SEGS {
             b.on_transmit(s);
         }
         let mut last = 0u64;
         let mut cum_floor = 0u32;
-        for (cum, ss, sl) in acks {
+        for &(cum, ss, sl) in &acks {
             let cum = cum.max(cum_floor);
             cum_floor = cum;
             let e = (ss + sl).min(SEGS);
@@ -181,8 +217,11 @@ proptest! {
                 window: 141_000,
             });
             let now = b.acked_bytes();
-            prop_assert!(now >= last, "acked_bytes regressed: {} -> {}", last, now);
-            prop_assert!(now <= SEGS as u64 * MSS as u64);
+            assert!(
+                now >= last,
+                "case {case}: acked_bytes regressed: {last} -> {now}"
+            );
+            assert!(now <= SEGS as u64 * MSS as u64, "case {case}");
             last = now;
         }
     }

@@ -1,11 +1,11 @@
 //! Property-style fuzzing of the whole stack: random protocol mixes,
 //! sizes, and loads on the dumbbell must always run to completion without
-//! panics, stray packets, or unaccounted flows.
+//! panics, stray packets, or unaccounted flows. Cases are drawn from a
+//! seeded [`SimRng`] so every run checks the same corpus.
 
 use netsim::rng::SimRng;
 use netsim::topology::DumbbellSpec;
 use netsim::{SimDuration, SimTime};
-use proptest::prelude::*;
 use scenarios::runner::{run_dumbbell, FlowPlan, RunOptions};
 use scenarios::Protocol;
 
@@ -22,23 +22,22 @@ const MENU: [Protocol; 10] = [
     Protocol::HalfbackBurst,
 ];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Arbitrary mixed workloads: everything completes (given generous
+/// grace) and accounting adds up.
+#[test]
+fn random_mixes_run_clean() {
+    let mut gen = SimRng::new(0xF022);
+    for case in 0..24 {
+        let seed = 1 + gen.index(9_999) as u64;
+        let n_flows = 1 + gen.index(39);
+        let util_scale = 1 + gen.index(7) as u32; // controls arrival spacing
 
-    /// Arbitrary mixed workloads: everything completes (given generous
-    /// grace) and accounting adds up.
-    #[test]
-    fn random_mixes_run_clean(
-        seed in 1u64..10_000,
-        n_flows in 1usize..40,
-        util_scale in 1u32..8, // controls arrival spacing
-    ) {
         let spec = DumbbellSpec::emulab(1);
         let mut rng = SimRng::new(seed);
         let mut at = SimTime::ZERO;
         let mut plans = Vec::with_capacity(n_flows);
         for _ in 0..n_flows {
-            at = at + SimDuration::from_millis((rng.exponential(80.0 * util_scale as f64)) as u64);
+            at += SimDuration::from_millis((rng.exponential(80.0 * util_scale as f64)) as u64);
             let bytes = match rng.index(4) {
                 0 => 1 + rng.index(3000) as u64,
                 1 => 10_000 + rng.index(90_000) as u64,
@@ -46,7 +45,11 @@ proptest! {
                 _ => 200_000 + rng.index(800_000) as u64,
             };
             let protocol = MENU[rng.index(MENU.len())];
-            plans.push(FlowPlan { at, bytes, protocol });
+            plans.push(FlowPlan {
+                at,
+                bytes,
+                protocol,
+            });
         }
         let opts = RunOptions {
             host_pairs: 6,
@@ -56,13 +59,21 @@ proptest! {
             min_rto: None,
         };
         let out = run_dumbbell(&spec, &plans, &opts);
-        prop_assert_eq!(out.records.len() + out.censored, plans.len());
+        assert_eq!(out.records.len() + out.censored, plans.len(), "case {case}");
         // With 180 s of grace at these light loads nothing should be stuck.
-        prop_assert_eq!(out.censored, 0, "censored flows in a light mix");
+        assert_eq!(
+            out.censored, 0,
+            "case {case} (seed {seed}): censored flows in a light mix"
+        );
         // Each record corresponds to a planned flow with matching size.
         for r in &out.records {
-            prop_assert!(plans.iter().any(|p| p.bytes == r.bytes && p.protocol.name() == r.protocol));
-            prop_assert!(r.fct.as_nanos() > 0);
+            assert!(
+                plans
+                    .iter()
+                    .any(|p| p.bytes == r.bytes && p.protocol.name() == r.protocol),
+                "case {case}: record with no matching plan"
+            );
+            assert!(r.fct.as_nanos() > 0, "case {case}");
         }
     }
 }

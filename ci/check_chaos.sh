@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Assert a chaos run survived cleanly: every cell upheld the fault-
+# injection invariants (all flows terminal, packet conservation, clean
+# drain) and no cell hit the per-job watchdog.
+# Usage: check_chaos.sh path/to/chaos.summary.txt
+set -eu
+
+summary=${1:?usage: check_chaos.sh chaos.summary.txt}
+
+grep_count() {
+    # Lines look like: "invariant violations: 0" / "watchdog trips: 0"
+    sed -n "s/^$1: \([0-9][0-9]*\)$/\1/p" "$summary"
+}
+
+violations=$(grep_count "invariant violations")
+trips=$(grep_count "watchdog trips")
+
+for name in violations trips; do
+    eval "val=\$$name"
+    if [ -z "$val" ]; then
+        echo "FAIL: no '$name' totals line in $summary" >&2
+        cat "$summary" >&2
+        exit 1
+    fi
+done
+
+# Every cell must have produced a real row: no FAILED entries either.
+if grep -q "FAILED" "$summary"; then
+    echo "FAIL: chaos summary contains FAILED cells" >&2
+    grep "FAILED" "$summary" >&2
+    exit 1
+fi
+
+echo "chaos: invariant violations=$violations watchdog trips=$trips"
+if [ "$violations" -eq 0 ] && [ "$trips" -eq 0 ]; then
+    echo "OK: all cells survived with invariants intact"
+else
+    echo "FAIL: expected zero invariant violations and watchdog trips" >&2
+    exit 1
+fi

@@ -5,6 +5,7 @@
 //! iteration order or floating-point comparison can perturb a run. All
 //! randomness comes from the engine's seeded [`SimRng`].
 
+use crate::faults::{FaultSpec, FaultState};
 use crate::link::{LinkSpec, LinkState, LinkStats};
 use crate::node::{Node, TimerId};
 use crate::packet::{LinkId, NodeId, Packet, PacketId, Payload};
@@ -38,6 +39,31 @@ pub enum TraceEvent {
     },
     /// A packet arrived at a node.
     Deliver {
+        node: NodeId,
+        packet: PacketId,
+        size: u32,
+    },
+    /// A packet was rejected at offer time by a fault down-window.
+    FaultDrop {
+        link: LinkId,
+        packet: PacketId,
+        size: u32,
+    },
+    /// A serialized packet was swallowed by a fault blackhole window.
+    Blackhole {
+        link: LinkId,
+        packet: PacketId,
+        size: u32,
+    },
+    /// Fault duplication scheduled a second delivery of this packet.
+    Duplicate {
+        link: LinkId,
+        packet: PacketId,
+        size: u32,
+    },
+    /// A corrupted packet reached a node and was dropped there (checksum
+    /// failure) instead of being dispatched.
+    CorruptDrop {
         node: NodeId,
         packet: PacketId,
         size: u32,
@@ -96,6 +122,7 @@ pub struct EngineCore<P: Payload> {
     next_timer_id: u64,
     next_packet_id: u64,
     tracer: Option<Tracer>,
+    corrupt_dropped: u64,
     /// Total events dispatched (for runaway detection and perf reporting).
     pub events_processed: u64,
 }
@@ -140,6 +167,22 @@ impl<P: Payload> EngineCore<P> {
 
     /// Transmit a packet that already has an id (router forwarding path).
     pub fn forward_on(&mut self, link: LinkId, pkt: Packet<P>) {
+        let now = self.now;
+        let l = &mut self.links[link.0 as usize];
+        l.stats.offered += 1;
+        l.apply_fault_steps(now);
+        // A down link rejects the packet at offer time (no carrier); a
+        // packet already serializing completes (store-and-forward).
+        if l.faults.as_ref().is_some_and(|f| f.is_down(now)) {
+            l.stats.down_dropped += 1;
+            let (id, size) = (pkt.id, pkt.size);
+            self.trace(TraceEvent::FaultDrop {
+                link,
+                packet: id,
+                size,
+            });
+            return;
+        }
         let l = &mut self.links[link.0 as usize];
         if l.busy {
             let id = pkt.id;
@@ -238,6 +281,11 @@ impl<P: Payload> EngineCore<P> {
     pub fn link_backlog_delay(&self, link: LinkId) -> SimDuration {
         self.links[link.0 as usize].backlog_delay()
     }
+
+    /// Corrupted packets dropped at delivery (checksum failures), all nodes.
+    pub fn corrupt_dropped(&self) -> u64 {
+        self.corrupt_dropped
+    }
 }
 
 /// Execution context handed to a node during dispatch.
@@ -314,6 +362,7 @@ impl<P: Payload> Simulator<P> {
                 next_timer_id: 0,
                 next_packet_id: 0,
                 tracer: None,
+                corrupt_dropped: 0,
                 events_processed: 0,
             },
             nodes: Vec::new(),
@@ -337,6 +386,15 @@ impl<P: Payload> Simulator<P> {
         let id = LinkId(self.core.links.len() as u32);
         self.core.links.push(LinkState::new(spec));
         id
+    }
+
+    /// Install a fault-injection spec on a link (replacing any previous
+    /// one). Fault draws come from a substream forked from the engine seed
+    /// and the link id, so the `(seed, spec)` pair fully determines every
+    /// fault decision and the engine's own RNG stream is untouched.
+    pub fn set_link_faults(&mut self, link: LinkId, spec: FaultSpec) {
+        let rng = self.core.rng.fork_indexed("link-faults", link.0 as u64);
+        self.core.links[link.0 as usize].faults = Some(FaultState::new(spec, rng));
     }
 
     /// Current simulation time.
@@ -405,12 +463,21 @@ impl<P: Payload> Simulator<P> {
         match entry.kind {
             EventKind::LinkTxDone { link, pkt } => self.handle_tx_done(link, pkt),
             EventKind::Deliver { node, pkt } => {
-                self.core.trace(TraceEvent::Deliver {
-                    node,
-                    packet: pkt.id,
-                    size: pkt.size,
-                });
-                self.dispatch(node, |n, ctx| n.on_packet(pkt, ctx));
+                if pkt.corrupted {
+                    self.core.corrupt_dropped += 1;
+                    self.core.trace(TraceEvent::CorruptDrop {
+                        node,
+                        packet: pkt.id,
+                        size: pkt.size,
+                    });
+                } else {
+                    self.core.trace(TraceEvent::Deliver {
+                        node,
+                        packet: pkt.id,
+                        size: pkt.size,
+                    });
+                    self.dispatch(node, |n, ctx| n.on_packet(pkt, ctx));
+                }
             }
             EventKind::Timer { node, id, token } => {
                 if self.core.live_timers.remove(&id.0) {
@@ -421,14 +488,41 @@ impl<P: Payload> Simulator<P> {
         true
     }
 
-    fn handle_tx_done(&mut self, link: LinkId, pkt: Packet<P>) {
+    fn handle_tx_done(&mut self, link: LinkId, mut pkt: Packet<P>) {
         let now = self.core.now;
         let l = &mut self.core.links[link.0 as usize];
+        l.apply_fault_steps(now);
         l.stats.tx_packets += 1;
         l.stats.tx_bytes += pkt.size as u64;
         let dst = l.dst;
         let delay = l.delay;
         let dropped = l.loss.should_drop(&mut self.core.rng);
+        // Fault decisions come from the link's private substream, so the
+        // engine RNG sequence is identical with faults on or off. Draw
+        // order per surviving packet is fixed: corrupt, reorder, duplicate
+        // (plus the duplicate's own reorder draw).
+        let mut blackholed = false;
+        let mut extra = SimDuration::ZERO;
+        let mut duplicate_extra = None;
+        if !dropped {
+            let l = &mut self.core.links[link.0 as usize];
+            if let Some(f) = l.faults.as_mut() {
+                if f.is_blackholed(now) {
+                    blackholed = true;
+                    l.stats.blackholed += 1;
+                } else {
+                    if f.draw_corrupt() {
+                        pkt.corrupted = true;
+                        l.stats.corrupt_marked += 1;
+                    }
+                    extra = f.draw_reorder_extra();
+                    if f.draw_duplicate() {
+                        duplicate_extra = Some(f.draw_reorder_extra());
+                        l.stats.duplicated += 1;
+                    }
+                }
+            }
+        }
         if dropped {
             self.core.links[link.0 as usize].stats.wire_lost += 1;
             let id = pkt.id;
@@ -438,9 +532,31 @@ impl<P: Payload> Simulator<P> {
                 packet: id,
                 size,
             });
+        } else if blackholed {
+            let id = pkt.id;
+            let size = pkt.size;
+            self.core.trace(TraceEvent::Blackhole {
+                link,
+                packet: id,
+                size,
+            });
         } else {
+            if let Some(dup_extra) = duplicate_extra {
+                self.core.trace(TraceEvent::Duplicate {
+                    link,
+                    packet: pkt.id,
+                    size: pkt.size,
+                });
+                self.core.push(
+                    now + delay + dup_extra,
+                    EventKind::Deliver {
+                        node: dst,
+                        pkt: pkt.clone(),
+                    },
+                );
+            }
             self.core
-                .push(now + delay, EventKind::Deliver { node: dst, pkt });
+                .push(now + delay + extra, EventKind::Deliver { node: dst, pkt });
         }
         // Pull the next packet from the queue, if any.
         let l = &mut self.core.links[link.0 as usize];
@@ -514,6 +630,72 @@ impl<P: Payload> Simulator<P> {
     /// Number of events dispatched so far.
     pub fn events_processed(&self) -> u64 {
         self.core.events_processed
+    }
+
+    /// Snapshot of everything that should be empty once a simulation has
+    /// drained: live timers, busy links, queued packets. Stale cancelled
+    /// timer entries still sitting in the heap are *not* leaks and do not
+    /// make a report unclean.
+    pub fn hygiene_report(&self) -> HygieneReport {
+        let busy_links: Vec<LinkId> = self
+            .core
+            .links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.busy)
+            .map(|(i, _)| LinkId(i as u32))
+            .collect();
+        let backlogged_links: Vec<(LinkId, u64)> = self
+            .core
+            .links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.queue.backlog_bytes() > 0)
+            .map(|(i, l)| (LinkId(i as u32), l.queue.backlog_bytes()))
+            .collect();
+        HygieneReport {
+            live_timers: self.core.live_timers.len(),
+            pending_events: self.core.events.len(),
+            busy_links,
+            backlogged_links,
+        }
+    }
+
+    /// Panic with a diagnostic if the simulation left live timers, busy
+    /// links, or queued packets behind. Call after a run has drained.
+    pub fn assert_drained(&self) {
+        let report = self.hygiene_report();
+        assert!(report.is_clean(), "simulation not drained: {report}");
+    }
+}
+
+/// What [`Simulator::hygiene_report`] found still alive after a run.
+#[derive(Debug, Clone)]
+pub struct HygieneReport {
+    /// Armed, unfired timers (must be 0 at drain).
+    pub live_timers: usize,
+    /// Heap entries, including stale cancelled timers (informational).
+    pub pending_events: usize,
+    /// Links still mid-serialization (must be empty at drain).
+    pub busy_links: Vec<LinkId>,
+    /// Links with queued bytes (must be empty at drain).
+    pub backlogged_links: Vec<(LinkId, u64)>,
+}
+
+impl HygieneReport {
+    /// True when nothing leaked: no live timers, no busy links, no backlog.
+    pub fn is_clean(&self) -> bool {
+        self.live_timers == 0 && self.busy_links.is_empty() && self.backlogged_links.is_empty()
+    }
+}
+
+impl std::fmt::Display for HygieneReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} live timers, {} pending heap entries, busy links {:?}, backlogged links {:?}",
+            self.live_timers, self.pending_events, self.busy_links, self.backlogged_links
+        )
     }
 }
 

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod faults;
 pub mod link;
 pub mod loss;
 pub mod node;
@@ -56,7 +57,8 @@ pub mod stats;
 pub mod time;
 pub mod topology;
 
-pub use engine::{Ctx, Simulator};
+pub use engine::{Ctx, HygieneReport, Simulator};
+pub use faults::FaultSpec;
 pub use node::{Node, TimerId};
 pub use packet::{FlowId, LinkId, NodeId, Packet, PacketId, Payload};
 pub use time::{Rate, SimDuration, SimTime};

@@ -5,6 +5,7 @@
 //! wire loss (from a [`LossProcess`]) is applied after serialization,
 //! modelling loss beyond the queue (e.g. WiFi corruption).
 
+use crate::faults::FaultState;
 use crate::loss::{LossModel, LossProcess};
 use crate::packet::{NodeId, Packet, Payload};
 use crate::queue::{DropTail, QueueDiscipline, QueueStats};
@@ -57,12 +58,22 @@ impl<P: Payload> LinkSpec<P> {
 /// Link transmission counters.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LinkStats {
+    /// Packets offered to the link (`forward_on` calls), before any drop.
+    pub offered: u64,
     /// Packets fully serialized onto the wire.
     pub tx_packets: u64,
     /// Bytes fully serialized onto the wire.
     pub tx_bytes: u64,
     /// Packets dropped by the random wire-loss process.
     pub wire_lost: u64,
+    /// Packets rejected at offer time by a fault down-window.
+    pub down_dropped: u64,
+    /// Packets swallowed post-serialization by a fault blackhole window.
+    pub blackholed: u64,
+    /// Packets flagged corrupt by fault injection (dropped at the next node).
+    pub corrupt_marked: u64,
+    /// Extra delivered copies created by fault duplication.
+    pub duplicated: u64,
 }
 
 /// Runtime state of a link inside the engine.
@@ -76,6 +87,8 @@ pub(crate) struct LinkState<P: Payload> {
     pub(crate) loss: LossProcess,
     pub(crate) busy: bool,
     pub(crate) stats: LinkStats,
+    /// Fault-injection state, if a spec was installed for this link.
+    pub(crate) faults: Option<FaultState>,
 }
 
 impl<P: Payload> LinkState<P> {
@@ -89,6 +102,21 @@ impl<P: Payload> LinkState<P> {
             loss: LossProcess::new(spec.loss),
             busy: false,
             stats: LinkStats::default(),
+            faults: None,
+        }
+    }
+
+    /// Apply any rate/delay fault steps due at `now` (lazy: the link only
+    /// changes when it next touches a packet).
+    pub(crate) fn apply_fault_steps(&mut self, now: SimTime) {
+        if let Some(f) = self.faults.as_mut() {
+            let (rate, delay) = f.step_updates(now);
+            if let Some(r) = rate {
+                self.rate = r;
+            }
+            if let Some(d) = delay {
+                self.delay = d;
+            }
         }
     }
 

@@ -60,6 +60,10 @@ pub struct Packet<P> {
     pub size: u32,
     /// Time the packet was handed to the first link (set by the engine).
     pub sent_at: SimTime,
+    /// Payload corrupted in flight (fault injection). The engine drops the
+    /// packet at the next node like a checksum failure instead of
+    /// dispatching it.
+    pub corrupted: bool,
     /// Protocol-level header/payload.
     pub payload: P,
 }
@@ -75,6 +79,7 @@ impl<P: Payload> Packet<P> {
             dst,
             size,
             sent_at: SimTime::ZERO,
+            corrupted: false,
             payload,
         }
     }

@@ -11,6 +11,7 @@
 //! link id after construction using the ids returned here.
 
 use crate::engine::Simulator;
+use crate::faults::FaultSpec;
 use crate::link::LinkSpec;
 use crate::loss::LossModel;
 use crate::packet::{LinkId, NodeId, Payload};
@@ -440,6 +441,8 @@ pub struct PathSpec {
     pub loss: LossModel,
     /// Random loss in the ACK direction.
     pub reverse_loss: LossModel,
+    /// Fault-injection schedule for the data-direction link.
+    pub faults: FaultSpec,
 }
 
 impl PathSpec {
@@ -453,7 +456,14 @@ impl PathSpec {
             buffer: bdp,
             loss: LossModel::None,
             reverse_loss: LossModel::None,
+            faults: FaultSpec::none(),
         }
+    }
+
+    /// Replace the data-direction fault schedule.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
     }
 }
 
@@ -495,6 +505,9 @@ where
         queue: Box::new(DropTail::new(spec.buffer.max(64 * 1500))),
         loss: spec.reverse_loss.clone(),
     });
+    if !spec.faults.is_noop() {
+        sim.set_link_faults(forward, spec.faults.clone());
+    }
     PathNet {
         sender,
         receiver,

@@ -62,6 +62,11 @@ fn offered_equals_delivered_plus_dropped() {
             TraceEvent::QueueDrop { .. } => *q2.borrow_mut() += 1,
             TraceEvent::WireDrop { .. } => *w2.borrow_mut() += 1,
             TraceEvent::TxStart { .. } => {}
+            // No faults installed in this corpus; these must never fire.
+            TraceEvent::FaultDrop { .. }
+            | TraceEvent::Blackhole { .. }
+            | TraceEvent::Duplicate { .. }
+            | TraceEvent::CorruptDrop { .. } => panic!("fault event without faults"),
         }));
 
         // Random-ish offered traffic: bursts with gaps.
@@ -102,4 +107,165 @@ fn offered_equals_delivered_plus_dropped() {
             "case {case}"
         );
     }
+}
+
+/// Conservation with every fault class active at once: packets offered to a
+/// faulted link are each accounted for exactly once (down-drop, queue drop,
+/// wire drop, blackhole, corrupt-drop, or delivery), and duplication adds
+/// copies that are themselves conserved.
+#[test]
+fn fault_pipeline_conserves_packets() {
+    use netsim::time::SimTime;
+    use netsim::FaultSpec;
+
+    let mut gen = SimRng::new(0xFA_017);
+    for case in 0..24 {
+        let seed = gen.index(1000) as u64;
+        let n = 50 + gen.index(300) as u64;
+        let dup_p = gen.uniform_range(0.0, 0.4);
+        let corrupt_p = gen.uniform_range(0.0, 0.3);
+        let reorder_p = gen.uniform_range(0.0, 0.8);
+        let loss_p = gen.uniform_range(0.0, 0.2);
+        let t = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
+
+        let mut sim: Simulator<u32> = Simulator::new(seed);
+        let a = sim.add_node(Box::new(Count(0)));
+        let b = sim.add_node(Box::new(Count(0)));
+        let l = sim.add_link(LinkSpec {
+            src: a,
+            dst: b,
+            rate: Rate::from_mbps(2),
+            delay: SimDuration::from_millis(5),
+            queue: Box::new(DropTail::new(8 * 1500)),
+            loss: LossModel::Bernoulli { p: loss_p },
+        });
+        sim.set_link_faults(
+            l,
+            FaultSpec::none()
+                .down_window(t(40), t(80))
+                .blackhole_window(t(120), t(160))
+                .with_duplication(dup_p)
+                .with_corruption(corrupt_p)
+                .with_reorder(reorder_p, SimDuration::from_millis(20))
+                .rate_step(t(100), Rate::from_mbps(1))
+                .delay_step(t(100), SimDuration::from_millis(15)),
+        );
+
+        let counts = Rc::new(RefCell::new([0u64; 7]));
+        let c2 = counts.clone();
+        sim.set_tracer(Box::new(move |_, ev| {
+            let i = match ev {
+                TraceEvent::Deliver { .. } => 0,
+                TraceEvent::QueueDrop { .. } => 1,
+                TraceEvent::WireDrop { .. } => 2,
+                TraceEvent::FaultDrop { .. } => 3,
+                TraceEvent::Blackhole { .. } => 4,
+                TraceEvent::Duplicate { .. } => 5,
+                TraceEvent::CorruptDrop { .. } => 6,
+                TraceEvent::TxStart { .. } => return,
+            };
+            c2.borrow_mut()[i] += 1;
+        }));
+
+        let mut rng = SimRng::new(seed ^ 31);
+        let mut sent = 0u64;
+        for i in 0..n {
+            sim.core()
+                .send_on(l, Packet::new(FlowId(i), a, b, 1500, 0u32));
+            sent += 1;
+            let gap = SimDuration::from_micros(rng.index(10_000) as u64);
+            let until = sim.now() + gap;
+            sim.run_until(until);
+        }
+        sim.run_to_completion(sent * 10 + 1000);
+
+        let [delivered, qd, wd, fault_dropped, blackholed, duplicated, corrupt_dropped] =
+            *counts.borrow();
+        let stats = sim.link_stats(l);
+        // Offer-side conservation: every offered packet was down-dropped,
+        // queue-dropped, or fully serialized (queue drains at completion).
+        assert_eq!(stats.offered, sent, "case {case} (seed {seed})");
+        assert_eq!(
+            fault_dropped + qd + stats.tx_packets,
+            sent,
+            "case {case} (seed {seed}): offer-side conservation"
+        );
+        // Wire-side conservation: serialized packets plus duplicate copies
+        // all either dropped (wire, blackhole, corrupt) or delivered.
+        assert_eq!(
+            stats.tx_packets + duplicated,
+            wd + blackholed + corrupt_dropped + delivered,
+            "case {case} (seed {seed}): wire-side conservation"
+        );
+        // Stats agree with the trace.
+        assert_eq!(stats.down_dropped, fault_dropped, "case {case}");
+        assert_eq!(stats.blackholed, blackholed, "case {case}");
+        assert_eq!(stats.duplicated, duplicated, "case {case}");
+        assert_eq!(stats.wire_lost, wd, "case {case}");
+        assert_eq!(sim.core().corrupt_dropped(), corrupt_dropped, "case {case}");
+        assert_eq!(sim.node_as::<Count>(b).unwrap().0, delivered, "case {case}");
+        // Corrupt copies: every marked packet yields >= 1 corrupt-drop
+        // unless wire loss or a blackhole took it first, and duplication can
+        // raise the drop count above the mark count.
+        assert!(
+            corrupt_dropped <= stats.corrupt_marked + duplicated,
+            "case {case}: corrupt drops {corrupt_dropped} > marked {} + dup {duplicated}",
+            stats.corrupt_marked
+        );
+        sim.assert_drained();
+    }
+}
+
+/// A faulted run is fully determined by `(seed, spec)`: identical seeds give
+/// identical delivery schedules, and the fault stream is independent of the
+/// engine RNG (installing a noop-ish fault spec doesn't shift wire loss).
+#[test]
+fn fault_runs_replay_from_seed_and_spec() {
+    use netsim::FaultSpec;
+
+    let run = |seed: u64, with_faults: bool| {
+        let mut sim: Simulator<u32> = Simulator::new(seed);
+        let a = sim.add_node(Box::new(Count(0)));
+        let b = sim.add_node(Box::new(Count(0)));
+        let l = sim.add_link(LinkSpec {
+            src: a,
+            dst: b,
+            rate: Rate::from_mbps(5),
+            delay: SimDuration::from_millis(10),
+            queue: Box::new(DropTail::new(200 * 1500)),
+            loss: LossModel::Bernoulli { p: 0.1 },
+        });
+        if with_faults {
+            sim.set_link_faults(
+                l,
+                FaultSpec::none()
+                    .with_duplication(0.2)
+                    .with_reorder(0.5, SimDuration::from_millis(30)),
+            );
+        }
+        let deliveries = Rc::new(RefCell::new(Vec::new()));
+        let d2 = deliveries.clone();
+        sim.set_tracer(Box::new(move |at, ev| {
+            if let TraceEvent::Deliver { packet, .. } = ev {
+                d2.borrow_mut().push((at, *packet));
+            }
+        }));
+        for i in 0..200 {
+            sim.core()
+                .send_on(l, Packet::new(FlowId(i), a, b, 1500, 0u32));
+        }
+        sim.run_to_completion(20_000);
+        let wire_lost = sim.link_stats(l).wire_lost;
+        let log = deliveries.borrow().clone();
+        (log, wire_lost)
+    };
+    assert_eq!(run(3, true), run(3, true), "same (seed, spec) must replay");
+    assert_ne!(run(3, true).0, run(4, true).0, "seed must matter");
+    // The fault substream is private: the engine's wire-loss draws are
+    // byte-identical whether or not faults are installed.
+    assert_eq!(
+        run(5, false).1,
+        run(5, true).1,
+        "fault draws must not perturb the engine RNG"
+    );
 }

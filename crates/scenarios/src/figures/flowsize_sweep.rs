@@ -147,6 +147,7 @@ mod tests {
             fct: SimDuration::from_millis(fct_ms),
             counters: Counters::default(),
             min_rtt: None,
+            outcome: transport::FlowOutcome::Completed,
         }
     }
 

@@ -6,6 +6,7 @@
 pub mod ablation;
 pub mod aqm;
 pub mod bufferbloat;
+pub mod chaos;
 pub mod feasible;
 pub mod flowsize_sweep;
 pub mod friendliness;
@@ -55,6 +56,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Figure>> {
         "fig16" => Some(web_response::figures(scale)),
         "fig17" => Some(ablation::figures(scale)),
         "aqm" => Some(aqm::figures(scale)),
+        "chaos" => Some(chaos::figures(scale)),
         "ratio" => Some(ratio::figures(scale)),
         "multihop" => Some(multihop::figures(scale)),
         "sensitivity" => Some(sensitivity::figures(scale)),
@@ -82,6 +84,7 @@ pub fn distinct_experiment_ids() -> Vec<&'static str> {
         "fig17",
         "table1",
         "aqm",
+        "chaos",
         "ratio",
         "multihop",
         "sensitivity",

@@ -17,7 +17,7 @@
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -76,6 +76,10 @@ static WORKERS: AtomicUsize = AtomicUsize::new(0);
 static PROGRESS: AtomicBool = AtomicBool::new(false);
 /// Completed-job metrics, drained by [`take_metrics`].
 static METRICS: Mutex<Vec<JobMetrics>> = Mutex::new(Vec::new());
+/// Watchdog: per-job virtual-time cap in ns (0 = disabled).
+static CAP_VIRTUAL_NS: AtomicU64 = AtomicU64::new(0);
+/// Watchdog: per-job event-count cap (0 = disabled).
+static CAP_EVENTS: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     /// (virtual ns, events) accumulated by the job running on this thread.
@@ -118,6 +122,52 @@ pub fn meter_add(virtual_ns: u64, events: u64) {
 /// Drain the metrics of all jobs completed since the last call.
 pub fn take_metrics() -> Vec<JobMetrics> {
     std::mem::take(&mut METRICS.lock().unwrap())
+}
+
+/// Set the per-job watchdog caps (0 disables a cap). A job whose
+/// simulations exceed either cap panics with a diagnostic; the panic is
+/// caught by the job isolation in [`run_jobs`], so a livelocked cell fails
+/// alone instead of hanging the sweep. Checked cooperatively by the
+/// runners via [`check_caps`].
+pub fn set_job_caps(virtual_ns: u64, events: u64) {
+    CAP_VIRTUAL_NS.store(virtual_ns, Ordering::Relaxed);
+    CAP_EVENTS.store(events, Ordering::Relaxed);
+}
+
+/// The current watchdog caps `(virtual_ns, events)`; 0 means disabled.
+pub fn job_caps() -> (u64, u64) {
+    (
+        CAP_VIRTUAL_NS.load(Ordering::Relaxed),
+        CAP_EVENTS.load(Ordering::Relaxed),
+    )
+}
+
+/// Watchdog check: panic if the job's accumulated meter plus the
+/// in-progress simulation's `(extra_virtual_ns, extra_events)` exceeds a
+/// cap. A no-op when both caps are disabled.
+pub fn check_caps(extra_virtual_ns: u64, extra_events: u64) {
+    let (cap_ns, cap_ev) = job_caps();
+    if cap_ns == 0 && cap_ev == 0 {
+        return;
+    }
+    let (v, e) = METER.with(|m| m.get());
+    let v = v.saturating_add(extra_virtual_ns);
+    let e = e.saturating_add(extra_events);
+    if cap_ns != 0 && v > cap_ns {
+        panic!(
+            "watchdog: job exceeded its virtual-time cap \
+             ({:.1}s > {:.1}s after {e} events) — livelocked simulation?",
+            v as f64 / 1e9,
+            cap_ns as f64 / 1e9,
+        );
+    }
+    if cap_ev != 0 && e > cap_ev {
+        panic!(
+            "watchdog: job exceeded its event-count cap \
+             ({e} > {cap_ev} events at virtual {:.1}s) — livelocked simulation?",
+            v as f64 / 1e9,
+        );
+    }
 }
 
 /// Run one job under the panic guard and the meter; record its metrics.
@@ -328,5 +378,47 @@ mod tests {
     fn parallel_map_preserves_order() {
         let out = parallel_map((0..20).collect(), |i| format!("k{i}"), |i: i32| i * 2);
         assert_eq!(out, (0..20).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn watchdog_trips_through_panic_isolation() {
+        // Caps are process-global; run the capped jobs serially and restore
+        // the disabled state afterwards so other tests are unaffected.
+        set_job_caps(1_000_000_000, 10_000);
+        let jobs: Vec<Job<'_, u32>> = vec![
+            Job::new("wd/ok", || {
+                meter_add(500, 100);
+                check_caps(0, 0);
+                1
+            }),
+            Job::new("wd/livelock", || {
+                // A "livelocked" cell: events pile up without the virtual
+                // clock advancing past the cap.
+                for _ in 0..100 {
+                    meter_add(0, 5_000);
+                    check_caps(0, 0);
+                }
+                2
+            }),
+            Job::new("wd/after", || 3),
+        ];
+        let out = run_jobs_on(jobs, 1);
+        set_job_caps(0, 0);
+        assert_eq!(*out[0].as_ref().unwrap(), 1);
+        let err = out[1].as_ref().unwrap_err();
+        assert!(
+            err.message.contains("watchdog") && err.message.contains("event-count cap"),
+            "unexpected watchdog message: {}",
+            err.message
+        );
+        assert_eq!(*out[2].as_ref().unwrap(), 3, "pool survives a cap trip");
+    }
+
+    #[test]
+    fn watchdog_disabled_is_noop() {
+        set_job_caps(0, 0);
+        // Would trip any finite cap; must not panic while disabled.
+        meter_add(u64::MAX / 2, u64::MAX / 2);
+        check_caps(u64::MAX / 2, u64::MAX / 2);
     }
 }

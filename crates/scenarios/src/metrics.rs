@@ -163,6 +163,7 @@ mod tests {
                 ..Default::default()
             },
             min_rtt: Some(SimDuration::from_millis(min_rtt_ms)),
+            outcome: transport::FlowOutcome::Completed,
         }
     }
 

@@ -8,6 +8,57 @@ use netsim::{FlowId, NodeId, SimDuration, SimTime};
 use transport::sender::FlowRecord;
 use transport::{Host, TransportSim};
 
+/// Advance `sim` to `until` under the harness watchdog: every
+/// `WATCHDOG_STRIDE` events the job's virtual-time/event caps are checked,
+/// so a livelocked simulation panics (isolated per cell by the harness)
+/// instead of hanging the sweep. With the caps disabled this is exactly
+/// `run_until`.
+pub fn run_until_checked(sim: &mut TransportSim, until: SimTime) {
+    const WATCHDOG_STRIDE: u64 = 4096;
+    let (cap_ns, cap_ev) = crate::harness::job_caps();
+    if cap_ns == 0 && cap_ev == 0 {
+        sim.run_until(until);
+        return;
+    }
+    loop {
+        let mut stepped = 0;
+        while stepped < WATCHDOG_STRIDE {
+            match sim.next_event_time() {
+                Some(t) if t <= until => {
+                    sim.step();
+                    stepped += 1;
+                }
+                // Horizon reached: clamp the clock like `run_until` does.
+                _ => {
+                    sim.run_until(until);
+                    return;
+                }
+            }
+        }
+        crate::harness::check_caps(
+            sim.now().saturating_since(SimTime::ZERO).as_nanos(),
+            sim.events_processed(),
+        );
+    }
+}
+
+/// Debug-build hygiene check: once every flow has reached a terminal state,
+/// drain any in-flight stragglers and assert nothing leaked (live timers,
+/// busy links, queued packets). A no-op in release builds and whenever
+/// flows were censored (they legitimately still own timers).
+fn debug_check_hygiene(sim: &mut TransportSim, censored: usize) {
+    if censored != 0 {
+        return;
+    }
+    #[cfg(debug_assertions)]
+    {
+        sim.run_to_completion(10_000_000);
+        sim.assert_drained();
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = sim;
+}
+
 /// A flow to launch: arrival time, payload bytes, scheme.
 #[derive(Debug, Clone, Copy)]
 pub struct FlowPlan {
@@ -24,6 +75,10 @@ pub struct FlowPlan {
 pub struct RunOutcome {
     /// Completed flows (sender-side records), in completion order per host.
     pub records: Vec<FlowRecord>,
+    /// Flows that gave up (max retransmissions / SYN timeout) instead of
+    /// completing. Kept out of `records` so FCT statistics only ever see
+    /// real completions.
+    pub aborted: Vec<FlowRecord>,
     /// Flows started but unfinished at the end of the run.
     pub censored: usize,
     /// Packets dropped at the forward bottleneck queue.
@@ -137,25 +192,29 @@ impl DumbbellRig {
             self.sim.now().saturating_since(SimTime::ZERO).as_nanos(),
             self.sim.events_processed(),
         );
+        let elapsed = self.sim.now().saturating_since(SimTime::ZERO);
         let mut records = Vec::new();
+        let mut aborted = Vec::new();
         for &h in &self.net.left_hosts {
-            records.extend(
-                self.sim
-                    .node_as::<Host>(h)
-                    .unwrap()
-                    .completed()
-                    .iter()
-                    .cloned(),
-            );
+            for r in self.sim.node_as::<Host>(h).unwrap().completed() {
+                if r.outcome.is_completed() {
+                    records.push(r.clone());
+                } else {
+                    aborted.push(r.clone());
+                }
+            }
         }
         let qs = self.sim.queue_stats(self.net.bottleneck_lr);
         let ls = self.sim.link_stats(self.net.bottleneck_lr);
+        let censored = self.started as usize - records.len() - aborted.len();
+        debug_check_hygiene(&mut self.sim, censored);
         RunOutcome {
-            censored: self.started as usize - records.len(),
+            censored,
             records,
+            aborted,
             bottleneck_drops: qs.dropped,
             bottleneck_tx_bytes: ls.tx_bytes,
-            elapsed: self.sim.now().saturating_since(SimTime::ZERO),
+            elapsed,
         }
     }
 }
@@ -170,23 +229,34 @@ pub fn run_dumbbell(spec: &DumbbellSpec, flows: &[FlowPlan], opts: &RunOptions) 
     let mut last = SimTime::ZERO;
     for (i, f) in flows.iter().enumerate() {
         debug_assert!(f.at >= last, "flows must be sorted by arrival");
-        rig.sim.run_until(f.at);
+        run_until_checked(&mut rig.sim, f.at);
         rig.start_flow_now(i, f.bytes, f.protocol);
         last = f.at;
     }
-    rig.sim.run_until(last + opts.grace);
+    run_until_checked(&mut rig.sim, last + opts.grace);
     rig.outcome()
 }
 
+/// Result of a sequential single-path run (see [`run_path_outcome`]).
+#[derive(Debug, Clone)]
+pub struct PathRunOutcome {
+    /// Flows that delivered every byte.
+    pub completed: Vec<FlowRecord>,
+    /// Flows that gave up (max retransmissions / SYN timeout).
+    pub aborted: Vec<FlowRecord>,
+    /// Flows still live when the run ended.
+    pub censored: usize,
+}
+
 /// Run `flows` sequentially-scheduled on one two-host path (PlanetLab /
-/// home-network experiments). Returns completed records (a flow that can't
-/// finish within `grace` after its start is censored and ends the run).
-pub fn run_path(
+/// home-network / chaos experiments), separating completed, aborted, and
+/// censored flows.
+pub fn run_path_outcome(
     spec: &PathSpec,
     flows: &[FlowPlan],
     seed: u64,
     grace: SimDuration,
-) -> (Vec<FlowRecord>, usize) {
+) -> PathRunOutcome {
     let mut sim = TransportSim::new(seed);
     let net = build_path(&mut sim, spec, |_| Box::new(Host::new()));
     sim.with_node_mut::<Host, _>(net.sender, |h, _| h.wire(net.sender, net.forward));
@@ -194,7 +264,7 @@ pub fn run_path(
     let cache = path_cache();
     let mut last = SimTime::ZERO;
     for (i, f) in flows.iter().enumerate() {
-        sim.run_until(f.at);
+        run_until_checked(&mut sim, f.at);
         let strategy = f.protocol.make(&cache, (net.sender, net.receiver));
         let flow = FlowId(i as u64 + 1);
         sim.with_node_mut::<Host, _>(net.sender, |h, core| {
@@ -202,15 +272,37 @@ pub fn run_path(
         });
         last = f.at;
     }
-    sim.run_until(last + grace);
+    run_until_checked(&mut sim, last + grace);
     crate::harness::meter_add(
         sim.now().saturating_since(SimTime::ZERO).as_nanos(),
         sim.events_processed(),
     );
     let host = sim.node_as::<Host>(net.sender).unwrap();
-    let records: Vec<FlowRecord> = host.completed().to_vec();
-    let censored = flows.len() - records.len();
-    (records, censored)
+    let (completed, aborted): (Vec<FlowRecord>, Vec<FlowRecord>) = host
+        .completed()
+        .iter()
+        .cloned()
+        .partition(|r| r.outcome.is_completed());
+    let censored = flows.len() - completed.len() - aborted.len();
+    debug_check_hygiene(&mut sim, censored);
+    PathRunOutcome {
+        completed,
+        aborted,
+        censored,
+    }
+}
+
+/// Run `flows` sequentially-scheduled on one two-host path. Returns
+/// completed records (a flow that can't finish within `grace` after its
+/// start — or that aborts — counts toward the censored/failed tally).
+pub fn run_path(
+    spec: &PathSpec,
+    flows: &[FlowPlan],
+    seed: u64,
+    grace: SimDuration,
+) -> (Vec<FlowRecord>, usize) {
+    let out = run_path_outcome(spec, flows, seed, grace);
+    (out.completed, out.censored + out.aborted.len())
 }
 
 /// Helper: one flow, one path, default grace.

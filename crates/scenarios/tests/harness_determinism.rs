@@ -76,6 +76,46 @@ fn serial_and_parallel_runs_are_byte_identical() {
     let _ = fs::remove_dir_all(&d8);
 }
 
+/// The chaos sweep adds fault-injected simulations and per-cell watchdog
+/// caps on top of the harness; none of it may leak worker-count effects.
+/// `repro chaos --jobs 1` and `--jobs 4` must write identical bytes.
+#[test]
+fn chaos_runs_are_byte_identical_across_worker_counts() {
+    let _guard = HARNESS_LOCK.lock().unwrap();
+    let d1 = scratch("chaos-serial");
+    let d4 = scratch("chaos-parallel");
+    render_to("chaos", 1, &d1);
+    render_to("chaos", 4, &d4);
+    harness::set_workers(0);
+    harness::take_metrics();
+
+    let a = snapshot(&d1);
+    let b = snapshot(&d4);
+    assert!(!a.is_empty(), "no chaos output files written");
+    assert_eq!(
+        a.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+        b.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+        "file sets differ between --jobs 1 and --jobs 4"
+    );
+    for ((name, bytes1), (_, bytes4)) in a.iter().zip(&b) {
+        assert_eq!(
+            bytes1, bytes4,
+            "{name} differs between --jobs 1 and --jobs 4"
+        );
+    }
+    let summary = a
+        .iter()
+        .find(|(n, _)| n == "chaos.summary.txt")
+        .expect("chaos summary written");
+    let text = String::from_utf8(summary.1.clone()).unwrap();
+    assert!(
+        text.contains("invariant violations: 0"),
+        "chaos summary reports violations:\n{text}"
+    );
+    let _ = fs::remove_dir_all(&d1);
+    let _ = fs::remove_dir_all(&d4);
+}
+
 #[test]
 fn panicking_job_does_not_poison_the_pool() {
     let _guard = HARNESS_LOCK.lock().unwrap();

@@ -31,7 +31,10 @@ pub mod strategy;
 pub mod wire;
 
 pub use host::{completion_bus, CompletionBus, Host};
-pub use sender::{Counters, FlowRecord, Ops, SenderConn};
+pub use sender::{
+    AbortReason, Counters, FlowOutcome, FlowRecord, Ops, SenderConn, MAX_RTO_RETRIES,
+    MAX_SYN_RETRIES,
+};
 pub use strategy::{PaceAction, Strategy};
 pub use wire::{Header, SegId, SendClass, DEFAULT_FCW_BYTES, MSS};
 

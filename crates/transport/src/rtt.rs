@@ -182,6 +182,38 @@ mod tests {
         assert_eq!(e.rto(), base);
     }
 
+    /// Regression for the give-up path added with transport hardening:
+    /// the full backoff schedule doubles per timeout, clamps at the 60 s
+    /// ceiling, and the first cumulative ACK restores the exact RFC 6298
+    /// value (`srtt + max(G, 4*rttvar)`), with `backoff_level` tracking
+    /// the consecutive-timeout count the abort thresholds are checked
+    /// against.
+    #[test]
+    fn backoff_schedule_doubles_clamps_and_resets() {
+        let mut e = RttEstimator::new();
+        e.set_min_rto(MS(1));
+        e.on_sample(MS(200));
+        // RFC 6298 on the first sample: srtt = 200, rttvar = 100.
+        let rfc = MS(200) + MS(100).saturating_mul(4);
+        assert_eq!(e.rto(), rfc);
+
+        // Each timeout doubles the RTO until the 60 s ceiling clamps it.
+        let mut expected = rfc;
+        for level in 1..=10u32 {
+            e.backoff();
+            assert_eq!(e.backoff_level(), level, "level counts every timeout");
+            expected = expected.saturating_mul(2).min(SimDuration::from_secs(60));
+            assert_eq!(e.rto(), expected, "after {level} timeouts");
+        }
+        assert_eq!(e.rto(), SimDuration::from_secs(60), "clamped at max_rto");
+
+        // New cumulative progress: back to the RFC 6298 value, not some
+        // partially decayed one, and the abort counter restarts from zero.
+        e.reset_backoff();
+        assert_eq!(e.backoff_level(), 0);
+        assert_eq!(e.rto(), rfc);
+    }
+
     #[test]
     fn rto_respects_ceiling() {
         let mut e = RttEstimator::new();

@@ -36,7 +36,48 @@ pub(crate) enum Phase {
     SynSent,
     Established,
     Done,
+    /// Terminal give-up state: the retransmission or SYN retry budget was
+    /// exhausted (pathological path). Surfaced as [`FlowOutcome::Aborted`].
+    Aborted,
 }
+
+/// Why a flow gave up (see [`FlowOutcome::Aborted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbortReason {
+    /// [`MAX_RTO_RETRIES`] consecutive retransmission timeouts without any
+    /// cumulative progress.
+    MaxRetransmits,
+    /// [`MAX_SYN_RETRIES`] SYN retransmissions went unanswered.
+    SynTimeout,
+}
+
+/// How a flow ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlowOutcome {
+    /// Every payload byte was cumulatively acknowledged.
+    Completed,
+    /// The sender gave up; the flow is over but the data never fully
+    /// arrived.
+    Aborted(AbortReason),
+}
+
+impl FlowOutcome {
+    /// Did the flow deliver all its data?
+    pub fn is_completed(&self) -> bool {
+        matches!(self, FlowOutcome::Completed)
+    }
+}
+
+/// Consecutive RTO-driven retransmission rounds (without cumulative
+/// progress) before an established connection aborts. Six rounds with the
+/// 1 s minimum RTO and binary backoff means giving up ~63 s after the last
+/// forward progress — the ballpark of Linux's `tcp_retries2`-governed
+/// give-up, scaled down for simulation horizons.
+pub const MAX_RTO_RETRIES: u32 = 6;
+
+/// SYN retransmissions before the handshake aborts (Linux default
+/// `tcp_syn_retries` is 6; we give up one earlier, ~63 s in).
+pub const MAX_SYN_RETRIES: u32 = 5;
 
 /// Per-flow transmission accounting (the quantities the paper reports).
 #[derive(Debug, Clone, Copy, Default)]
@@ -80,6 +121,9 @@ pub struct FlowRecord {
     pub counters: Counters,
     /// Smallest RTT sample observed.
     pub min_rtt: Option<SimDuration>,
+    /// How the flow ended. For aborted flows `done_at`/`fct` record the
+    /// give-up instant, not a completion.
+    pub outcome: FlowOutcome,
 }
 
 /// Mutable per-flow sender state (everything but the strategy box).
@@ -335,9 +379,9 @@ impl SenderConn {
         self.state.flow
     }
 
-    /// Has the flow completed?
+    /// Has the flow reached a terminal state (completed or aborted)?
     pub fn is_done(&self) -> bool {
-        self.state.phase == Phase::Done
+        matches!(self.state.phase, Phase::Done | Phase::Aborted)
     }
 
     /// Read-only accounting.
@@ -535,8 +579,15 @@ impl SenderConn {
         self.state.rto_timer = None;
         match self.state.phase {
             Phase::SynSent => {
-                // Handshake timeout: back off and resend the SYN. This path
-                // runs inside dispatch, so reconstruct core access via ctx.
+                // Handshake timeout: back off and resend the SYN, up to the
+                // retry cap — a SYN blackhole must not retry forever. This
+                // path runs inside dispatch, so reconstruct core access via
+                // ctx. `backoff_level` counts retries: it only resets when
+                // the SYN-ACK arrives.
+                if self.state.rtt.backoff_level() >= MAX_SYN_RETRIES {
+                    self.abort(shared, ctx, AbortReason::SynTimeout);
+                    return;
+                }
                 self.state.rtt.backoff();
                 let st = &mut self.state;
                 st.syn_sent_at = ctx.now();
@@ -557,6 +608,13 @@ impl SenderConn {
                 st.rto_timer = Some((id, token));
             }
             Phase::Established => {
+                // Give up after MAX_RTO_RETRIES consecutive timeouts with no
+                // cumulative progress (`backoff_level` resets on every new
+                // cumulative ACK, so it counts exactly those).
+                if self.state.rtt.backoff_level() >= MAX_RTO_RETRIES {
+                    self.abort(shared, ctx, AbortReason::MaxRetransmits);
+                    return;
+                }
                 self.state.counters.rto_events += 1;
                 self.state.rtt.backoff();
                 self.state.board.on_rto();
@@ -579,7 +637,7 @@ impl SenderConn {
                 let id = ctx.set_timer(after, token);
                 self.state.rto_timer = Some((id, token));
             }
-            Phase::Done => {}
+            Phase::Done | Phase::Aborted => {}
         }
     }
 
@@ -633,10 +691,22 @@ impl SenderConn {
     }
 
     fn finish(&mut self, shared: &mut HostCore, ctx: &mut Ctx<'_, Header>) {
-        let now = ctx.now();
         self.with_ops(shared, ctx, |s, ops| s.on_complete(ops));
         self.state.phase = Phase::Done;
-        // Cancel every timer this flow owns.
+        self.teardown(shared, ctx, FlowOutcome::Completed);
+    }
+
+    /// Terminal give-up: cancel everything and report the flow as aborted.
+    /// The strategy's `on_complete` is *not* invoked — the flow did not
+    /// complete, and strategies must not send on an aborted connection.
+    fn abort(&mut self, shared: &mut HostCore, ctx: &mut Ctx<'_, Header>, reason: AbortReason) {
+        self.state.phase = Phase::Aborted;
+        self.teardown(shared, ctx, FlowOutcome::Aborted(reason));
+    }
+
+    /// Cancel every timer this flow owns and emit its [`FlowRecord`].
+    fn teardown(&mut self, shared: &mut HostCore, ctx: &mut Ctx<'_, Header>, outcome: FlowOutcome) {
+        let now = ctx.now();
         if let Some((id, token)) = self.state.rto_timer.take() {
             ctx.cancel_timer(id);
             shared.drop_token(token);
@@ -663,6 +733,7 @@ impl SenderConn {
             fct: now.saturating_since(self.state.start_time),
             counters: self.state.counters,
             min_rtt: self.state.rtt.min_rtt(),
+            outcome,
         };
         shared.flow_done(record);
     }

@@ -1,0 +1,112 @@
+//! Give-up behaviour under pathological networks: a flow facing a dead
+//! path must reach [`FlowOutcome::Aborted`] in bounded virtual time and
+//! leave nothing behind — no live timers, no undrained queues. This is
+//! the transport half of the fault-injection contract (the netsim half is
+//! covered by `crates/netsim/tests/conservation.rs`).
+
+use netsim::topology::{build_path, PathSpec};
+use netsim::{FaultSpec, FlowId, Rate, SimDuration, SimTime};
+use transport::reno::{RenoConfig, RenoEngine};
+use transport::scoreboard::AckOutcome;
+use transport::sender::Ops;
+use transport::strategy::Strategy;
+use transport::wire::{AckHeader, SegId};
+use transport::{AbortReason, FlowOutcome, Host, TransportSim, MAX_RTO_RETRIES, MAX_SYN_RETRIES};
+
+/// Minimal window-driven strategy (same shape as the chassis tests).
+struct MiniTcp(RenoEngine);
+
+impl Strategy for MiniTcp {
+    fn name(&self) -> &'static str {
+        "MiniTcp"
+    }
+    fn on_established(&mut self, ops: &mut Ops<'_, '_>) {
+        self.0.on_established(ops);
+    }
+    fn on_ack(&mut self, ops: &mut Ops<'_, '_>, _a: &AckHeader, o: &AckOutcome) {
+        self.0.on_ack(ops, o);
+    }
+    fn on_loss_detected(&mut self, ops: &mut Ops<'_, '_>, l: &[SegId]) {
+        self.0.on_loss(ops, l);
+    }
+    fn on_rto(&mut self, ops: &mut Ops<'_, '_>) {
+        self.0.on_rto(ops);
+    }
+}
+
+fn t(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+fn run_with_down_window(down_from_ms: u64, bytes: u64) -> (TransportSim, transport::FlowRecord) {
+    let spec = PathSpec::clean(Rate::from_mbps(10), SimDuration::from_millis(40))
+        .with_faults(FaultSpec::none().down_window(t(down_from_ms), t(100_000_000)));
+    let mut sim = TransportSim::new(99);
+    let net = build_path(&mut sim, &spec, |_| Box::new(Host::new()));
+    sim.with_node_mut::<Host, _>(net.sender, |h, _| h.wire(net.sender, net.forward));
+    sim.with_node_mut::<Host, _>(net.receiver, |h, _| h.wire(net.receiver, net.reverse));
+    sim.with_node_mut::<Host, _>(net.sender, |h, core| {
+        h.start_flow(
+            core,
+            FlowId(1),
+            net.receiver,
+            bytes,
+            Box::new(MiniTcp(RenoEngine::new(RenoConfig::default()))),
+        )
+    });
+    sim.run_to_completion(10_000_000);
+    let rec = sim.node_as::<Host>(net.sender).unwrap().completed()[0].clone();
+    (sim, rec)
+}
+
+/// A path that is dead from the start: the handshake gives up after
+/// [`MAX_SYN_RETRIES`] SYN retransmissions (~31 s of backoff) and the
+/// simulation drains to nothing — no orphaned RTO timer keeps it alive.
+#[test]
+fn dead_path_aborts_handshake() {
+    let (sim, rec) = run_with_down_window(0, 100_000);
+    assert_eq!(rec.outcome, FlowOutcome::Aborted(AbortReason::SynTimeout));
+    assert!(!rec.outcome.is_completed());
+    // Original SYN plus every allowed retry, none beyond.
+    assert_eq!(rec.counters.syn_sent as u32, 1 + MAX_SYN_RETRIES);
+    // Give-up time: 1+2+4+8+16+32 s of doubling from the 1 s initial RTO
+    // (the final backed-off timer must expire before the check trips).
+    assert!(
+        rec.fct >= SimDuration::from_secs(63) && rec.fct < SimDuration::from_secs(70),
+        "SYN give-up at {}",
+        rec.fct
+    );
+    sim.assert_drained();
+}
+
+/// The link dies mid-transfer: the established connection retransmits
+/// with exponential backoff, gives up after [`MAX_RTO_RETRIES`] dry
+/// timeouts, and reports `MaxRetransmits` rather than hanging forever.
+#[test]
+fn mid_flow_blackout_aborts_established_connection() {
+    // 10 Mbps moves ~250 KB in the first 200 ms; 2 MB is still in flight
+    // when the link dies.
+    let (sim, rec) = run_with_down_window(200, 2_000_000);
+    assert_eq!(
+        rec.outcome,
+        FlowOutcome::Aborted(AbortReason::MaxRetransmits)
+    );
+    assert!(rec.counters.rto_events >= MAX_RTO_RETRIES as u64);
+    // Bounded give-up: ~63 s of backoff after the last progress.
+    assert!(
+        rec.fct < SimDuration::from_secs(80),
+        "give-up too slow: {}",
+        rec.fct
+    );
+    sim.assert_drained();
+}
+
+/// Control: the same path with the fault window starting after the flow
+/// finishes completes normally — the give-up logic never fires early.
+#[test]
+fn late_window_does_not_disturb_completion() {
+    let (sim, rec) = run_with_down_window(30_000, 100_000);
+    assert_eq!(rec.outcome, FlowOutcome::Completed);
+    assert_eq!(rec.counters.rto_events, 0);
+    sim.assert_drained();
+}

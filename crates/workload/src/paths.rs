@@ -58,6 +58,7 @@ pub fn planetlab_paths(n: usize, seed: u64) -> Vec<PathSpec> {
                 buffer,
                 loss,
                 reverse_loss: LossModel::None,
+                faults: netsim::FaultSpec::none(),
             }
         })
         .collect()
@@ -148,6 +149,7 @@ impl HomeNetwork {
                     buffer: self.buffer_bytes(),
                     loss: self.loss(),
                     reverse_loss: LossModel::None,
+                    faults: netsim::FaultSpec::none(),
                 }
             })
             .collect()

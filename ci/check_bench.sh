@@ -1,0 +1,32 @@
+#!/usr/bin/env sh
+# Perf smoke: run the engine and end-to-end benchmarks and compare each
+# median against the committed baselines (BENCH_netsim.json /
+# BENCH_e2e.json at the repo root). The bench harness's --check mode
+# fails (exit 1) if any benchmark is more than 2x slower than its
+# baseline median — loose enough for shared-runner noise, tight enough
+# to catch an accidental O(n log n) -> O(n^2) in the event queue or a
+# reintroduced per-packet allocation.
+#
+# Usage: ci/check_bench.sh  (from the repo root)
+#
+# Refresh the baselines after an intentional perf change with:
+#   cargo bench --bench engine -- event_queue --json /tmp/engine.json
+#   cargo bench --bench e2e   --            --json /tmp/e2e.json
+# and fold the new numbers into the committed files' "after" section
+# (see EXPERIMENTS.md, "Performance baselines").
+set -eu
+
+# Cargo runs bench binaries with the package directory as cwd, so the
+# baseline paths must be absolute.
+root=$(cd "$(dirname "$0")/.." && pwd)
+
+# The 1e7-event macro bench takes ~30 s per sample; CI only needs the
+# smaller points to detect a complexity regression, so filter to the
+# sub-second benches.
+cargo bench --bench engine -- \
+    schedule_fire_1e5 schedule_cancel_fire_1e6 event_queue_hold \
+    --check "$root/BENCH_netsim.json"
+
+cargo bench --bench e2e -- --check "$root/BENCH_e2e.json"
+
+echo "OK: benchmark medians within 2x of committed baselines"

@@ -166,7 +166,7 @@ impl Pcp {
 
     /// During Sending: lost-marked segments first, then new data.
     fn send_next(&mut self, ops: &mut Ops<'_, '_>) -> bool {
-        if let Some(&seg) = ops.board().lost_segments(1).first() {
+        if let Some(seg) = ops.board().first_lost() {
             ops.send_segment(seg, SendClass::FastRetx);
             return true;
         }
@@ -276,7 +276,7 @@ impl Strategy for Pcp {
         if self.phase == PcpPhase::Sending && !ops.pacing_active() {
             // The pacer stopped (nothing left to send) but an un-ACKed loss
             // may have been marked since; resume if there is work.
-            if !ops.board().lost_segments(1).is_empty() || ops.board().next_unsent().is_some() {
+            if ops.board().first_lost().is_some() || ops.board().next_unsent().is_some() {
                 let interval = self.rate.transmission_time(MSS + 40);
                 self.send_next(ops);
                 ops.start_pacing(interval);

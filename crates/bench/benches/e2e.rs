@@ -1,0 +1,40 @@
+//! End-to-end wall-clock benchmarks: whole experiments through the same
+//! code path as `repro <id> --scale quick`, pinned to one worker so the
+//! numbers measure the simulator, not the thread pool. These are the
+//! figures the committed `BENCH_e2e.json` baseline tracks.
+
+use bench::{run_benches, Bench};
+use scenarios::figures::{chaos, planetlab};
+use scenarios::{harness, Scale};
+use std::hint::black_box;
+
+/// Figs. 5–8 (the `repro fig6` run): ~900 short PlanetLab-path simulations.
+/// Dominated by per-simulation setup plus short event bursts — the
+/// worst case for any event queue with per-run initialization cost.
+fn fig6_quick(c: &mut Bench) {
+    harness::set_workers(1);
+    let mut g = c.benchmark_group("e2e");
+    g.sample_size(10);
+    g.bench_function("fig6_quick_jobs1", || {
+        black_box(planetlab::figures(Scale::Quick));
+        let _ = harness::take_metrics();
+    });
+    g.finish();
+}
+
+/// The chaos robustness sweep: longer simulations with fault injection,
+/// retransmission timers, and frequent timer cancellation.
+fn chaos_quick(c: &mut Bench) {
+    harness::set_workers(1);
+    let mut g = c.benchmark_group("e2e");
+    g.sample_size(10);
+    g.bench_function("chaos_quick_jobs1", || {
+        black_box(chaos::figures(Scale::Quick));
+        let _ = harness::take_metrics();
+    });
+    g.finish();
+}
+
+fn main() {
+    run_benches(&[("fig6_quick", fig6_quick), ("chaos_quick", chaos_quick)]);
+}

@@ -25,6 +25,116 @@ impl Node<u32> for Sink {
     }
 }
 
+/// A node that keeps one timer in flight: each firing re-arms at a
+/// pseudo-random offset. With K nodes seeded this holds K pending events
+/// steady — the classical "hold model" that exercises the event queue the
+/// way a running simulation does (interleaved pop + push at queue depth K).
+struct Hold {
+    remaining: u64,
+    lcg: u64,
+}
+
+impl Node<u32> for Hold {
+    fn on_packet(&mut self, _p: Packet<u32>, _c: &mut netsim::Ctx<'_, u32>) {}
+    fn on_timer(&mut self, _i: TimerId, _t: u64, c: &mut netsim::Ctx<'_, u32>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            self.lcg = self
+                .lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Offsets up to ~1 ms straddle the calendar-queue horizon in
+            // both directions (near-bucket and overflow paths).
+            let delta = (self.lcg >> 33) % 1_000_000 + 1;
+            c.set_timer(SimDuration::from_nanos(delta), 0);
+        }
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Event-queue operation mixes: schedule/fire and schedule/cancel/fire at
+/// 1e5–1e7 events, plus the steady-state hold model. These go straight at
+/// the engine's timer API, so they measure queue push/pop/cancel cost with
+/// no link or transport work attached.
+fn event_queue(c: &mut Bench) {
+    // Pre-schedule n timers at pseudo-random times within `spread_ns`, then
+    // drain. `cancel_every` != 0 cancels every k-th timer before draining
+    // (the cancelled slots still pass through the queue as stale entries).
+    fn schedule_drain(n: u64, spread_ns: u64, cancel_every: u64) {
+        let mut sim: Simulator<u32> = Simulator::new(3);
+        let a = sim.add_node(Box::new(Sink));
+        let mut lcg: u64 = 0x9e3779b97f4a7c15;
+        let mut ids = Vec::with_capacity(if cancel_every == 0 { 0 } else { n as usize });
+        for _ in 0..n {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let at = SimTime::from_nanos((lcg >> 16) % spread_ns + 1);
+            let id = sim.core().set_timer_at(a, at, 0);
+            if cancel_every != 0 {
+                ids.push(id);
+            }
+        }
+        for (i, id) in ids.into_iter().enumerate() {
+            if (i as u64).is_multiple_of(cancel_every) {
+                sim.core().cancel_timer(id);
+            }
+        }
+        sim.run_to_completion(2 * n);
+        black_box(sim.events_processed());
+    }
+
+    let mut g = c.benchmark_group("event_queue");
+    g.sample_size(10);
+    g.throughput_elements(100_000);
+    g.bench_function("schedule_fire_1e5", || {
+        schedule_drain(100_000, 100_000_000, 0);
+    });
+    g.throughput_elements(1_000_000);
+    g.bench_function("schedule_fire_1e6", || {
+        schedule_drain(1_000_000, 1_000_000_000, 0);
+    });
+    g.bench_function("schedule_cancel_fire_1e6", || {
+        schedule_drain(1_000_000, 1_000_000_000, 2);
+    });
+    g.sample_size(3);
+    g.throughput_elements(10_000_000);
+    g.bench_function("schedule_fire_1e7", || {
+        schedule_drain(10_000_000, 10_000_000_000, 0);
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("event_queue_hold");
+    // 1e6 fire+re-arm cycles at a steady depth of 20k pending events.
+    let depth = 20_000u64;
+    let cycles = 1_000_000u64;
+    g.sample_size(10);
+    g.throughput_elements(cycles);
+    g.bench_function("depth_20k_1e6_events", || {
+        let mut sim: Simulator<u32> = Simulator::new(3);
+        let node = sim.add_node(Box::new(Hold {
+            remaining: cycles - depth,
+            lcg: 0x2545f4914f6cdd1d,
+        }));
+        let mut lcg: u64 = 0x9e3779b97f4a7c15;
+        for _ in 0..depth {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let at = SimTime::from_nanos((lcg >> 33) % 1_000_000 + 1);
+            sim.core().set_timer_at(node, at, 0);
+        }
+        sim.run_to_completion(2 * cycles);
+        black_box(sim.events_processed());
+    });
+    g.finish();
+}
+
 /// Raw engine: push N packets through a saturated link.
 fn engine_throughput(c: &mut Bench) {
     let n = 20_000u64;
@@ -123,6 +233,7 @@ fn workload_generation(c: &mut Bench) {
 
 fn main() {
     run_benches(&[
+        ("event_queue", event_queue),
         ("engine_throughput", engine_throughput),
         ("queue_ops", queue_ops),
         ("transport_flow", transport_flow),

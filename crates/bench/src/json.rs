@@ -1,0 +1,436 @@
+//! Hand-rolled JSON writer and minimal parser.
+//!
+//! No serde in this container, and the bench harness only needs the subset
+//! it emits itself: objects, arrays, strings, finite numbers, booleans,
+//! null. The writer pretty-prints with two-space indentation so committed
+//! baselines diff cleanly; the parser is a small recursive-descent reader
+//! for the same subset (with standard escape handling).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// BTreeMap keeps key order deterministic when re-serialized.
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` for any other variant.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(key),
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Streaming pretty-printer. Usage follows the document structure:
+///
+/// ```
+/// let mut w = bench::json::Writer::new();
+/// w.obj(|w| {
+///     w.key("name").str("engine");
+///     w.key("values").arr(|w| {
+///         w.elem().num(1.0);
+///         w.elem().num(2.0);
+///     });
+/// });
+/// let text = w.finish();
+/// assert!(text.contains("\"engine\""));
+/// ```
+pub struct Writer {
+    out: String,
+    indent: usize,
+    /// Whether the current container already has a member (comma needed).
+    needs_comma: Vec<bool>,
+}
+
+impl Writer {
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Writer {
+        Writer {
+            out: String::new(),
+            indent: 0,
+            needs_comma: Vec::new(),
+        }
+    }
+
+    fn newline_and_indent(&mut self) {
+        self.out.push('\n');
+        for _ in 0..self.indent {
+            self.out.push_str("  ");
+        }
+    }
+
+    fn begin_member(&mut self) {
+        if let Some(comma) = self.needs_comma.last_mut() {
+            if *comma {
+                self.out.push(',');
+            }
+            *comma = true;
+            self.newline_and_indent();
+        }
+    }
+
+    /// Start an object member; follow with one value call (`str`/`num`/...).
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.begin_member();
+        write_escaped(&mut self.out, k);
+        self.out.push_str(": ");
+        self
+    }
+
+    /// Start an array element; follow with one value call.
+    pub fn elem(&mut self) -> &mut Self {
+        self.begin_member();
+        self
+    }
+
+    /// Write an object value; `f` fills in its members via [`Writer::key`].
+    pub fn obj(&mut self, f: impl FnOnce(&mut Writer)) -> &mut Self {
+        self.out.push('{');
+        self.indent += 1;
+        self.needs_comma.push(false);
+        f(self);
+        let had_members = self.needs_comma.pop() == Some(true);
+        self.indent -= 1;
+        if had_members {
+            self.newline_and_indent();
+        }
+        self.out.push('}');
+        self
+    }
+
+    /// Write an array value; `f` fills in elements via [`Writer::elem`].
+    pub fn arr(&mut self, f: impl FnOnce(&mut Writer)) -> &mut Self {
+        self.out.push('[');
+        self.indent += 1;
+        self.needs_comma.push(false);
+        f(self);
+        let had_members = self.needs_comma.pop() == Some(true);
+        self.indent -= 1;
+        if had_members {
+            self.newline_and_indent();
+        }
+        self.out.push(']');
+        self
+    }
+
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        write_escaped(&mut self.out, s);
+        self
+    }
+
+    /// Finite numbers only; integers print without a trailing `.0`.
+    pub fn num(&mut self, n: f64) -> &mut Self {
+        assert!(n.is_finite(), "non-finite number in JSON: {n}");
+        if n.fract() == 0.0 && n.abs() < 1e15 {
+            let _ = write!(self.out, "{}", n as i64);
+        } else {
+            let _ = write!(self.out, "{n}");
+        }
+        self
+    }
+
+    pub fn bool(&mut self, b: bool) -> &mut Self {
+        self.out.push_str(if b { "true" } else { "false" });
+        self
+    }
+
+    pub fn null(&mut self) -> &mut Self {
+        self.out.push_str("null");
+        self
+    }
+
+    /// The document text, with a trailing newline.
+    pub fn finish(mut self) -> String {
+        self.out.push('\n');
+        self.out
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// Parse a JSON document. Errors carry a byte offset and a short message.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(p.err("trailing data after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: &str) -> String {
+        format!("json error at byte {}: {msg}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("short \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogate pairs are not needed for our own
+                            // output; map them to the replacement char.
+                            s.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // slicing at char boundaries is safe).
+                    let rest = &self.bytes[self.pos..];
+                    let ch_len = match rest[0] {
+                        b if b < 0x80 => 1,
+                        b if b >= 0xf0 => 4,
+                        b if b >= 0xe0 => 3,
+                        _ => 2,
+                    };
+                    let chunk = std::str::from_utf8(&rest[..ch_len])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    s.push_str(chunk);
+                    self.pos += ch_len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_produces_valid_nested_document() {
+        let mut w = Writer::new();
+        w.obj(|w| {
+            w.key("name").str("a \"quoted\"\nname");
+            w.key("n").num(42.0);
+            w.key("pi").num(3.25);
+            w.key("flag").bool(true);
+            w.key("nothing").null();
+            w.key("list").arr(|w| {
+                w.elem().num(1.0);
+                w.elem().obj(|w| {
+                    w.key("x").num(-2.5);
+                });
+                w.elem().arr(|_| {});
+            });
+        });
+        let text = w.finish();
+        let v = parse(&text).expect("parses");
+        assert_eq!(
+            v.get("name"),
+            Some(&Value::String("a \"quoted\"\nname".to_string()))
+        );
+        assert_eq!(v.get("n"), Some(&Value::Number(42.0)));
+        assert_eq!(v.get("flag"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("nothing"), Some(&Value::Null));
+        match v.get("list") {
+            Some(Value::Array(items)) => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[1].get("x"), Some(&Value::Number(-2.5)));
+                assert_eq!(items[2], Value::Array(Vec::new()));
+            }
+            other => panic!("bad list: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parser_handles_whitespace_escapes_and_exponents() {
+        let v = parse(" { \"a\" : [ 1e3 , -4.5E-1, \"t\\tab\\u0041\" ] } ").unwrap();
+        match v.get("a") {
+            Some(Value::Array(items)) => {
+                assert_eq!(items[0], Value::Number(1000.0));
+                assert_eq!(items[1], Value::Number(-0.45));
+                assert_eq!(items[2], Value::String("t\tabA".to_string()));
+            }
+            other => panic!("bad: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} trailing").is_err());
+        assert!(parse("nope").is_err());
+    }
+}

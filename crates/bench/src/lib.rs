@@ -3,20 +3,125 @@
 //! The container this reproduction builds in has no access to crates.io,
 //! so Criterion is out of reach; this module provides the small subset the
 //! figure/engine benches need: named groups, warmup, a fixed sample count,
-//! and median/mean wall-clock reporting (plus optional per-element
-//! throughput). Run with `cargo bench` — each bench target is a plain
-//! binary with `harness = false`.
+//! median/mean/min/p95 wall-clock reporting with adaptive units, optional
+//! per-element throughput, machine-readable JSON output, and a regression
+//! check against a committed baseline.
+//!
+//! Each bench target is a plain binary with `harness = false`. Invocation
+//! (everything after `--` reaches the binary):
+//!
+//! ```text
+//! cargo bench --bench engine                          # run everything
+//! cargo bench --bench engine -- event_queue           # substring filter
+//! cargo bench --bench engine -- --list                # list bench names
+//! cargo bench --bench engine -- --json out.json       # also write JSON
+//! cargo bench --bench engine -- --check BENCH_netsim.json
+//! #   run, then exit non-zero if any median regressed >2x vs the baseline
+//! ```
+//!
+//! Positional arguments are substring filters (a bench runs if any filter
+//! matches its registered name or its full `group/id`); `--`-prefixed
+//! arguments are options, never filters — including flags cargo itself
+//! forwards, like `--bench`, which are ignored.
 
-use std::time::{Duration, Instant};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+pub mod json;
+
+/// Regression threshold for `--check`: fail if a median is more than this
+/// factor slower than the committed baseline. Generous on purpose — shared
+/// CI runners are noisy; this catches accidental O(n log n) → O(n^2)
+/// slips, not percent-level drift.
+pub const CHECK_FACTOR: f64 = 2.0;
+
+/// One finished measurement, in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full id, `group/function`.
+    pub name: String,
+    pub median_ns: f64,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub p95_ns: f64,
+    pub samples: usize,
+    /// Elements processed per iteration, when the group declares throughput.
+    pub elements: Option<u64>,
+}
+
+impl BenchResult {
+    /// Elements per second at the median, when throughput is declared.
+    pub fn elements_per_sec(&self) -> Option<f64> {
+        self.elements.map(|n| n as f64 / (self.median_ns / 1e9))
+    }
+}
+
+/// Render a duration in nanoseconds with an adaptive unit (ns/µs/ms/s),
+/// keeping three significant-ish digits.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Parsed command line for a bench binary.
+#[derive(Debug, Default)]
+pub struct Config {
+    /// Positional substring filters; empty means "run everything".
+    pub filters: Vec<String>,
+    /// `--list`: print bench names, run nothing.
+    pub list: bool,
+    /// `--json <path>`: write results as JSON after the run.
+    pub json: Option<String>,
+    /// `--check <path>`: compare medians against a committed baseline.
+    pub check: Option<String>,
+}
+
+impl Config {
+    /// Parse `std::env::args`. Options start with `-`; anything else is a
+    /// substring filter. Unknown options (e.g. the `--bench` flag cargo
+    /// forwards to bench binaries) are ignored rather than being mistaken
+    /// for filters.
+    pub fn from_args() -> Config {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    fn parse(args: impl Iterator<Item = String>) -> Config {
+        let mut cfg = Config::default();
+        let mut args = args.peekable();
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--list" => cfg.list = true,
+                "--json" => cfg.json = args.next(),
+                "--check" => cfg.check = args.next(),
+                _ if a.starts_with('-') => {} // cargo's --bench, etc.
+                _ => cfg.filters.push(a),
+            }
+        }
+        cfg
+    }
+
+    /// True when `name` passes the filters (no filters = run everything).
+    pub fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+}
 
 /// One benchmark group: a name plus shared sample settings.
-pub struct Group {
+pub struct Group<'a> {
+    bench: &'a mut Bench,
     name: String,
     samples: usize,
     elements: Option<u64>,
 }
 
-impl Group {
+impl Group<'_> {
     /// Number of timed samples per benchmark (default 10).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
         self.samples = n.max(1);
@@ -31,30 +136,48 @@ impl Group {
 
     /// Time `f` over the group's sample count and print a summary line.
     pub fn bench_function(&mut self, id: &str, mut f: impl FnMut()) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if !(self.bench.config.matches(&full) || self.bench.registered_matches) {
+            return self;
+        }
+        if self.bench.config.list {
+            println!("{full}");
+            return self;
+        }
         // One untimed warmup iteration (fills caches, faults pages).
         f();
-        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        let mut ns: Vec<f64> = Vec::with_capacity(self.samples);
         for _ in 0..self.samples {
             let t0 = Instant::now();
             f();
-            times.push(t0.elapsed());
+            ns.push(t0.elapsed().as_nanos() as f64);
         }
-        times.sort();
-        let median = times[times.len() / 2];
-        let mean = times.iter().sum::<Duration>() / times.len() as u32;
+        ns.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = ns.len();
+        let result = BenchResult {
+            name: full,
+            median_ns: ns[n / 2],
+            mean_ns: ns.iter().sum::<f64>() / n as f64,
+            min_ns: ns[0],
+            // Nearest-rank p95 (for n=10 this is the 10th sample).
+            p95_ns: ns[(((0.95 * n as f64).ceil() as usize).clamp(1, n)) - 1],
+            samples: n,
+            elements: self.elements,
+        };
         let mut line = format!(
-            "{}/{:<28} median {:>10.3} ms  mean {:>10.3} ms  ({} samples)",
-            self.name,
-            id,
-            median.as_secs_f64() * 1e3,
-            mean.as_secs_f64() * 1e3,
-            times.len()
+            "{:<44} median {:>10}  mean {:>10}  min {:>10}  p95 {:>10}  ({} samples)",
+            result.name,
+            fmt_ns(result.median_ns),
+            fmt_ns(result.mean_ns),
+            fmt_ns(result.min_ns),
+            fmt_ns(result.p95_ns),
+            result.samples,
         );
-        if let Some(n) = self.elements {
-            let per_sec = n as f64 / median.as_secs_f64();
-            line.push_str(&format!("  {per_sec:.0} elem/s"));
+        if let Some(per_sec) = result.elements_per_sec() {
+            let _ = write!(line, "  {:.3} M elem/s", per_sec / 1e6);
         }
         println!("{line}");
+        self.bench.results.push(result);
         self
     }
 
@@ -62,17 +185,24 @@ impl Group {
     pub fn finish(&mut self) {}
 }
 
-/// Entry point handed to each bench function (Criterion-shaped).
-#[derive(Default)]
-pub struct Bench;
+/// Entry point handed to each bench function (Criterion-shaped). Collects
+/// results so the runner can emit JSON / run the regression check.
+pub struct Bench {
+    config: Config,
+    results: Vec<BenchResult>,
+    /// The registered function name already matched a filter, so every
+    /// group/id inside it runs regardless of its own name.
+    registered_matches: bool,
+}
 
 impl Bench {
     /// Start a named benchmark group.
-    pub fn benchmark_group(&mut self, name: &str) -> Group {
+    pub fn benchmark_group(&mut self, name: &str) -> Group<'_> {
         Group {
             name: name.to_string(),
             samples: 10,
             elements: None,
+            bench: self,
         }
     }
 }
@@ -80,18 +210,224 @@ impl Bench {
 /// One registered bench function.
 pub type BenchFn = fn(&mut Bench);
 
-/// Run a list of bench functions, honoring an optional substring filter
-/// passed on the command line: `cargo bench -- <filter>` runs only the
-/// functions whose registered name contains the filter.
-pub fn run_benches(benches: &[(&str, BenchFn)]) {
-    let filter: Option<String> = std::env::args().nth(1).filter(|a| !a.starts_with('-'));
-    let mut b = Bench;
-    for (name, f) in benches {
-        if let Some(pat) = &filter {
-            if !name.contains(pat.as_str()) {
-                continue;
+/// Fingerprint of the machine/build the numbers came from, for the JSON
+/// output. Std-only, so it is coarse — enough to tell two baselines apart.
+pub fn env_fingerprint() -> Vec<(String, String)> {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(0);
+    vec![
+        ("arch".to_string(), std::env::consts::ARCH.to_string()),
+        ("os".to_string(), std::env::consts::OS.to_string()),
+        ("cpus".to_string(), cpus.to_string()),
+        (
+            "profile".to_string(),
+            if cfg!(debug_assertions) {
+                "debug"
+            } else {
+                "release"
+            }
+            .to_string(),
+        ),
+    ]
+}
+
+/// Serialize results to the `halfback-bench-v1` JSON document.
+pub fn results_to_json(results: &[BenchResult]) -> String {
+    let mut w = json::Writer::new();
+    w.obj(|w| {
+        w.key("schema").str("halfback-bench-v1");
+        w.key("env").obj(|w| {
+            for (k, v) in env_fingerprint() {
+                if k == "cpus" {
+                    w.key(&k).num(v.parse().unwrap_or(0.0));
+                } else {
+                    w.key(&k).str(&v);
+                }
+            }
+        });
+        w.key("results").arr(|w| {
+            for r in results {
+                w.elem().obj(|w| {
+                    w.key("name").str(&r.name);
+                    w.key("median_ns").num(r.median_ns);
+                    w.key("mean_ns").num(r.mean_ns);
+                    w.key("min_ns").num(r.min_ns);
+                    w.key("p95_ns").num(r.p95_ns);
+                    w.key("samples").num(r.samples as f64);
+                    if let Some(n) = r.elements {
+                        w.key("elements").num(n as f64);
+                        w.key("elements_per_sec")
+                            .num(r.elements_per_sec().unwrap_or(0.0));
+                    }
+                });
+            }
+        });
+    });
+    w.finish()
+}
+
+/// Extract `name -> median_ns` from a baseline document. Accepts either a
+/// plain harness emission (top-level `results`) or the committed
+/// before/after layout (compares against the `after` run's `results`).
+pub fn baseline_medians(doc: &json::Value) -> Vec<(String, f64)> {
+    let results = doc
+        .get("results")
+        .or_else(|| doc.get("after").and_then(|a| a.get("results")));
+    let mut out = Vec::new();
+    if let Some(json::Value::Array(items)) = results {
+        for item in items {
+            if let (Some(json::Value::String(name)), Some(json::Value::Number(m))) =
+                (item.get("name"), item.get("median_ns"))
+            {
+                out.push((name.clone(), *m));
             }
         }
+    }
+    out
+}
+
+/// Run a list of bench functions under the parsed [`Config`]: apply
+/// filters, honour `--list`, write `--json`, and perform the `--check`
+/// regression comparison (exiting non-zero on failure).
+pub fn run_benches(benches: &[(&str, BenchFn)]) {
+    let config = Config::from_args();
+    let mut b = Bench {
+        config,
+        results: Vec::new(),
+        registered_matches: false,
+    };
+    for (name, f) in benches {
+        // A filter can select a whole registered function by its name, or
+        // individual `group/id` benches inside any function; when the
+        // function name itself matches, everything inside it runs.
+        b.registered_matches = b.config.filters.iter().any(|p| name.contains(p.as_str()));
         f(&mut b);
+    }
+    if let Some(path) = b.config.json.clone() {
+        let doc = results_to_json(&b.results);
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("bench: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("bench: wrote {} results to {path}", b.results.len());
+    }
+    if let Some(path) = b.config.check.clone() {
+        check_against_baseline(&b.results, &path);
+    }
+}
+
+fn check_against_baseline(results: &[BenchResult], path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench: cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let doc = match json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench: cannot parse baseline {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let baseline = baseline_medians(&doc);
+    let mut compared = 0usize;
+    let mut failures = Vec::new();
+    for r in results {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == &r.name) else {
+            continue;
+        };
+        compared += 1;
+        let ratio = r.median_ns / base;
+        let verdict = if ratio > CHECK_FACTOR { "FAIL" } else { "ok" };
+        println!(
+            "check {:<44} baseline {:>10}  now {:>10}  ratio {ratio:.2}x  {verdict}",
+            r.name,
+            fmt_ns(*base),
+            fmt_ns(r.median_ns),
+        );
+        if ratio > CHECK_FACTOR {
+            failures.push(r.name.clone());
+        }
+    }
+    if compared == 0 {
+        eprintln!("bench: no benches matched the baseline in {path}");
+        std::process::exit(1);
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "bench: {} regression(s) beyond {CHECK_FACTOR}x: {}",
+            failures.len(),
+            failures.join(", ")
+        );
+        std::process::exit(1);
+    }
+    eprintln!("bench: {compared} benches within {CHECK_FACTOR}x of baseline");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(args: &[&str]) -> Config {
+        Config::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn flags_are_not_filters() {
+        // cargo forwards `--bench` to harness=false binaries; historically
+        // it was treated as a filter that matched nothing.
+        let c = cfg(&["--bench", "event_queue"]);
+        assert_eq!(c.filters, vec!["event_queue".to_string()]);
+        assert!(!c.list);
+        let c = cfg(&["--list"]);
+        assert!(c.list && c.filters.is_empty());
+        let c = cfg(&["--json", "out.json", "--check", "base.json", "engine"]);
+        assert_eq!(c.json.as_deref(), Some("out.json"));
+        assert_eq!(c.check.as_deref(), Some("base.json"));
+        assert_eq!(c.filters, vec!["engine".to_string()]);
+    }
+
+    #[test]
+    fn empty_filter_matches_everything() {
+        let c = cfg(&[]);
+        assert!(c.matches("anything/at_all"));
+        let c = cfg(&["queue"]);
+        assert!(c.matches("event_queue/fire"));
+        assert!(!c.matches("transport_flow/run"));
+    }
+
+    #[test]
+    fn adaptive_units() {
+        assert_eq!(fmt_ns(312.0), "312 ns");
+        assert_eq!(fmt_ns(4_560.0), "4.56 µs");
+        assert_eq!(fmt_ns(7_890_000.0), "7.89 ms");
+        assert_eq!(fmt_ns(1_234_000_000.0), "1.234 s");
+    }
+
+    #[test]
+    fn json_roundtrip_and_baseline_extraction() {
+        let results = vec![BenchResult {
+            name: "g/one".to_string(),
+            median_ns: 1500.0,
+            mean_ns: 1600.0,
+            min_ns: 1400.0,
+            p95_ns: 1900.0,
+            samples: 10,
+            elements: Some(1000),
+        }];
+        let text = results_to_json(&results);
+        let doc = json::parse(&text).expect("own output parses");
+        let medians = baseline_medians(&doc);
+        assert_eq!(medians, vec![("g/one".to_string(), 1500.0)]);
+        assert_eq!(
+            doc.get("schema"),
+            Some(&json::Value::String("halfback-bench-v1".to_string()))
+        );
+        // elements_per_sec = 1000 / 1.5µs ≈ 666.7M/s
+        let eps = results[0].elements_per_sec().unwrap();
+        assert!((eps - 1000.0 / 1.5e-6).abs() < 1.0);
     }
 }

@@ -4,7 +4,17 @@
 //! the same instant fire in the order they were scheduled, so no hash-map
 //! iteration order or floating-point comparison can perturb a run. All
 //! randomness comes from the engine's seeded [`SimRng`].
+//!
+//! The queue behind the clock is a bucketed calendar queue (`eventq`
+//! module) rather than a binary heap: the
+//! near future lives in fixed-width time buckets consumed in place, the far
+//! future in a small overflow heap. Timer liveness is tracked by
+//! generation-stamped slots instead of a hash set, so arm/cancel/fire are
+//! all O(1) and allocation-free. Both structures preserve the exact
+//! `(time, seq)` total order — the swap is observationally invisible, which
+//! the golden-output regression tests in `scenarios` enforce byte-for-byte.
 
+use crate::eventq::{EventKind, EventQueue, TimerSlots};
 use crate::faults::{FaultSpec, FaultState};
 use crate::link::{LinkSpec, LinkState, LinkStats};
 use crate::node::{Node, TimerId};
@@ -12,8 +22,6 @@ use crate::packet::{LinkId, NodeId, Packet, PacketId, Payload};
 use crate::queue::{QueueStats, Verdict};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
 
 /// What happened on the wire — delivered to an optional trace hook.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,53 +81,16 @@ pub enum TraceEvent {
 /// A trace callback.
 pub type Tracer = Box<dyn FnMut(SimTime, &TraceEvent)>;
 
-enum EventKind<P: Payload> {
-    /// The head packet of `link` finished serializing.
-    LinkTxDone { link: LinkId, pkt: Packet<P> },
-    /// A packet arrives at a node after propagation.
-    Deliver { node: NodeId, pkt: Packet<P> },
-    /// A timer fires at a node.
-    Timer {
-        node: NodeId,
-        id: TimerId,
-        token: u64,
-    },
-}
-
-struct EventEntry<P: Payload> {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind<P>,
-}
-
-impl<P: Payload> PartialEq for EventEntry<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<P: Payload> Eq for EventEntry<P> {}
-impl<P: Payload> PartialOrd for EventEntry<P> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<P: Payload> Ord for EventEntry<P> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 /// The parts of the engine that remain borrowable while a node is being
 /// dispatched (the node itself is temporarily moved out of the node table).
 pub struct EngineCore<P: Payload> {
     now: SimTime,
     seq: u64,
-    events: BinaryHeap<Reverse<EventEntry<P>>>,
+    events: EventQueue<P>,
     links: Vec<LinkState<P>>,
     rng: SimRng,
-    live_timers: HashSet<u64>,
+    timers: TimerSlots,
     cancelled_pending: u64,
-    next_timer_id: u64,
     next_packet_id: u64,
     tracer: Option<Tracer>,
     corrupt_dropped: u64,
@@ -136,7 +107,8 @@ impl<P: Payload> EngineCore<P> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.events.push(Reverse(EventEntry { at, seq, kind }));
+        self.events
+            .push(crate::eventq::EventEntry { at, seq, kind });
     }
 
     fn trace(&mut self, ev: TraceEvent) {
@@ -214,22 +186,21 @@ impl<P: Payload> EngineCore<P> {
 
     /// Schedule a timer at an absolute instant.
     pub fn set_timer_at(&mut self, node: NodeId, at: SimTime, token: u64) -> TimerId {
-        let id = TimerId(self.next_timer_id);
-        self.next_timer_id += 1;
-        self.live_timers.insert(id.0);
+        let id = self.timers.arm();
         self.push(at.max(self.now), EventKind::Timer { node, id, token });
         id
     }
 
     /// Cancel a timer; a timer that already fired is ignored.
     ///
-    /// Cancellation is lazy (the heap entry stays until its scheduled time),
-    /// but the engine compacts the heap when dead timer entries dominate —
-    /// without this, retransmission-storm scenarios that re-arm their RTO on
-    /// every ACK accumulate gigabytes of stale entries scheduled up to 60 s
-    /// in the virtual future.
+    /// Cancellation is lazy (the queue entry stays until its scheduled time,
+    /// failing its generation check when popped), but the engine compacts
+    /// the queue when dead timer entries dominate — without this,
+    /// retransmission-storm scenarios that re-arm their RTO on every ACK
+    /// accumulate gigabytes of stale entries scheduled up to 60 s in the
+    /// virtual future.
     pub fn cancel_timer(&mut self, id: TimerId) {
-        if self.live_timers.remove(&id.0) {
+        if self.timers.disarm(id) {
             self.cancelled_pending += 1;
             self.maybe_compact();
         }
@@ -239,27 +210,22 @@ impl<P: Payload> EngineCore<P> {
         if self.cancelled_pending < 4096 || self.cancelled_pending * 2 < self.events.len() as u64 {
             return;
         }
-        let old = std::mem::take(&mut self.events);
-        let kept: Vec<Reverse<EventEntry<P>>> = old
-            .into_vec()
-            .into_iter()
-            .filter(|Reverse(e)| match &e.kind {
-                EventKind::Timer { id, .. } => self.live_timers.contains(&id.0),
-                _ => true,
-            })
-            .collect();
-        self.events = BinaryHeap::from(kept);
+        let timers = &self.timers;
+        self.events.retain(|e| match &e.kind {
+            EventKind::Timer { id, .. } => timers.is_live(*id),
+            _ => true,
+        });
         self.cancelled_pending = 0;
     }
 
-    /// Number of events currently pending in the heap (live and stale).
+    /// Number of events currently pending in the queue (live and stale).
     pub fn pending_events(&self) -> usize {
         self.events.len()
     }
 
     /// Number of currently armed (uncancelled, unfired) timers.
     pub fn live_timer_count(&self) -> usize {
-        self.live_timers.len()
+        self.timers.live()
     }
 
     /// Statistics for a link's queue.
@@ -354,12 +320,11 @@ impl<P: Payload> Simulator<P> {
             core: EngineCore {
                 now: SimTime::ZERO,
                 seq: 0,
-                events: BinaryHeap::new(),
+                events: EventQueue::new(),
                 links: Vec::new(),
                 rng: SimRng::new(seed),
-                live_timers: HashSet::new(),
+                timers: TimerSlots::new(),
                 cancelled_pending: 0,
-                next_timer_id: 0,
                 next_packet_id: 0,
                 tracer: None,
                 corrupt_dropped: 0,
@@ -452,8 +417,13 @@ impl<P: Payload> Simulator<P> {
     }
 
     /// Dispatch a single event. Returns `false` when the event queue is empty.
+    ///
+    /// A stale cancelled timer entry still advances the clock to its
+    /// scheduled instant and counts as a processed event (it just isn't
+    /// dispatched) — identical to the original heap's lazy-cancellation
+    /// semantics, which the byte-identity goldens depend on.
     pub fn step(&mut self) -> bool {
-        let Reverse(entry) = match self.core.events.pop() {
+        let entry = match self.core.events.pop() {
             Some(e) => e,
             None => return false,
         };
@@ -480,7 +450,7 @@ impl<P: Payload> Simulator<P> {
                 }
             }
             EventKind::Timer { node, id, token } => {
-                if self.core.live_timers.remove(&id.0) {
+                if self.core.timers.disarm(id) {
                     self.dispatch(node, |n, ctx| n.on_timer(id, token, ctx));
                 }
             }
@@ -547,6 +517,10 @@ impl<P: Payload> Simulator<P> {
                     packet: pkt.id,
                     size: pkt.size,
                 });
+                // `Packet` is fully inline for the transport payload
+                // (`Header` is `Copy`, SACK blocks are a fixed array), so
+                // this clone is a plain memcpy — no heap traffic on the
+                // duplication path.
                 self.core.push(
                     now + delay + dup_extra,
                     EventKind::Deliver {
@@ -597,8 +571,8 @@ impl<P: Payload> Simulator<P> {
 
     /// Run until the clock reaches `until` or the event queue drains.
     pub fn run_until(&mut self, until: SimTime) {
-        while let Some(Reverse(head)) = self.core.events.peek() {
-            if head.at > until {
+        while let Some(at) = self.core.events.peek().map(|e| e.at) {
+            if at > until {
                 break;
             }
             self.step();
@@ -622,9 +596,11 @@ impl<P: Payload> Simulator<P> {
         }
     }
 
-    /// Time of the next scheduled event, if any.
-    pub fn next_event_time(&self) -> Option<SimTime> {
-        self.core.events.peek().map(|Reverse(e)| e.at)
+    /// Time of the next scheduled event, if any. Takes `&mut self` because
+    /// the calendar queue may rotate its cursor to find the head (a purely
+    /// internal motion — firing order and observable state are unchanged).
+    pub fn next_event_time(&mut self) -> Option<SimTime> {
+        self.core.events.peek().map(|e| e.at)
     }
 
     /// Number of events dispatched so far.
@@ -634,7 +610,7 @@ impl<P: Payload> Simulator<P> {
 
     /// Snapshot of everything that should be empty once a simulation has
     /// drained: live timers, busy links, queued packets. Stale cancelled
-    /// timer entries still sitting in the heap are *not* leaks and do not
+    /// timer entries still sitting in the queue are *not* leaks and do not
     /// make a report unclean.
     pub fn hygiene_report(&self) -> HygieneReport {
         let busy_links: Vec<LinkId> = self
@@ -654,7 +630,7 @@ impl<P: Payload> Simulator<P> {
             .map(|(i, l)| (LinkId(i as u32), l.queue.backlog_bytes()))
             .collect();
         HygieneReport {
-            live_timers: self.core.live_timers.len(),
+            live_timers: self.core.timers.live(),
             pending_events: self.core.events.len(),
             busy_links,
             backlogged_links,
@@ -674,7 +650,7 @@ impl<P: Payload> Simulator<P> {
 pub struct HygieneReport {
     /// Armed, unfired timers (must be 0 at drain).
     pub live_timers: usize,
-    /// Heap entries, including stale cancelled timers (informational).
+    /// Queue entries, including stale cancelled timers (informational).
     pub pending_events: usize,
     /// Links still mid-serialization (must be empty at drain).
     pub busy_links: Vec<LinkId>,
@@ -693,7 +669,7 @@ impl std::fmt::Display for HygieneReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} live timers, {} pending heap entries, busy links {:?}, backlogged links {:?}",
+            "{} live timers, {} pending queue entries, busy links {:?}, backlogged links {:?}",
             self.live_timers, self.pending_events, self.busy_links, self.backlogged_links
         )
     }
@@ -949,11 +925,11 @@ mod compaction_tests {
                 sim.core().cancel_timer(*id);
             }
         }
-        // Heap must have shrunk well below the armed count.
+        // Queue must have shrunk well below the armed count.
         assert!(
-            sim.core().events.len() < (n as usize) * 3 / 4,
-            "heap not compacted: {} entries",
-            sim.core().events.len()
+            sim.core().pending_events() < (n as usize) * 3 / 4,
+            "queue not compacted: {} entries",
+            sim.core().pending_events()
         );
         sim.run_to_completion(n * 2);
         let fired = &sim.node_as::<Collector>(a).unwrap().0;

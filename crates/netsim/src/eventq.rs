@@ -1,0 +1,600 @@
+//! The engine's event queue: a bucketed calendar queue (timer wheel) with a
+//! far-future overflow heap, plus generation-stamped timer slots.
+//!
+//! The queue is a drop-in replacement for the `BinaryHeap<Reverse<_>>` the
+//! engine started with, with the same total order — events fire strictly by
+//! `(at, seq)` — but O(1) amortized push/pop for the near-future events that
+//! dominate a simulation (serialization completions, propagation
+//! deliveries, ACK clocking), instead of O(log n) sift operations over a
+//! heap that also holds every stale cancelled RTO timer.
+//!
+//! Layout:
+//!
+//! - **Wheel**: `N_BUCKETS` buckets of `2^W_SHIFT` ns each, covering a
+//!   sliding window of ~34 ms from the cursor. An event lands in bucket
+//!   `(at >> W_SHIFT) % N_BUCKETS`; bucket membership is tracked in a
+//!   bitmap so advancing over empty buckets costs a trailing-zeros scan,
+//!   not a per-bucket probe.
+//! - **Slab arena**: bucket contents are index-linked chains through one
+//!   growing slab, not per-bucket `Vec`s. The figure sweeps run hundreds of
+//!   small simulations per second, so per-queue setup and teardown must
+//!   stay at one allocation, matching the heap it replaces.
+//! - **Current run**: when the cursor reaches a bucket, its chain is
+//!   unlinked into a reusable scratch `Vec`, sorted descending so
+//!   `Vec::pop` yields the earliest entry, and consumed in place.
+//! - **Inbox**: events scheduled into the cursor's own bucket (or behind
+//!   the eagerly-advanced cursor) are binary-inserted into the sorted run
+//!   while it is short, and spill to a small min-heap once the run exceeds
+//!   [`INBOX_SPILL`] — at high queue depth a mid-run insert is an
+//!   O(bucket) memmove per push, while at low depth the memmove beats two
+//!   heap operations. Pop takes the smaller of the run's tail and the
+//!   inbox head; the inbox only ever holds entries for the window
+//!   currently being consumed, so it stays small.
+//! - **Overflow**: events beyond the window (RTO timers, long flow-start
+//!   schedules) go to a min-heap ordered by `(at, seq)` and migrate into
+//!   buckets as the window slides over them.
+//!
+//! Two invariants carry the determinism proof: every bucket's entries
+//! belong to exactly one future cursor visit (pushes beyond the window go
+//! to overflow, and overflow drains exactly as the window slides), and the
+//! cursor never passes an occupied bucket. Together they mean the pop
+//! sequence is exactly the ascending `(at, seq)` order — byte-identical to
+//! the reference heap, which `tests/event_order.rs` checks against a
+//! sorted-list model under randomized schedule/cancel workloads.
+
+use crate::node::TimerId;
+use crate::packet::{LinkId, NodeId, Packet, Payload};
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Bucket width: 2^17 ns = 131.072 us.
+const W_SHIFT: u32 = 17;
+/// Number of buckets; the window spans `N_BUCKETS << W_SHIFT` ns (~537 ms).
+/// Sized so that WAN-scale RTT events (the PlanetLab population is
+/// lognormal, median ~80 ms, clamped at 400 ms) land in buckets rather
+/// than bouncing through the overflow heap — only second-scale timers
+/// (RTO backoff, idle horizons) overflow.
+const N_BUCKETS: usize = 4096;
+const IDX_MASK: usize = N_BUCKETS - 1;
+/// Sliding-window span in nanoseconds.
+const HORIZON_NS: u64 = (N_BUCKETS as u64) << W_SHIFT;
+/// Chain terminator / empty bucket marker.
+const NIL: u32 = u32::MAX;
+/// Pushes into the cursor's bucket are binary-inserted into the sorted
+/// `current` run while it is at most this long; past that they go to the
+/// inbox heap (a mid-run `Vec::insert` memmove grows with run length).
+const INBOX_SPILL: usize = 64;
+
+#[inline]
+fn bucket_of(at_ns: u64) -> usize {
+    ((at_ns >> W_SHIFT) as usize) & IDX_MASK
+}
+
+pub(crate) enum EventKind<P: Payload> {
+    /// The head packet of `link` finished serializing.
+    LinkTxDone { link: LinkId, pkt: Packet<P> },
+    /// A packet arrives at a node after propagation.
+    Deliver { node: NodeId, pkt: Packet<P> },
+    /// A timer fires at a node.
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        token: u64,
+    },
+}
+
+pub(crate) struct EventEntry<P: Payload> {
+    pub(crate) at: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) kind: EventKind<P>,
+}
+
+impl<P: Payload> PartialEq for EventEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<P: Payload> Eq for EventEntry<P> {}
+impl<P: Payload> PartialOrd for EventEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P: Payload> Ord for EventEntry<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// One slab cell: an entry plus the next link of its bucket chain. Free
+/// cells keep `entry: None` and chain through the free list.
+struct Slot<P: Payload> {
+    entry: Option<EventEntry<P>>,
+    next: u32,
+}
+
+/// The calendar queue. Total order: `(at, seq)` ascending.
+pub(crate) struct EventQueue<P: Payload> {
+    /// Per-bucket chain heads into `arena` (`NIL` = empty bucket).
+    heads: Vec<u32>,
+    /// One bit per bucket: does it hold any entries?
+    occupied: Vec<u64>,
+    /// Slab of chain cells; the only growing allocation.
+    arena: Vec<Slot<P>>,
+    /// Free-list head into `arena`.
+    free_head: u32,
+    /// Entries across all bucket chains (excluding `current`/`overflow`).
+    in_buckets: usize,
+    /// Index of the bucket the cursor last consumed from.
+    cursor: usize,
+    /// Start time of the cursor's bucket (multiple of the bucket width).
+    cursor_time: u64,
+    /// Remaining entries of the cursor's bucket, sorted *descending* by
+    /// `(at, seq)` so `pop()` removes the earliest. Capacity is reused
+    /// across bucket loads.
+    current: Vec<EventEntry<P>>,
+    /// Entries pushed into the cursor's bucket (or behind the cursor)
+    /// after it was loaded; consumed in merge with `current`.
+    inbox: BinaryHeap<Reverse<EventEntry<P>>>,
+    /// Events at least one horizon past the cursor.
+    overflow: BinaryHeap<Reverse<EventEntry<P>>>,
+    /// Total entries in the queue.
+    len: usize,
+}
+
+impl<P: Payload> EventQueue<P> {
+    pub(crate) fn new() -> Self {
+        EventQueue {
+            heads: vec![NIL; N_BUCKETS],
+            occupied: vec![0u64; N_BUCKETS / 64],
+            arena: Vec::new(),
+            free_head: NIL,
+            in_buckets: 0,
+            cursor: 0,
+            cursor_time: 0,
+            current: Vec::new(),
+            inbox: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Window membership, overflow-safe at `t = u64::MAX` (FAR_FUTURE):
+    /// `t` is within the wheel iff it is less than one horizon past the
+    /// cursor. `t >= cursor_time` always holds (events are never scheduled
+    /// into the past), so the subtraction cannot underflow.
+    #[inline]
+    fn in_window(&self, t: u64) -> bool {
+        t - self.cursor_time < HORIZON_NS
+    }
+
+    #[inline]
+    fn set_occupied(&mut self, b: usize) {
+        self.occupied[b >> 6] |= 1 << (b & 63);
+    }
+
+    #[inline]
+    fn clear_occupied(&mut self, b: usize) {
+        self.occupied[b >> 6] &= !(1 << (b & 63));
+    }
+
+    /// Link `entry` into its bucket's chain.
+    fn bucket_insert(&mut self, b: usize, entry: EventEntry<P>) {
+        let idx = if self.free_head != NIL {
+            let idx = self.free_head;
+            let s = &mut self.arena[idx as usize];
+            self.free_head = s.next;
+            s.entry = Some(entry);
+            idx
+        } else {
+            debug_assert!(self.arena.len() < NIL as usize);
+            self.arena.push(Slot {
+                entry: Some(entry),
+                next: NIL,
+            });
+            (self.arena.len() - 1) as u32
+        };
+        self.arena[idx as usize].next = self.heads[b];
+        self.heads[b] = idx;
+        self.set_occupied(b);
+        self.in_buckets += 1;
+    }
+
+    /// Insert an event. The engine guarantees `at >= now` (never into the
+    /// past); `at` may still land *behind* the wheel cursor, because `peek`
+    /// advances the cursor eagerly — such entries go to the inbox heap,
+    /// which keeps the global `(at, seq)` order: everything already popped
+    /// is `<= now <= at`, and everything still in buckets or overflow is
+    /// strictly past the cursor's bucket.
+    pub(crate) fn push(&mut self, entry: EventEntry<P>) {
+        let at = entry.at.as_nanos();
+        self.len += 1;
+        if at >= self.cursor_time {
+            if !self.in_window(at) {
+                self.overflow.push(Reverse(entry));
+                return;
+            }
+            let b = bucket_of(at);
+            if b != self.cursor {
+                self.bucket_insert(b, entry);
+                return;
+            }
+        }
+        // Cursor's own bucket, or behind the eagerly-advanced cursor.
+        // Short runs (the common case in small simulations) take a binary
+        // insert into `current` — a few-entry memmove beats two heap
+        // operations. Deep runs spill to the inbox instead, where the
+        // memmove would be O(bucket population).
+        if self.current.len() <= INBOX_SPILL {
+            let key = (entry.at, entry.seq);
+            let idx = self.current.partition_point(|e| (e.at, e.seq) > key);
+            self.current.insert(idx, entry);
+        } else {
+            self.inbox.push(Reverse(entry));
+        }
+    }
+
+    /// Advance the cursor to the next occupied bucket (draining overflow as
+    /// the window slides) and load that bucket into the `current` run.
+    /// Returns `false` if the queue is empty. Caller ensures `current` is
+    /// empty.
+    fn refill(&mut self) -> bool {
+        debug_assert!(self.current.is_empty());
+        if self.in_buckets == 0 {
+            // Everything pending (if anything) is beyond the window: jump
+            // the cursor straight to the overflow head's bucket.
+            let head_at = match self.overflow.peek() {
+                Some(Reverse(head)) => head.at.as_nanos(),
+                None => return false,
+            };
+            self.cursor_time = head_at & !((1u64 << W_SHIFT) - 1);
+            self.cursor = bucket_of(head_at);
+            self.drain_overflow();
+        } else {
+            let d = self.next_occupied_distance();
+            self.cursor = (self.cursor + d) & IDX_MASK;
+            self.cursor_time += (d as u64) << W_SHIFT;
+            self.drain_overflow();
+        }
+        // Unlink the cursor's chain into the scratch run and sort it.
+        let b = self.cursor;
+        let mut h = self.heads[b];
+        debug_assert!(h != NIL, "advanced to an empty bucket");
+        while h != NIL {
+            let s = &mut self.arena[h as usize];
+            self.current
+                .push(s.entry.take().expect("chained slot is free"));
+            let next = s.next;
+            s.next = self.free_head;
+            self.free_head = h;
+            h = next;
+        }
+        self.heads[b] = NIL;
+        self.clear_occupied(b);
+        self.in_buckets -= self.current.len();
+        self.current
+            .sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+        true
+    }
+
+    /// The earliest entry, if any. May advance the cursor internally (which
+    /// is invisible to firing order — see `push`).
+    pub(crate) fn peek(&mut self) -> Option<&EventEntry<P>> {
+        if self.current.is_empty() {
+            self.refill();
+        }
+        let run = self.current.last();
+        let inbox = self.inbox.peek().map(|Reverse(e)| e);
+        match (run, inbox) {
+            (Some(c), Some(i)) => Some(if (i.at, i.seq) < (c.at, c.seq) { i } else { c }),
+            (Some(c), None) => Some(c),
+            (None, i) => i,
+        }
+    }
+
+    /// Remove and return the earliest entry.
+    pub(crate) fn pop(&mut self) -> Option<EventEntry<P>> {
+        if self.current.is_empty() {
+            self.refill();
+        }
+        let take_inbox = match (self.current.last(), self.inbox.peek()) {
+            (Some(c), Some(Reverse(i))) => (i.at, i.seq) < (c.at, c.seq),
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (None, None) => return None,
+        };
+        self.len -= 1;
+        if take_inbox {
+            self.inbox.pop().map(|Reverse(e)| e)
+        } else {
+            self.current.pop()
+        }
+    }
+
+    /// Distance (1..N_BUCKETS-1) from the cursor to the next occupied
+    /// bucket in circular order. The cursor's own bucket is always empty
+    /// (its entries live in `current`), so the scan starts one past it.
+    fn next_occupied_distance(&self) -> usize {
+        debug_assert!(self.in_buckets > 0);
+        let n_words = N_BUCKETS / 64;
+        let start = (self.cursor + 1) & IDX_MASK;
+        let mut word_idx = start >> 6;
+        let mut word = self.occupied[word_idx] & (!0u64 << (start & 63));
+        for _ in 0..=n_words {
+            if word != 0 {
+                let idx = (word_idx << 6) + word.trailing_zeros() as usize;
+                return (idx + N_BUCKETS - self.cursor) & IDX_MASK;
+            }
+            word_idx = (word_idx + 1) % n_words;
+            word = self.occupied[word_idx];
+        }
+        unreachable!("in_buckets > 0 but no occupied bucket found");
+    }
+
+    /// Move overflow entries that the (just-slid) window now covers into
+    /// their buckets. They land behind the cursor — i.e. in buckets whose
+    /// next visit is exactly their firing window.
+    fn drain_overflow(&mut self) {
+        while let Some(Reverse(head)) = self.overflow.peek() {
+            if !self.in_window(head.at.as_nanos()) {
+                break;
+            }
+            let Reverse(e) = self.overflow.pop().unwrap();
+            let b = bucket_of(e.at.as_nanos());
+            self.bucket_insert(b, e);
+        }
+    }
+
+    /// Keep only entries satisfying `pred` (used to shed stale cancelled
+    /// timers when they dominate the queue). Order is preserved.
+    pub(crate) fn retain(&mut self, mut pred: impl FnMut(&EventEntry<P>) -> bool) {
+        self.current.retain(|e| pred(e));
+        for b in 0..N_BUCKETS {
+            let mut h = self.heads[b];
+            if h == NIL {
+                continue;
+            }
+            self.heads[b] = NIL;
+            while h != NIL {
+                let next = self.arena[h as usize].next;
+                let s = &mut self.arena[h as usize];
+                if pred(s.entry.as_ref().expect("chained slot is free")) {
+                    s.next = self.heads[b];
+                    self.heads[b] = h;
+                } else {
+                    s.entry = None;
+                    s.next = self.free_head;
+                    self.free_head = h;
+                    self.in_buckets -= 1;
+                }
+                h = next;
+            }
+            if self.heads[b] == NIL {
+                self.clear_occupied(b);
+            }
+        }
+        let inbox = std::mem::take(&mut self.inbox);
+        self.inbox = inbox
+            .into_vec()
+            .into_iter()
+            .filter(|Reverse(e)| pred(e))
+            .collect();
+        let overflow = std::mem::take(&mut self.overflow);
+        self.overflow = overflow
+            .into_vec()
+            .into_iter()
+            .filter(|Reverse(e)| pred(e))
+            .collect();
+        self.len = self.in_buckets + self.current.len() + self.inbox.len() + self.overflow.len();
+    }
+}
+
+/// Generation-stamped timer slots: O(1) arm / cancel / fire with ABA-safe
+/// id reuse.
+///
+/// A [`TimerId`] packs `(generation << 32) | slot`. A slot's generation is
+/// odd while armed and even while free; arming bumps it to odd and
+/// disarming (fire or cancel) bumps it to even, so any queue entry holding
+/// a stale id fails the generation match in O(1) — no hash set, no
+/// per-cancel heap surgery.
+#[derive(Default)]
+pub(crate) struct TimerSlots {
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl TimerSlots {
+    pub(crate) fn new() -> Self {
+        TimerSlots::default()
+    }
+
+    /// Number of currently armed timers.
+    pub(crate) fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Arm a fresh timer; returns its id.
+    pub(crate) fn arm(&mut self) -> TimerId {
+        let idx = match self.free.pop() {
+            Some(i) => i,
+            None => {
+                self.gens.push(0);
+                (self.gens.len() - 1) as u32
+            }
+        };
+        let gen = &mut self.gens[idx as usize];
+        *gen += 1; // odd: armed
+        debug_assert!(*gen & 1 == 1);
+        self.live += 1;
+        TimerId(((*gen as u64) << 32) | idx as u64)
+    }
+
+    /// True while `id` is armed (neither fired nor cancelled).
+    pub(crate) fn is_live(&self, id: TimerId) -> bool {
+        let idx = (id.0 & 0xFFFF_FFFF) as usize;
+        let gen = (id.0 >> 32) as u32;
+        idx < self.gens.len() && self.gens[idx] == gen
+    }
+
+    /// Disarm `id` (cancel or fire). Returns `true` if it was armed; a
+    /// second disarm of the same id — or of a recycled slot's older
+    /// generation — is a no-op returning `false`.
+    pub(crate) fn disarm(&mut self, id: TimerId) -> bool {
+        let idx = (id.0 & 0xFFFF_FFFF) as usize;
+        let gen = (id.0 >> 32) as u32;
+        if idx < self.gens.len() && self.gens[idx] == gen {
+            self.gens[idx] += 1; // even: free
+            self.free.push(idx as u32);
+            self.live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(at_ns: u64, seq: u64) -> EventEntry<()> {
+        EventEntry {
+            at: SimTime::from_nanos(at_ns),
+            seq,
+            kind: EventKind::Timer {
+                node: NodeId(0),
+                id: TimerId(0),
+                token: seq,
+            },
+        }
+    }
+
+    #[test]
+    fn pops_in_at_seq_order_across_window_boundaries() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        // A spread from sub-bucket to far beyond the horizon.
+        let times = [
+            0u64,
+            1,
+            100,
+            (1 << W_SHIFT) - 1,
+            1 << W_SHIFT,
+            HORIZON_NS - 1,
+            HORIZON_NS,
+            HORIZON_NS + 1,
+            3 * HORIZON_NS + 17,
+            u64::MAX,
+        ];
+        let mut seq = 0u64;
+        let mut expect: Vec<(u64, u64)> = Vec::new();
+        for &t in &times {
+            for _ in 0..3 {
+                q.push(entry(t, seq));
+                expect.push((t, seq));
+                seq += 1;
+            }
+        }
+        expect.sort_unstable();
+        let mut got = Vec::new();
+        while let Some(e) = q.pop() {
+            got.push((e.at.as_nanos(), e.seq));
+        }
+        assert_eq!(got, expect);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        for (i, &t) in [5u64, HORIZON_NS + 5, 3, 3, 80_000].iter().enumerate() {
+            q.push(entry(t, i as u64));
+        }
+        while q.len() > 0 {
+            let peeked = {
+                let e = q.peek().unwrap();
+                (e.at, e.seq)
+            };
+            let popped = q.pop().unwrap();
+            assert_eq!(peeked, (popped.at, popped.seq));
+        }
+        assert!(q.peek().is_none());
+    }
+
+    #[test]
+    fn interleaved_push_pop_respects_order() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        let mut now = 0u64;
+        let mut fired: Vec<(u64, u64)> = Vec::new();
+        // Schedule relative to the last fired time, like dispatch does;
+        // the round number doubles as the scheduling sequence.
+        for round in 0..5_000u64 {
+            let spread = [1, 700, 9_000, 2_000_000, 120_000_000];
+            let d = spread[(round % 5) as usize] + (round * 37) % 977;
+            q.push(entry(now + d, round));
+            if round % 3 == 0 {
+                if let Some(e) = q.pop() {
+                    assert!(e.at.as_nanos() >= now, "time went backwards");
+                    now = e.at.as_nanos();
+                    fired.push((now, e.seq));
+                }
+            }
+        }
+        while let Some(e) = q.pop() {
+            assert!(e.at.as_nanos() >= now);
+            now = e.at.as_nanos();
+            fired.push((now, e.seq));
+        }
+        assert_eq!(fired.len(), 5_000);
+        let mut sorted = fired.clone();
+        sorted.sort_unstable();
+        assert_eq!(fired, sorted, "pop order must be (at, seq) ascending");
+    }
+
+    #[test]
+    fn retain_drops_entries_and_fixes_len() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        for i in 0..100u64 {
+            q.push(entry(i * 500_000, i)); // spans buckets and overflow
+        }
+        q.push(entry(2 * HORIZON_NS, 100));
+        q.retain(|e| e.seq % 2 == 0);
+        assert_eq!(q.len(), 51);
+        let mut prev = (0u64, 0u64);
+        let mut n = 0;
+        while let Some(e) = q.pop() {
+            assert!(e.seq % 2 == 0);
+            let k = (e.at.as_nanos(), e.seq);
+            assert!(k >= prev);
+            prev = k;
+            n += 1;
+        }
+        assert_eq!(n, 51);
+    }
+
+    #[test]
+    fn timer_slots_generations() {
+        let mut s = TimerSlots::new();
+        let a = s.arm();
+        let b = s.arm();
+        assert_eq!(s.live(), 2);
+        assert!(s.is_live(a) && s.is_live(b));
+        assert!(s.disarm(a));
+        assert!(!s.disarm(a), "double disarm must be a no-op");
+        assert!(!s.is_live(a));
+        assert_eq!(s.live(), 1);
+        // Reuse the slot: the old id must stay dead.
+        let c = s.arm();
+        assert!(s.is_live(c));
+        assert!(!s.is_live(a));
+        assert_ne!(a, c);
+        assert!(s.disarm(b));
+        assert!(s.disarm(c));
+        assert_eq!(s.live(), 0);
+    }
+}

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub(crate) mod eventq;
 pub mod faults;
 pub mod link;
 pub mod loss;

@@ -52,10 +52,16 @@ impl Summary {
 
 /// An empirical distribution built from stored samples: percentiles and CDF
 /// series for the paper's CDF/CCDF figures.
+///
+/// Samples accumulate in a small unsorted tail (`pending`) and are merged
+/// into the sorted main run only when a query needs order. Interleaved
+/// add/query workloads (the per-cell metrics path) therefore pay one
+/// `O(k log k)` sort of the *new* samples plus a linear merge, instead of
+/// re-sorting all `n` samples every time.
 #[derive(Debug, Clone, Default)]
 pub struct Ecdf {
     sorted: Vec<f64>,
-    dirty: bool,
+    pending: Vec<f64>,
 }
 
 impl Ecdf {
@@ -70,42 +76,62 @@ impl Ecdf {
         xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         Ecdf {
             sorted: xs,
-            dirty: false,
+            pending: Vec::new(),
         }
     }
 
     /// Add a sample.
     pub fn add(&mut self, x: f64) {
         if x.is_finite() {
-            self.sorted.push(x);
-            self.dirty = true;
+            self.pending.push(x);
         }
     }
 
     fn ensure_sorted(&mut self) {
-        if self.dirty {
-            self.sorted
-                .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-            self.dirty = false;
+        if self.pending.is_empty() {
+            return;
         }
+        self.pending
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        if self.sorted.is_empty() {
+            std::mem::swap(&mut self.sorted, &mut self.pending);
+            return;
+        }
+        // Merge the two sorted runs.
+        let mut merged = Vec::with_capacity(self.sorted.len() + self.pending.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.sorted.len() && j < self.pending.len() {
+            if self.sorted[i] <= self.pending[j] {
+                merged.push(self.sorted[i]);
+                i += 1;
+            } else {
+                merged.push(self.pending[j]);
+                j += 1;
+            }
+        }
+        merged.extend_from_slice(&self.sorted[i..]);
+        merged.extend_from_slice(&self.pending[j..]);
+        self.sorted = merged;
+        self.pending.clear();
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.sorted.len()
+        self.sorted.len() + self.pending.len()
     }
 
     /// True when no samples were recorded.
     pub fn is_empty(&self) -> bool {
-        self.sorted.is_empty()
+        self.sorted.is_empty() && self.pending.is_empty()
     }
 
     /// Mean of the samples, or `None` if empty.
     pub fn mean(&self) -> Option<f64> {
-        if self.sorted.is_empty() {
+        if self.is_empty() {
             None
         } else {
-            Some(self.sorted.iter().sum::<f64>() / self.sorted.len() as f64)
+            let sum = self.sorted.iter().sum::<f64>() + self.pending.iter().sum::<f64>();
+            Some(sum / self.len() as f64)
         }
     }
 
@@ -265,6 +291,34 @@ mod tests {
         e.add(2.0);
         assert_eq!(e.len(), 4);
         assert_eq!(e.median(), Some(2.0));
+    }
+
+    #[test]
+    fn interleaved_adds_and_queries_merge_correctly() {
+        // Exercises the sorted-run + pending-tail merge: every query must
+        // see all samples added so far, in order, across repeated rounds.
+        let mut e = Ecdf::new();
+        let mut reference: Vec<f64> = Vec::new();
+        for round in 0..5 {
+            for k in 0..20 {
+                // A scattered, partly descending pattern.
+                let x = ((k * 37 + round * 11) % 50) as f64 - 10.0;
+                e.add(x);
+                reference.push(x);
+            }
+            reference.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(e.len(), reference.len());
+            assert_eq!(e.sorted(), &reference[..]);
+            // Nearest-rank median: element at rank ceil(n/2).
+            let mid = reference[reference.len().div_ceil(2) - 1];
+            assert_eq!(e.median(), Some(mid));
+            let mean = reference.iter().sum::<f64>() / reference.len() as f64;
+            assert!((e.mean().unwrap() - mean).abs() < 1e-12);
+        }
+        // NaN / infinite samples are still filtered out via `add`.
+        e.add(f64::NAN);
+        e.add(f64::INFINITY);
+        assert_eq!(e.len(), reference.len());
     }
 
     #[test]

@@ -119,7 +119,8 @@ pub fn meter_add(virtual_ns: u64, events: u64) {
     });
 }
 
-/// Drain the metrics of all jobs completed since the last call.
+/// Drain the metrics of all jobs completed since the last call, in
+/// submission order (independent of the worker count).
 pub fn take_metrics() -> Vec<JobMetrics> {
     std::mem::take(&mut METRICS.lock().unwrap())
 }
@@ -170,8 +171,15 @@ pub fn check_caps(extra_virtual_ns: u64, extra_events: u64) {
     }
 }
 
-/// Run one job under the panic guard and the meter; record its metrics.
-fn execute<T>(job: Job<'_, T>, done: &AtomicUsize, total: usize) -> Result<T, JobPanic> {
+/// Run one job under the panic guard and the meter. Returns the result
+/// together with the job's metrics; the caller batches metrics into the
+/// global buffer (one lock per pool run, in submission order, instead of a
+/// contended push per job).
+fn execute<T>(
+    job: Job<'_, T>,
+    done: &AtomicUsize,
+    total: usize,
+) -> (Result<T, JobPanic>, JobMetrics) {
     let key = job.key;
     let run = job.run;
     METER.with(|m| m.set((0, 0)));
@@ -191,14 +199,14 @@ fn execute<T>(job: Job<'_, T>, done: &AtomicUsize, total: usize) -> Result<T, Jo
             if ok { "" } else { " [PANICKED]" },
         );
     }
-    METRICS.lock().unwrap().push(JobMetrics {
+    let metrics = JobMetrics {
         key: key.clone(),
         wall,
         virtual_ns,
         events,
         ok,
-    });
-    result.map_err(|payload| {
+    };
+    let result = result.map_err(|payload| {
         let message = if let Some(s) = payload.downcast_ref::<&str>() {
             (*s).to_string()
         } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -207,7 +215,8 @@ fn execute<T>(job: Job<'_, T>, done: &AtomicUsize, total: usize) -> Result<T, Jo
             "non-string panic payload".to_string()
         };
         JobPanic { key, message }
-    })
+    });
+    (result, metrics)
 }
 
 /// Run jobs on the configured pool ([`workers`]); results come back in
@@ -219,20 +228,29 @@ pub fn run_jobs<T: Send>(jobs: Vec<Job<'_, T>>) -> Vec<Result<T, JobPanic>> {
 /// Run jobs on a pool of exactly `n_workers` threads.
 ///
 /// Scheduling is work-stealing from a shared queue, so execution *order*
-/// varies with the worker count — but results are collected by submission
-/// slot, so the returned vector (and anything derived from it) does not.
+/// varies with the worker count — but results *and metrics* are collected by
+/// submission slot, so the returned vector, the [`take_metrics`] buffer, and
+/// anything derived from them do not.
 pub fn run_jobs_on<T: Send>(jobs: Vec<Job<'_, T>>, n_workers: usize) -> Vec<Result<T, JobPanic>> {
     let total = jobs.len();
     let done = AtomicUsize::new(0);
     // Serial path: one worker, one job, or a nested call from inside a
     // running job (the pool is already busy executing us).
     if n_workers <= 1 || total <= 1 || IN_JOB.with(|f| f.get()) {
-        return jobs.into_iter().map(|j| execute(j, &done, total)).collect();
+        let mut out = Vec::with_capacity(total);
+        let mut metrics = Vec::with_capacity(total);
+        for j in jobs {
+            let (r, m) = execute(j, &done, total);
+            out.push(r);
+            metrics.push(m);
+        }
+        METRICS.lock().unwrap().extend(metrics);
+        return out;
     }
 
     let slots: Mutex<Vec<Option<Job<'_, T>>>> = Mutex::new(jobs.into_iter().map(Some).collect());
-    let results: Mutex<Vec<Option<Result<T, JobPanic>>>> =
-        Mutex::new((0..total).map(|_| None).collect());
+    type Outcome<T> = (Result<T, JobPanic>, JobMetrics);
+    let results: Mutex<Vec<Option<Outcome<T>>>> = Mutex::new((0..total).map(|_| None).collect());
     let next = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
@@ -249,12 +267,15 @@ pub fn run_jobs_on<T: Send>(jobs: Vec<Job<'_, T>>, n_workers: usize) -> Vec<Resu
         }
     });
 
-    results
-        .into_inner()
-        .unwrap()
-        .into_iter()
-        .map(|r| r.expect("worker exited without storing a result"))
-        .collect()
+    let mut out = Vec::with_capacity(total);
+    let mut metrics_buf = METRICS.lock().unwrap();
+    for r in results.into_inner().unwrap() {
+        let (res, m) = r.expect("worker exited without storing a result");
+        metrics_buf.push(m);
+        out.push(res);
+    }
+    drop(metrics_buf);
+    out
 }
 
 /// Map `f` over `items` in parallel, preserving order. Panics (with the

@@ -1,0 +1,15 @@
+set terminal pngcairo size 900,600
+set output 'chaos.png'
+set title "Robustness: survival and FCT degradation under injected faults"
+set xlabel "fault scenario index"
+set ylabel "flows completed (%)"
+set key outside right
+set datafile separator ','
+plot 'chaos.csv' using 2:($0 >= 0 && stringcolumn(1) eq "TCP" ? $3 : NaN) with linespoints title "TCP", \
+     'chaos.csv' using 2:($0 >= 0 && stringcolumn(1) eq "TCP-10" ? $3 : NaN) with linespoints title "TCP-10", \
+     'chaos.csv' using 2:($0 >= 0 && stringcolumn(1) eq "TCP-Cache" ? $3 : NaN) with linespoints title "TCP-Cache", \
+     'chaos.csv' using 2:($0 >= 0 && stringcolumn(1) eq "JumpStart" ? $3 : NaN) with linespoints title "JumpStart", \
+     'chaos.csv' using 2:($0 >= 0 && stringcolumn(1) eq "PCP" ? $3 : NaN) with linespoints title "PCP", \
+     'chaos.csv' using 2:($0 >= 0 && stringcolumn(1) eq "Reactive" ? $3 : NaN) with linespoints title "Reactive", \
+     'chaos.csv' using 2:($0 >= 0 && stringcolumn(1) eq "Proactive" ? $3 : NaN) with linespoints title "Proactive", \
+     'chaos.csv' using 2:($0 >= 0 && stringcolumn(1) eq "Halfback" ? $3 : NaN) with linespoints title "Halfback"

@@ -1,0 +1,13 @@
+set terminal pngcairo size 900,600
+set output 'fig5.png'
+set title "Number of normal TCP retransmissions of short flows (CDF)"
+set xlabel "normal retransmissions"
+set ylabel "percent of trials"
+set key outside right
+set datafile separator ','
+plot 'fig5.csv' using 2:($0 >= 0 && stringcolumn(1) eq "Halfback" ? $3 : NaN) with linespoints title "Halfback", \
+     'fig5.csv' using 2:($0 >= 0 && stringcolumn(1) eq "JumpStart" ? $3 : NaN) with linespoints title "JumpStart", \
+     'fig5.csv' using 2:($0 >= 0 && stringcolumn(1) eq "TCP-10" ? $3 : NaN) with linespoints title "TCP-10", \
+     'fig5.csv' using 2:($0 >= 0 && stringcolumn(1) eq "Reactive" ? $3 : NaN) with linespoints title "Reactive", \
+     'fig5.csv' using 2:($0 >= 0 && stringcolumn(1) eq "TCP" ? $3 : NaN) with linespoints title "TCP", \
+     'fig5.csv' using 2:($0 >= 0 && stringcolumn(1) eq "Proactive" ? $3 : NaN) with linespoints title "Proactive"

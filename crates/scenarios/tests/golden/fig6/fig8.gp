@@ -1,0 +1,13 @@
+set terminal pngcairo size 900,600
+set output 'fig8.png'
+set title "FCT under cases where packet loss happened (CDF)"
+set xlabel "latency (ms)"
+set ylabel "percent of trials"
+set key outside right
+set datafile separator ','
+plot 'fig8.csv' using 2:($0 >= 0 && stringcolumn(1) eq "Halfback" ? $3 : NaN) with linespoints title "Halfback", \
+     'fig8.csv' using 2:($0 >= 0 && stringcolumn(1) eq "JumpStart" ? $3 : NaN) with linespoints title "JumpStart", \
+     'fig8.csv' using 2:($0 >= 0 && stringcolumn(1) eq "TCP-10" ? $3 : NaN) with linespoints title "TCP-10", \
+     'fig8.csv' using 2:($0 >= 0 && stringcolumn(1) eq "Reactive" ? $3 : NaN) with linespoints title "Reactive", \
+     'fig8.csv' using 2:($0 >= 0 && stringcolumn(1) eq "TCP" ? $3 : NaN) with linespoints title "TCP", \
+     'fig8.csv' using 2:($0 >= 0 && stringcolumn(1) eq "Proactive" ? $3 : NaN) with linespoints title "Proactive"

@@ -7,6 +7,7 @@
 //! shared completion bus the harness drains while stepping the simulator
 //! (the web-workload driver reacts to completions in virtual time).
 
+use crate::fasthash::FastMap;
 use crate::receiver::ReceiverConn;
 use crate::sender::{FlowRecord, SenderConn, TimerKind};
 use crate::strategy::Strategy;
@@ -17,7 +18,7 @@ use netsim::stats::TimeBinned;
 use netsim::{Ctx, FlowId, LinkId, NodeId, Packet};
 use std::any::Any;
 use std::cell::RefCell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// A queue of completed-flow records shared between hosts and the harness.
@@ -36,7 +37,7 @@ pub struct HostCore {
     /// This host's egress link.
     pub egress: LinkId,
     next_token: u64,
-    routes: HashMap<u64, (FlowId, TimerKind)>,
+    routes: FastMap<u64, (FlowId, TimerKind)>,
     /// Records of flows that completed with this host as sender.
     pub completed: Vec<FlowRecord>,
     /// Debug census: timer arms by kind [Rto, Pace, Pto, User].
@@ -81,8 +82,8 @@ impl HostCore {
 /// A simulator node hosting transport senders and receivers.
 pub struct Host {
     core: HostCore,
-    senders: HashMap<FlowId, SenderConn>,
-    receivers: HashMap<FlowId, ReceiverConn>,
+    senders: FastMap<FlowId, SenderConn>,
+    receivers: FastMap<FlowId, ReceiverConn>,
     /// When set, receiver endpoints record delivered bytes into time bins of
     /// this width (for the Fig. 15 throughput traces).
     pub trace_bin_ns: Option<u64>,
@@ -93,7 +94,7 @@ pub struct Host {
     /// Fig. 3 timeline view). Off by default — it stores every arrival.
     pub log_arrivals: bool,
     /// Per-flow delivery traces (flow -> binned delivered bytes).
-    pub delivery_traces: HashMap<FlowId, TimeBinned>,
+    pub delivery_traces: FastMap<FlowId, TimeBinned>,
     /// Data packets that arrived for unknown flows (should stay zero).
     pub stray_packets: u64,
 }
@@ -107,18 +108,18 @@ impl Host {
                 node: NodeId(u32::MAX),
                 egress: LinkId(u32::MAX),
                 next_token: 0,
-                routes: HashMap::new(),
+                routes: FastMap::default(),
                 completed: Vec::new(),
                 timer_arms: [0; 4],
                 timer_cancels: 0,
                 bus: None,
             },
-            senders: HashMap::new(),
-            receivers: HashMap::new(),
+            senders: FastMap::default(),
+            receivers: FastMap::default(),
             trace_bin_ns: None,
             min_rto: None,
             log_arrivals: false,
-            delivery_traces: HashMap::new(),
+            delivery_traces: FastMap::default(),
             stray_packets: 0,
         }
     }

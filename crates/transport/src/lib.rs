@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fasthash;
 pub mod host;
 pub mod rangeset;
 pub mod receiver;

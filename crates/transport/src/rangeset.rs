@@ -40,6 +40,29 @@ impl RangeSet {
         if start >= end {
             return 0;
         }
+        // Fast paths against the predecessor range (the one with the
+        // greatest start <= `start`): in-order arrivals and sequential
+        // transmissions nearly always extend it in place, and duplicates
+        // land inside it. Both avoid the remove/re-insert churn below.
+        if let Some((&ps, &pe)) = self.ranges.range(..=start).next_back() {
+            if pe >= end {
+                return 0;
+            }
+            if pe >= start {
+                let follower = self
+                    .ranges
+                    .range((std::ops::Bound::Excluded(ps), std::ops::Bound::Unbounded))
+                    .next()
+                    .map(|(&s, _)| s);
+                // The follower must stay disjoint and non-adjacent.
+                if follower.is_none_or(|fs| fs > end) {
+                    let added = (end - pe) as u64;
+                    *self.ranges.get_mut(&ps).expect("predecessor exists") = end;
+                    self.count += added;
+                    return added;
+                }
+            }
+        }
         let mut new_start = start;
         let mut new_end = end;
         // Remove all ranges overlapping or adjacent to the insertion,
@@ -99,8 +122,17 @@ impl RangeSet {
     /// merging a large, mostly-overlapping range (the SACK hot path).
     pub fn missing_within(&self, lo: u32, hi: u32) -> Vec<(u32, u32)> {
         let mut out = Vec::new();
+        self.missing_within_into(lo, hi, &mut out);
+        out
+    }
+
+    /// [`missing_within`], but clearing and filling a caller-supplied
+    /// buffer so a hot loop (the scoreboard's per-ACK walk) can reuse its
+    /// allocation.
+    pub fn missing_within_into(&self, lo: u32, hi: u32, out: &mut Vec<(u32, u32)>) {
+        out.clear();
         if lo >= hi {
-            return out;
+            return;
         }
         let mut cursor = lo;
         // Start from any range containing/preceding `lo`.
@@ -120,13 +152,33 @@ impl RangeSet {
                 cursor = e;
             }
             if cursor >= hi {
-                return out;
+                return;
             }
         }
         if cursor < hi {
             out.push((cursor, hi));
         }
-        out
+    }
+
+    /// Ranges intersected with `[lo, hi)`, ascending, without allocating —
+    /// the receiver's SACK builder calls this once per data packet.
+    pub fn ranges_within_iter(&self, lo: u32, hi: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        // A range starting at or before `lo` can still straddle it.
+        let head = self
+            .ranges
+            .range(..=lo)
+            .next_back()
+            .map(|(&s, &e)| (s, e))
+            .filter(|&(_, e)| e > lo);
+        head.into_iter()
+            .chain(
+                self.ranges
+                    .range((std::ops::Bound::Excluded(lo), std::ops::Bound::Unbounded))
+                    .map(|(&s, &e)| (s, e)),
+            )
+            .take_while(move |&(s, _)| s < hi)
+            .map(move |(s, e)| (s.max(lo), e.min(hi)))
+            .filter(|&(s, e)| s < e)
     }
 
     /// Ranges intersected with `[lo, hi)`, ascending.

@@ -173,27 +173,39 @@ impl ReceiverConn {
         if self.cum >= self.total_segs {
             return SackBlocks::EMPTY;
         }
-        let mut blocks: Vec<(SegId, SegId)> = Vec::with_capacity(4);
-        let above: Vec<(SegId, SegId)> = self
-            .received
-            .ranges_within(self.cum, self.total_segs)
-            .into_iter()
-            .filter(|&(s, e)| s < e)
-            .collect();
-        // Triggering block first.
-        if let Some(&trig) = above.iter().find(|&&(s, e)| for_seg >= s && for_seg < e) {
-            blocks.push(trig);
+        // Single forward pass, no allocation: remember the block containing
+        // `for_seg` plus a ring of the four highest blocks. Four slots
+        // always suffice — if the triggering block is among the last four
+        // it occupies one of the output slots anyway.
+        let mut trig: Option<(SegId, SegId)> = None;
+        let mut ring = [(0u32, 0u32); 4];
+        let mut seen = 0usize;
+        for (s, e) in self.received.ranges_within_iter(self.cum, self.total_segs) {
+            if for_seg >= s && for_seg < e {
+                trig = Some((s, e));
+            }
+            ring[seen % 4] = (s, e);
+            seen += 1;
         }
-        // Then the highest others.
-        for &blk in above.iter().rev() {
-            if blocks.len() >= 4 {
+        // Triggering block first (most-recent-first, like real TCP), then
+        // the highest others descending.
+        let mut blocks = [(0u32, 0u32); 4];
+        let mut len = 0usize;
+        if let Some(t) = trig {
+            blocks[0] = t;
+            len = 1;
+        }
+        for i in 0..seen.min(4) {
+            if len >= 4 {
                 break;
             }
-            if !blocks.contains(&blk) {
-                blocks.push(blk);
+            let blk = ring[(seen - 1 - i) % 4];
+            if Some(blk) != trig {
+                blocks[len] = blk;
+                len += 1;
             }
         }
-        SackBlocks::from_ranges(&blocks)
+        SackBlocks::from_ranges(&blocks[..len])
     }
 }
 

@@ -127,8 +127,7 @@ impl RenoEngine {
                 return;
             }
             // Pending retransmissions take priority.
-            let lost = ops.board().lost_segments(1);
-            if let Some(&seg) = lost.first() {
+            if let Some(seg) = ops.board().first_lost() {
                 ops.send_segment(seg, retx_class);
                 continue;
             }

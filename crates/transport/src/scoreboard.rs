@@ -68,6 +68,9 @@ pub struct Scoreboard {
     total_sacked_ever: u64,
     /// `total_sacked_ever` at each segment's most recent transmission.
     sacked_at_tx: Vec<u64>,
+    /// Reused gap buffer for `on_ack`'s SACK-block walk (amortizes the
+    /// per-ACK allocation away).
+    sack_gap_scratch: Vec<(u32, u32)>,
 }
 
 impl Scoreboard {
@@ -87,6 +90,7 @@ impl Scoreboard {
             naive_remarking: false,
             total_sacked_ever: 0,
             sacked_at_tx: vec![0; total_segs as usize],
+            sack_gap_scratch: Vec::new(),
         }
     }
 
@@ -274,12 +278,14 @@ impl Scoreboard {
         // Selective blocks: touch only the segments this ACK newly covers
         // (blocks can span the whole receive window; iterating every member
         // per ACK would be quadratic for big windows).
+        let mut gaps = std::mem::take(&mut self.sack_gap_scratch);
         for &(s, e) in ack.sack.ranges() {
             let s = s.max(self.cum);
             if s >= e {
                 continue;
             }
-            for (gs, ge) in self.sacked.missing_within(s, e) {
+            self.sacked.missing_within_into(s, e, &mut gaps);
+            for &(gs, ge) in &gaps {
                 for seg in gs..ge {
                     out.newly_acked_bytes += self.seg_bytes(seg) as u64;
                     self.total_sacked_ever += 1;
@@ -291,44 +297,57 @@ impl Scoreboard {
             }
             self.sacked.insert_range(s, e);
         }
+        self.sack_gap_scratch = gaps;
 
         out.is_duplicate = !out.cum_advanced && out.newly_acked_bytes == 0;
 
         // DupThresh loss detection: an uncovered segment with >= 3 SACKed
-        // segments above it is deemed lost. Walk the SACKed ranges once from
-        // the top, carrying the running count of SACKed segments above, and
-        // visit only the holes between them — O(holes), independent of
-        // window width.
-        let ranges: Vec<(SegId, SegId)> = self.sacked.iter_ranges().collect();
-        if !ranges.is_empty() {
-            let mut above: u64 = 0;
-            for i in (0..ranges.len()).rev() {
-                let (rs, re) = ranges[i];
-                above += (re - rs) as u64;
-                if above < DUP_THRESH {
-                    continue;
+        // segments above it is deemed lost. Walk the SACKed ranges once,
+        // ascending, visiting only the holes between them — O(holes),
+        // independent of window width. The count of SACKed segments above a
+        // hole is `total - below`, where `below` accumulates as the walk
+        // passes each range, so `newly_lost` comes out already sorted with
+        // no scratch allocation.
+        let total_sacked = self.sacked.len();
+        if total_sacked >= DUP_THRESH {
+            let total_bytes = self.total_bytes;
+            let naive = self.naive_remarking;
+            let ever = self.total_sacked_ever;
+            let mut below: u64 = 0;
+            let mut hole_lo = self.cum;
+            for (rs, re) in self.sacked.iter_ranges() {
+                if total_sacked - below < DUP_THRESH {
+                    // This hole — and every later one — has too few SACKed
+                    // segments above it.
+                    break;
                 }
-                // The hole directly below this range.
-                let hole_lo = if i == 0 { self.cum } else { ranges[i - 1].1 }.max(self.cum);
-                for v in hole_lo..rs {
+                for v in hole_lo.max(self.cum)..rs {
                     let eligible = if self.retransmitted.contains(v) {
                         // A retransmitted segment: careful stacks never
                         // re-mark; the naive stack re-marks once DupThresh
                         // further segments were SACKed after the
                         // retransmission.
-                        self.naive_remarking
-                            && self.total_sacked_ever >= self.sacked_at_tx[v as usize] + DUP_THRESH
+                        naive && ever >= self.sacked_at_tx[v as usize] + DUP_THRESH
                     } else {
                         true
                     };
                     if !self.lost.contains(v) && self.outstanding[v as usize] > 0 && eligible {
                         self.lost.insert(v);
-                        self.resolve_flight(v);
+                        // resolve_flight, inlined: the SACK range iterator
+                        // pins `self.sacked`, so only disjoint fields may be
+                        // borrowed here.
+                        let o = std::mem::take(&mut self.outstanding[v as usize]);
+                        if o > 0 {
+                            self.pipe_bytes = self.pipe_bytes.saturating_sub(
+                                seg_payload_bytes(total_bytes, v) as u64 * o as u64,
+                            );
+                        }
                         out.newly_lost.push(v);
                     }
                 }
+                below += (re - rs) as u64;
+                hole_lo = re;
             }
-            out.newly_lost.sort_unstable();
         }
 
         let _ = old_cum;
@@ -359,6 +378,12 @@ impl Scoreboard {
             }
         }
         out
+    }
+
+    /// Lowest segment currently marked lost, without allocating — the
+    /// send loops poll this once per transmitted segment.
+    pub fn first_lost(&self) -> Option<SegId> {
+        self.lost.iter_ranges().next().map(|(s, _)| s)
     }
 
     /// Count of segments currently marked lost.

@@ -519,8 +519,8 @@ impl SenderConn {
             return;
         }
         if !outcome.newly_lost.is_empty() {
-            let lost = outcome.newly_lost.clone();
-            self.with_ops(shared, ctx, |s, ops| s.on_loss_detected(ops, &lost));
+            let lost = &outcome.newly_lost;
+            self.with_ops(shared, ctx, |s, ops| s.on_loss_detected(ops, lost));
             if self.state.board.complete() {
                 self.finish(shared, ctx);
                 return;

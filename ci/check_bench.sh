@@ -22,9 +22,12 @@ root=$(cd "$(dirname "$0")/.." && pwd)
 
 # The 1e7-event macro bench takes ~30 s per sample; CI only needs the
 # smaller points to detect a complexity regression, so filter to the
-# sub-second benches.
+# sub-second benches. link_pipeline guards the flight-recorder contract:
+# with no tracer installed the packet hot path must stay as fast as the
+# committed baseline (tracing is a branch on a cold Option, nothing more).
 cargo bench --bench engine -- \
     schedule_fire_1e5 schedule_cancel_fire_1e6 event_queue_hold \
+    link_pipeline \
     --check "$root/BENCH_netsim.json"
 
 cargo bench --bench e2e -- --check "$root/BENCH_e2e.json"

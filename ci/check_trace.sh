@@ -1,0 +1,56 @@
+#!/usr/bin/env sh
+# Assert a `repro trace` export is sane: the JSONL is one flat object per
+# line, the meet-point summary line is present with a fraction inside the
+# paper's "Halfback stops about halfway back" band [0.4, 0.6], and the
+# time-sequence CSV has the repo's series,x,y header with data rows.
+# Usage: check_trace.sh path/to/trace.jsonl path/to/trace_timeseq.csv
+set -eu
+
+jsonl=${1:?usage: check_trace.sh trace.jsonl trace_timeseq.csv}
+csv=${2:?usage: check_trace.sh trace.jsonl trace_timeseq.csv}
+
+# Every line is a flat JSON object (the exporter writes no nesting).
+bad=$(awk '!/^\{.*\}$/ { n++ } END { print n+0 }' "$jsonl")
+if [ "$bad" -ne 0 ]; then
+    echo "FAIL: $bad non-JSONL lines in $jsonl" >&2
+    exit 1
+fi
+
+lines=$(wc -l < "$jsonl")
+if [ "$lines" -lt 100 ]; then
+    echo "FAIL: only $lines trace lines in $jsonl (expected a real flow)" >&2
+    exit 1
+fi
+
+# Exactly one meet-point summary line, with fraction in [0.4, 0.6].
+meets=$(grep -c '"event":"meet_point"' "$jsonl" || true)
+if [ "$meets" -ne 1 ]; then
+    echo "FAIL: expected exactly one meet_point line, found $meets" >&2
+    exit 1
+fi
+fraction=$(sed -n 's/.*"fraction":\([0-9.][0-9.]*\).*/\1/p' "$jsonl")
+if [ -z "$fraction" ]; then
+    echo "FAIL: meet_point line has no fraction (ROPR never met the ACKs?)" >&2
+    grep '"event":"meet_point"' "$jsonl" >&2
+    exit 1
+fi
+ok=$(awk -v f="$fraction" 'BEGIN { print (f >= 0.4 && f <= 0.6) ? 1 : 0 }')
+if [ "$ok" -ne 1 ]; then
+    echo "FAIL: meet fraction $fraction outside [0.4, 0.6] (paper: ~50%)" >&2
+    exit 1
+fi
+
+# Time-sequence CSV: header plus transmissions, ACKs, and deliveries.
+head -n 1 "$csv" | grep -q '^series,x,y$' || {
+    echo "FAIL: $csv missing series,x,y header" >&2
+    exit 1
+}
+for series in data ack delivered; do
+    grep -q "^$series," "$csv" || {
+        echo "FAIL: $csv has no '$series' rows" >&2
+        exit 1
+    }
+done
+
+echo "trace: $lines JSONL lines, meet fraction $fraction"
+echo "OK: deterministic trace export is well-formed and meets near 50%"

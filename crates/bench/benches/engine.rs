@@ -162,6 +162,47 @@ fn engine_throughput(c: &mut Bench) {
     g.finish();
 }
 
+/// The tracing hot path: push 1e5 packets through a saturated link with the
+/// trace hook disabled (the default — every emission site is one branch on
+/// a cold `Option`) and, for comparison, with a counting tracer installed.
+/// The disabled variant is checked against the committed baseline: tracing
+/// must stay free when off.
+fn link_pipeline(c: &mut Bench) {
+    fn push_1e5(trace: bool) {
+        let n = 100_000u64;
+        let mut sim: Simulator<u32> = Simulator::new(1);
+        let a = sim.add_node(Box::new(Sink));
+        let z = sim.add_node(Box::new(Sink));
+        let l = sim.add_link(LinkSpec::drop_tail(
+            a,
+            z,
+            Rate::from_gbps(10),
+            SimDuration::from_micros(10),
+            1_000_000_000,
+        ));
+        if trace {
+            let mut count = 0u64;
+            sim.set_tracer(Box::new(move |_, ev| {
+                count += 1;
+                black_box((count, ev));
+            }));
+        }
+        for i in 0..n {
+            sim.core()
+                .send_on(l, Packet::new(FlowId(i), a, z, 1500, 0u32));
+        }
+        sim.run_to_completion(10 * n);
+        black_box(sim.events_processed());
+    }
+
+    let mut g = c.benchmark_group("link_pipeline");
+    g.sample_size(10);
+    g.throughput_elements(100_000);
+    g.bench_function("tracing_disabled_1e5", || push_1e5(false));
+    g.bench_function("tracing_enabled_1e5", || push_1e5(true));
+    g.finish();
+}
+
 /// Drop-tail enqueue/dequeue cycle.
 fn queue_ops(c: &mut Bench) {
     let n = 100_000u64;
@@ -235,6 +276,7 @@ fn main() {
     run_benches(&[
         ("event_queue", event_queue),
         ("engine_throughput", engine_throughput),
+        ("link_pipeline", link_pipeline),
         ("queue_ops", queue_ops),
         ("transport_flow", transport_flow),
         ("workload_generation", workload_generation),

@@ -25,6 +25,7 @@ use transport::reno::{RenoConfig, RenoEngine};
 use transport::scoreboard::AckOutcome;
 use transport::sender::Ops;
 use transport::strategy::{PaceAction, Strategy};
+use transport::trace::FlowEvent;
 use transport::wire::{segment_count, AckHeader, SegId, SendClass, MSS};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,6 +146,16 @@ impl Halfback {
                     self.ratio_acc -= acks;
                     if !self.ropr_send_one(ops) {
                         self.ropr_done = true;
+                        // The descending cursor met the advancing cumulative
+                        // ACK: record where (the paper's "≈ 50%" claim is
+                        // cursor / batch ≈ 0.5 on a loss-free path). Only
+                        // this natural meet counts — the RTO path sets
+                        // `ropr_done` without one.
+                        ops.record(FlowEvent::RoprMeet {
+                            cursor: self.ropr_cursor,
+                            cum_ack: ops.board().cum_ack(),
+                            batch_segs: self.batch_segs,
+                        });
                         break;
                     }
                 }

@@ -24,6 +24,12 @@ use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
 /// What happened on the wire — delivered to an optional trace hook.
+///
+/// Ordering contract: every [`LinkStats`]/queue counter that accounts for an
+/// event is incremented *immediately before* the event is emitted, with
+/// nothing observable in between (atomic-in-order). A tracer therefore sees
+/// stats that already include the event it is being told about, at every
+/// event boundary — `netsim/tests/conservation.rs` asserts this in lockstep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[allow(missing_docs)] // variant fields (link/packet/size) are self-describing
 pub enum TraceEvent {
@@ -479,7 +485,6 @@ impl<P: Payload> Simulator<P> {
             if let Some(f) = l.faults.as_mut() {
                 if f.is_blackholed(now) {
                     blackholed = true;
-                    l.stats.blackholed += 1;
                 } else {
                     if f.draw_corrupt() {
                         pkt.corrupted = true;
@@ -488,11 +493,13 @@ impl<P: Payload> Simulator<P> {
                     extra = f.draw_reorder_extra();
                     if f.draw_duplicate() {
                         duplicate_extra = Some(f.draw_reorder_extra());
-                        l.stats.duplicated += 1;
                     }
                 }
             }
         }
+        // Stats increment and trace emission stay adjacent per outcome (the
+        // `TraceEvent` atomic-in-order contract): the draw block above only
+        // decides, it does not account.
         if dropped {
             self.core.links[link.0 as usize].stats.wire_lost += 1;
             let id = pkt.id;
@@ -503,6 +510,7 @@ impl<P: Payload> Simulator<P> {
                 size,
             });
         } else if blackholed {
+            self.core.links[link.0 as usize].stats.blackholed += 1;
             let id = pkt.id;
             let size = pkt.size;
             self.core.trace(TraceEvent::Blackhole {
@@ -512,6 +520,7 @@ impl<P: Payload> Simulator<P> {
             });
         } else {
             if let Some(dup_extra) = duplicate_extra {
+                self.core.links[link.0 as usize].stats.duplicated += 1;
                 self.core.trace(TraceEvent::Duplicate {
                     link,
                     packet: pkt.id,

@@ -76,6 +76,15 @@ pub struct LinkStats {
     pub duplicated: u64,
 }
 
+impl LinkStats {
+    /// Packets this link failed to carry for non-queue reasons: wire loss,
+    /// fault down-windows, and blackholes. Queue (congestion) drops are
+    /// counted separately in [`QueueStats`].
+    pub fn lost_total(&self) -> u64 {
+        self.wire_lost + self.down_dropped + self.blackholed
+    }
+}
+
 /// Runtime state of a link inside the engine.
 pub(crate) struct LinkState<P: Payload> {
     #[allow(dead_code)] // kept for debugging/tracing symmetry with `dst`

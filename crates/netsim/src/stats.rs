@@ -190,6 +190,12 @@ impl Ecdf {
         self.ensure_sorted();
         &self.sorted
     }
+
+    /// Every sample in insertion-independent (but unspecified) order — for
+    /// merging one distribution into another.
+    pub fn samples(&self) -> impl Iterator<Item = f64> + '_ {
+        self.sorted.iter().chain(self.pending.iter()).copied()
+    }
 }
 
 /// Bins event counts into fixed-width time buckets — used for the Fig. 15
@@ -198,6 +204,10 @@ impl Ecdf {
 pub struct TimeBinned {
     bin_width_ns: u64,
     bins: Vec<f64>,
+    /// Instant the series was closed (e.g. flow completion). When set, rate
+    /// conversions scale the final bin by the time actually covered instead
+    /// of silently under-reporting the partial bin.
+    end_ns: Option<u64>,
 }
 
 impl TimeBinned {
@@ -207,6 +217,7 @@ impl TimeBinned {
         TimeBinned {
             bin_width_ns,
             bins: Vec::new(),
+            end_ns: None,
         }
     }
 
@@ -219,9 +230,40 @@ impl TimeBinned {
         self.bins[idx] += amount;
     }
 
+    /// Mark the series as ending at `t_ns` (the flow-completion instant).
+    /// The final partial bin then converts to a rate over its real width.
+    /// Later `add`s past the mark reopen the series.
+    pub fn close_at(&mut self, t_ns: u64) {
+        self.end_ns = Some(t_ns);
+    }
+
+    /// The close instant, if [`TimeBinned::close_at`] was called.
+    pub fn end_ns(&self) -> Option<u64> {
+        self.end_ns
+    }
+
     /// Bin width in nanoseconds.
     pub fn bin_width_ns(&self) -> u64 {
         self.bin_width_ns
+    }
+
+    /// Add another series' bins element-wise. Bin widths must match; the
+    /// later of the two close marks survives.
+    pub fn merge(&mut self, other: &TimeBinned) {
+        assert_eq!(
+            self.bin_width_ns, other.bin_width_ns,
+            "merging TimeBinned series with different bin widths"
+        );
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize(other.bins.len(), 0.0);
+        }
+        for (i, v) in other.bins.iter().enumerate() {
+            self.bins[i] += v;
+        }
+        self.end_ns = match (self.end_ns, other.end_ns) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
     }
 
     /// `(bin_start_seconds, sum)` series.
@@ -233,12 +275,31 @@ impl TimeBinned {
             .collect()
     }
 
-    /// Convert byte counts per bin into a Mbit/s series.
+    /// Convert byte counts per bin into a Mbit/s series. If the series was
+    /// closed with [`TimeBinned::close_at`], the final bin is averaged over
+    /// the time it actually covers (completion mid-bin must not dilute the
+    /// rate over the full bin width).
     pub fn as_mbps(&self) -> Vec<(f64, f64)> {
-        let secs_per_bin = self.bin_width_ns as f64 / 1e9;
+        let full_secs = self.bin_width_ns as f64 / 1e9;
+        let last = self.bins.len().saturating_sub(1);
+        let last_secs = match self.end_ns {
+            Some(end) if (end / self.bin_width_ns) as usize == last => {
+                let into_bin = end - last as u64 * self.bin_width_ns;
+                if into_bin == 0 {
+                    full_secs
+                } else {
+                    into_bin as f64 / 1e9
+                }
+            }
+            _ => full_secs,
+        };
         self.series()
             .into_iter()
-            .map(|(t, bytes)| (t, bytes * 8.0 / 1e6 / secs_per_bin))
+            .enumerate()
+            .map(|(i, (t, bytes))| {
+                let secs = if i == last { last_secs } else { full_secs };
+                (t, bytes * 8.0 / 1e6 / secs)
+            })
             .collect()
     }
 }
@@ -331,5 +392,24 @@ mod tests {
         // 15 KB in 60 ms = 2 Mbit/s.
         assert!((mbps[0].1 - 2.0).abs() < 1e-9, "{:?}", mbps);
         assert!((mbps[1].1 - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_binned_close_scales_final_partial_bin() {
+        let mut tb = TimeBinned::new(60_000_000);
+        tb.add(0, 7500.0);
+        tb.add(60_000_000, 1500.0);
+        // The flow completes 15 ms into the second bin: 1.5 KB over 15 ms
+        // is 0.8 Mbit/s, not the 0.2 Mbit/s a full-width average reports.
+        tb.close_at(75_000_000);
+        let mbps = tb.as_mbps();
+        assert!((mbps[0].1 - 1.0).abs() < 1e-9, "{:?}", mbps);
+        assert!((mbps[1].1 - 0.8).abs() < 1e-9, "{:?}", mbps);
+        // Closing exactly on a later bin boundary leaves earlier bins full
+        // width, and a close in a bin that got no samples changes nothing.
+        let mut tb2 = TimeBinned::new(60_000_000);
+        tb2.add(0, 7500.0);
+        tb2.close_at(60_000_000);
+        assert!((tb2.as_mbps()[0].1 - 1.0).abs() < 1e-9);
     }
 }

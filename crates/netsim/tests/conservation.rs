@@ -216,6 +216,94 @@ fn fault_pipeline_conserves_packets() {
     }
 }
 
+/// Trace events and stats counters move atomically: after *every* engine
+/// step, the tracer's running counts equal the corresponding [`LinkStats`]
+/// and corrupt-drop counters exactly. An observer can therefore never see a
+/// trace event whose stats increment hasn't landed yet (or vice versa) —
+/// the contract the flight recorder's merged exports rely on.
+#[test]
+fn trace_events_and_stats_move_in_lockstep() {
+    use netsim::time::SimTime;
+    use netsim::FaultSpec;
+
+    let t = |ms: u64| SimTime::ZERO + SimDuration::from_millis(ms);
+    let mut sim: Simulator<u32> = Simulator::new(0x10C5);
+    let a = sim.add_node(Box::new(Count(0)));
+    let b = sim.add_node(Box::new(Count(0)));
+    let l = sim.add_link(LinkSpec {
+        src: a,
+        dst: b,
+        rate: Rate::from_mbps(2),
+        delay: SimDuration::from_millis(5),
+        queue: Box::new(DropTail::new(6 * 1500)),
+        loss: LossModel::Bernoulli { p: 0.15 },
+    });
+    sim.set_link_faults(
+        l,
+        FaultSpec::none()
+            .down_window(t(30), t(60))
+            .blackhole_window(t(90), t(120))
+            .with_duplication(0.3)
+            .with_corruption(0.2)
+            .with_reorder(0.5, SimDuration::from_millis(15)),
+    );
+
+    // [deliver, queue_drop, wire_drop, fault_drop, blackhole, dup, corrupt]
+    let counts = Rc::new(RefCell::new([0u64; 7]));
+    let c2 = counts.clone();
+    sim.set_tracer(Box::new(move |_, ev| {
+        let i = match ev {
+            TraceEvent::Deliver { .. } => 0,
+            TraceEvent::QueueDrop { .. } => 1,
+            TraceEvent::WireDrop { .. } => 2,
+            TraceEvent::FaultDrop { .. } => 3,
+            TraceEvent::Blackhole { .. } => 4,
+            TraceEvent::Duplicate { .. } => 5,
+            TraceEvent::CorruptDrop { .. } => 6,
+            TraceEvent::TxStart { .. } => return,
+        };
+        c2.borrow_mut()[i] += 1;
+    }));
+
+    let mut rng = SimRng::new(0xBEEF);
+    for i in 0..120u64 {
+        sim.core()
+            .send_on(l, Packet::new(FlowId(i), a, b, 1500, 0u32));
+        let gap = SimDuration::from_micros(500 + rng.index(4_000) as u64);
+        let until = sim.now() + gap;
+        // Step one event at a time so the lockstep assertion runs at every
+        // observable instant, not just at quiescence.
+        let mut steps = 0u64;
+        while sim.next_event_time().is_some_and(|at| at <= until) {
+            assert!(sim.step());
+            steps += 1;
+            assert!(steps < 100_000, "runaway");
+            let [delivered, qd, wd, fd, bh, dup, cd] = *counts.borrow();
+            let stats = sim.link_stats(l);
+            assert_eq!(stats.wire_lost, wd, "after step {steps}");
+            assert_eq!(stats.down_dropped, fd, "after step {steps}");
+            assert_eq!(stats.blackholed, bh, "after step {steps}");
+            assert_eq!(stats.duplicated, dup, "after step {steps}");
+            assert_eq!(sim.queue_stats(l).dropped, qd, "after step {steps}");
+            assert_eq!(sim.core().corrupt_dropped(), cd, "after step {steps}");
+            assert_eq!(
+                sim.node_as::<Count>(b).unwrap().0,
+                delivered,
+                "after step {steps}"
+            );
+        }
+    }
+    sim.run_to_completion(10_000);
+    let [delivered, qd, _, fd, bh, dup, cd] = *counts.borrow();
+    let stats = sim.link_stats(l);
+    assert_eq!(fd + qd + stats.tx_packets, stats.offered);
+    assert_eq!(
+        stats.tx_packets + dup,
+        stats.wire_lost + bh + cd + delivered
+    );
+    assert!(delivered > 0 && stats.wire_lost > 0, "corpus too tame");
+}
+
 /// A faulted run is fully determined by `(seed, spec)`: identical seeds give
 /// identical delivery schedules, and the fault stream is independent of the
 /// engine RNG (installing a noop-ish fault spec doesn't shift wire loss).

@@ -3,6 +3,7 @@
 //! ```text
 //! repro <experiment>... [--quick | --scale quick|full] [--jobs N] [--out DIR]
 //! repro all [--quick] [--out DIR]
+//! repro trace [--figure F] [--protocol P] [--seed S] [--flow N] [--bytes B] [--out DIR]
 //! repro list
 //! ```
 //!
@@ -17,7 +18,8 @@
 //! interleaving.
 
 use scenarios::figures::{distinct_experiment_ids, run_experiment};
-use scenarios::{harness, Scale};
+use scenarios::trace::{run_trace, TraceSpec};
+use scenarios::{harness, Protocol, Scale};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -52,8 +54,108 @@ fn report_jobs(id: &str, wall_s: f64) {
     );
 }
 
+/// `repro trace`: replay one (figure, protocol, seed, flow) with the
+/// flight recorder on and write `trace.jsonl` + `trace_timeseq.csv` under
+/// `--out` (default `out/`).
+fn trace_main(args: Vec<String>) -> ExitCode {
+    let mut spec = TraceSpec::default();
+    let mut out_dir = PathBuf::from("out");
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--figure" | "-f" => match it.next() {
+                Some(f) => spec.figure = f,
+                None => {
+                    eprintln!("--figure needs a name (fig5..fig8 or chaos)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--protocol" | "-p" => match it.next().as_deref().and_then(Protocol::parse) {
+                Some(p) => spec.protocol = p,
+                None => {
+                    eprintln!("--protocol needs a scheme name (e.g. Halfback, TCP, JumpStart)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" | "-s" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(s) => spec.seed = s,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--flow" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(f) if f >= 1 => spec.flow = f,
+                _ => {
+                    eprintln!("--flow needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--bytes" | "-b" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(b) if b >= 1 => spec.bytes = b,
+                _ => {
+                    eprintln!("--bytes needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" | "-o" => match it.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown trace flag '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!(
+        ">> tracing {} on {} (seed {}, flow {}, {} bytes)...",
+        spec.protocol.name(),
+        spec.figure,
+        spec.seed,
+        spec.flow,
+        spec.bytes
+    );
+    let out = run_trace(&spec);
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("failed to create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let jsonl_path = out_dir.join("trace.jsonl");
+    let csv_path = out_dir.join("trace_timeseq.csv");
+    if let Err(e) = std::fs::write(&jsonl_path, &out.jsonl) {
+        eprintln!("failed to write {}: {e}", jsonl_path.display());
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = std::fs::write(&csv_path, &out.timeseq_csv) {
+        eprintln!("failed to write {}: {e}", csv_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "trace: {} events -> {} and {}",
+        out.events,
+        jsonl_path.display(),
+        csv_path.display()
+    );
+    match out.meet {
+        Some(m) => println!(
+            "meet point: cursor {} met cum_ack {} of {} paced segments (fraction {:.3}; paper: ~0.5 on a clean path)",
+            m.cursor, m.cum_ack, m.batch_segs, m.fraction
+        ),
+        None => println!("meet point: none (non-Halfback scheme, or ROPR ended by RTO)"),
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        return trace_main(args.split_off(1));
+    }
     if args.is_empty() {
         eprintln!(
             "usage: repro <experiment>... [--quick] [--scale quick|full] [--jobs N] [--chart] [--out DIR] | repro all | repro list"

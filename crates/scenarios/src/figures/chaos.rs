@@ -144,6 +144,26 @@ pub struct CellStats {
     pub aborted: usize,
     /// Mean FCT over completed flows (NaN when none completed).
     pub mean_fct_ms: f64,
+    /// Transmission/link accounting for the metrics registry.
+    pub metrics: CellMetrics,
+}
+
+/// Per-cell counters surfaced through the chaos [`crate::metrics::MetricsRegistry`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CellMetrics {
+    /// Data packets sent across all flows (terminal states included).
+    pub data_packets: u64,
+    /// Normal (reactive) retransmissions.
+    pub normal_retx: u64,
+    /// Proactive copies.
+    pub proactive_retx: u64,
+    /// RTO fires.
+    pub rto_fires: u64,
+    /// Congestion (queue) drops, both links.
+    pub queue_drops: u64,
+    /// Non-queue link losses (wire loss + down windows + blackholes), both
+    /// links.
+    pub link_lost: u64,
 }
 
 /// Run one cell and assert the fault-injection invariants. Panics (with
@@ -221,6 +241,7 @@ pub fn run_cell(sc: &Scenario, protocol: Protocol, n_flows: usize, seed: u64) ->
     // offered packet was down-dropped, queue-dropped, or serialized.
     // Wire side: every serialized packet plus every duplicate copy was
     // wire-lost, blackholed, checksum-dropped, or delivered.
+    let mut metrics = CellMetrics::default();
     let arrived = arrived.borrow();
     for (dir, link, [delivered, corrupt]) in [
         ("fwd", net.forward, arrived[1]),
@@ -239,6 +260,14 @@ pub fn run_cell(sc: &Scenario, protocol: Protocol, n_flows: usize, seed: u64) ->
             "{cell}/{dir}: wire-side conservation violated"
         );
         assert_eq!(q.enqueued, q.dequeued, "{cell}/{dir}: queue not drained");
+        metrics.queue_drops += q.dropped;
+        metrics.link_lost += s.lost_total();
+    }
+    for r in completed.iter().chain(aborted.iter()) {
+        metrics.data_packets += r.counters.data_packets_sent;
+        metrics.normal_retx += r.counters.normal_retx;
+        metrics.proactive_retx += r.counters.proactive_retx;
+        metrics.rto_fires += r.counters.rto_events;
     }
 
     let mean_fct_ms = if completed.is_empty() {
@@ -254,6 +283,7 @@ pub fn run_cell(sc: &Scenario, protocol: Protocol, n_flows: usize, seed: u64) ->
         completed: completed.len(),
         aborted: aborted.len(),
         mean_fct_ms,
+        metrics,
     }
 }
 
@@ -350,6 +380,27 @@ pub fn figures(scale: Scale) -> Vec<Figure> {
     }
     fig.note(format!("invariant violations: {violations}"));
     fig.note(format!("watchdog trips: {watchdog_trips}"));
+    // Aggregate the per-cell counters through the metrics registry, in
+    // submission order (the order `run_jobs` returns results), so the
+    // totals are identical for any --jobs N.
+    let mut registry = crate::metrics::MetricsRegistry::new();
+    for r in results.iter().flatten() {
+        let m = &r.metrics;
+        let mut cell = crate::metrics::MetricsRegistry::new();
+        cell.inc("chaos.data_packets", m.data_packets);
+        cell.inc("chaos.retx.normal", m.normal_retx);
+        cell.inc("chaos.retx.proactive", m.proactive_retx);
+        cell.inc("chaos.rto.fires", m.rto_fires);
+        cell.inc("chaos.link.queue_drops", m.queue_drops);
+        cell.inc("chaos.link.lost", m.link_lost);
+        if !r.mean_fct_ms.is_nan() {
+            cell.observe("chaos.fct_ms", r.mean_fct_ms);
+        }
+        registry.merge(cell);
+    }
+    for line in registry.render_lines() {
+        fig.note(line);
+    }
     vec![fig]
 }
 

@@ -161,6 +161,36 @@ pub fn figures(scale: Scale) -> Vec<Figure> {
             100.0 * zero as f64 / recs.len().max(1) as f64
         ));
     }
+    // Metrics-registry columns: per-scheme retransmit ratios over the whole
+    // population (normal and proactive copies per data packet sent).
+    let mut registry = crate::metrics::MetricsRegistry::new();
+    for p in Protocol::PLANETLAB {
+        for r in data.records(p) {
+            let mut one = crate::metrics::MetricsRegistry::new();
+            one.inc(
+                &format!("{}.data_packets", p.name()),
+                r.counters.data_packets_sent,
+            );
+            one.inc(&format!("{}.retx.normal", p.name()), r.counters.normal_retx);
+            one.inc(
+                &format!("{}.retx.proactive", p.name()),
+                r.counters.proactive_retx,
+            );
+            one.inc(&format!("{}.rto.fires", p.name()), r.counters.rto_events);
+            registry.merge(one);
+        }
+    }
+    for p in Protocol::PLANETLAB {
+        let data_pkts = registry.counter(&format!("{}.data_packets", p.name()));
+        fig5.note(format!(
+            "{}: retx ratio {:.4} normal, {:.4} proactive (of {} data packets)",
+            p.name(),
+            registry.counter(&format!("{}.retx.normal", p.name())) as f64 / data_pkts.max(1) as f64,
+            registry.counter(&format!("{}.retx.proactive", p.name())) as f64
+                / data_pkts.max(1) as f64,
+            data_pkts
+        ));
+    }
     figs.push(fig5);
 
     // Fig. 6: FCT CDF plus the paper's headline means.
@@ -205,6 +235,13 @@ pub fn figures(scale: Scale) -> Vec<Figure> {
         100.0 * (1.0 - hb / mean_of(Protocol::Reactive)),
         100.0 * (1.0 - hb / mean_of(Protocol::Proactive)),
     ));
+    for p in Protocol::PLANETLAB {
+        fig6.note(format!(
+            "{}: {} RTO fires across the population",
+            p.name(),
+            registry.counter(&format!("{}.rto.fires", p.name()))
+        ));
+    }
     figs.push(fig6);
 
     // Fig. 7: FCT in RTTs.

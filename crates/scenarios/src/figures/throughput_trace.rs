@@ -23,6 +23,12 @@ pub type Panel = Vec<(String, Vec<(f64, f64)>)>;
 /// Simulate one panel: a long-running background TCP flow plus `shorts`
 /// (bytes, protocol) all starting at t = 3 s on distinct host pairs.
 pub fn panel(shorts: &[(u64, Protocol)], scale: Scale) -> Panel {
+    panel_with_notes(shorts, scale).0
+}
+
+/// [`panel`] plus per-short-flow transmission notes (packets sent, normal
+/// and proactive retransmissions) from the metrics the senders accumulate.
+pub fn panel_with_notes(shorts: &[(u64, Protocol)], scale: Scale) -> (Panel, Vec<String>) {
     let spec = DumbbellSpec::emulab(1);
     let opts = RunOptions {
         host_pairs: 1 + shorts.len(),
@@ -61,19 +67,36 @@ pub fn panel(shorts: &[(u64, Protocol)], scale: Scale) -> Panel {
             .filter(|&(t, _)| (-600.0..=3000.0).contains(&t))
             .collect()
     };
-    // Receiver hosts hold the delivery traces.
+    // Receiver hosts hold the delivery timelines.
     for (flow, label) in
-        std::iter::once((bg_flow, "Background Flow".to_string())).chain(short_flows)
+        std::iter::once((bg_flow, "Background Flow".to_string())).chain(short_flows.iter().cloned())
     {
         for &h in &rig.net.right_hosts {
             let host = rig.sim.node_as::<Host>(h).unwrap();
-            if let Some(tb) = host.delivery_traces.get(&flow) {
+            if let Some(tb) = host.timelines.as_ref().and_then(|tl| tl.get(flow)) {
                 out.push((label.clone(), window(tb.as_mbps())));
                 break;
             }
         }
     }
-    out
+    // Transmission accounting for the short flows (from their sender-side
+    // FlowRecords — completed short flows only; the background is censored
+    // by design).
+    let mut notes = Vec::new();
+    for &h in &rig.net.left_hosts {
+        for r in rig.sim.node_as::<Host>(h).unwrap().completed() {
+            if let Some((_, label)) = short_flows.iter().find(|(f, _)| *f == r.flow) {
+                notes.push(format!(
+                    "{label}: {} data packets, {} normal retx, {} proactive retx, {} RTO fires",
+                    r.counters.data_packets_sent,
+                    r.counters.normal_retx,
+                    r.counters.proactive_retx,
+                    r.counters.rto_events
+                ));
+            }
+        }
+    }
+    (out, notes)
 }
 
 /// The analytic optimal panel (a): the short flow is served at line rate
@@ -130,14 +153,17 @@ pub fn figures(scale: Scale) -> Vec<Figure> {
     let sim_panels = crate::harness::parallel_map(
         sim_specs,
         |&(id, _, _)| format!("fig15/{id}"),
-        |(id, title, shorts)| (id, title, panel(&shorts, scale)),
+        |(id, title, shorts)| {
+            let (panel, notes) = panel_with_notes(&shorts, scale);
+            (id, title, panel, notes)
+        },
     );
-    let mut panels: Vec<(&str, &str, Panel)> =
-        vec![("fig15a", "Optimal situation", optimal_panel())];
+    let mut panels: Vec<(&str, &str, Panel, Vec<String>)> =
+        vec![("fig15a", "Optimal situation", optimal_panel(), Vec::new())];
     panels.extend(sim_panels);
     panels
         .into_iter()
-        .map(|(id, title, panel)| {
+        .map(|(id, title, panel, notes)| {
             let mut fig = Figure::new(
                 id,
                 &format!("Throughput of flows: {title}"),
@@ -163,6 +189,9 @@ pub fn figures(scale: Scale) -> Vec<Figure> {
                     }
                 }
                 fig.push_series(label.clone(), pts.clone());
+            }
+            for n in notes {
+                fig.note(n);
             }
             fig
         })

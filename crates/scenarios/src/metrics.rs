@@ -1,8 +1,107 @@
-//! Metrics over flow records: FCT statistics, retransmission counts, and
-//! the feasible-capacity knee detector used for Figs. 1, 12 and 17.
+//! Metrics over flow records: FCT statistics, retransmission counts, the
+//! feasible-capacity knee detector used for Figs. 1, 12 and 17, and the
+//! [`MetricsRegistry`] harness jobs aggregate in submission order.
 
-use netsim::stats::Ecdf;
+use netsim::stats::{Ecdf, TimeBinned};
+use std::collections::BTreeMap;
 use transport::sender::FlowRecord;
+
+/// A named bag of counters, histograms, and timelines.
+///
+/// Each harness job fills a registry of its own; the parent merges the
+/// per-job registries *in submission order* (the harness already returns
+/// results that way), so the aggregate is independent of `--jobs N` and of
+/// worker scheduling. `BTreeMap` keys give a deterministic render order.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Ecdf>,
+    timelines: BTreeMap<String, TimeBinned>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to counter `name` (created at zero).
+    pub fn inc(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Record a sample into histogram `name`.
+    pub fn observe(&mut self, name: &str, sample: f64) {
+        self.hists.entry(name.to_string()).or_default().add(sample);
+    }
+
+    /// Record `value` at `t_ns` into timeline `name` (bins of `bin_ns`; the
+    /// bin width of an existing timeline wins).
+    pub fn timeline(&mut self, name: &str, bin_ns: u64, t_ns: u64, value: f64) {
+        self.timelines
+            .entry(name.to_string())
+            .or_insert_with(|| TimeBinned::new(bin_ns))
+            .add(t_ns, value);
+    }
+
+    /// Current value of counter `name` (zero if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram `name`, if any samples were recorded.
+    pub fn hist(&self, name: &str) -> Option<&Ecdf> {
+        self.hists.get(name)
+    }
+
+    /// Merge `other` into `self` (counters add, histogram samples append,
+    /// timeline bins add element-wise).
+    pub fn merge(&mut self, other: MetricsRegistry) {
+        for (k, v) in other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, h) in other.hists {
+            let mine = self.hists.entry(k).or_default();
+            for s in h.samples() {
+                mine.add(s);
+            }
+        }
+        for (k, t) in other.timelines {
+            match self.timelines.get_mut(&k) {
+                Some(mine) => mine.merge(&t),
+                None => {
+                    self.timelines.insert(k, t);
+                }
+            }
+        }
+    }
+
+    /// Render every metric as stable `name = value` lines (counters first,
+    /// then histogram summaries), for figure/chaos summary blocks.
+    pub fn render_lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (k, v) in &self.counters {
+            out.push(format!("{k} = {v}"));
+        }
+        for (k, h) in &self.hists {
+            let mut h = h.clone();
+            match (h.median(), h.mean()) {
+                (Some(med), Some(mean)) => out.push(format!(
+                    "{k}: n={} mean={mean:.2} p50={med:.2} p99={:.2}",
+                    h.len(),
+                    h.percentile(99.0).unwrap_or(f64::NAN)
+                )),
+                _ => out.push(format!("{k}: n=0")),
+            }
+        }
+        out
+    }
+
+    /// Is anything recorded?
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.hists.is_empty() && self.timelines.is_empty()
+    }
+}
 
 /// Summary statistics of a set of completed flows.
 #[derive(Debug, Clone)]

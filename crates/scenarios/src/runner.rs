@@ -157,7 +157,7 @@ impl DumbbellRig {
             sim.with_node_mut::<Host, _>(h, |host, _| {
                 host.wire(h, e);
                 if let Some(bin) = opts.trace_bin_ns {
-                    host.trace_bin_ns = Some(bin);
+                    host.timelines = Some(transport::trace::DeliveryTimelines::new(bin));
                 }
             });
         }

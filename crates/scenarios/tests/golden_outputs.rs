@@ -93,3 +93,27 @@ fn fig6_quick_is_byte_identical_to_golden() {
 fn chaos_quick_is_byte_identical_to_golden() {
     assert_matches_golden("chaos");
 }
+
+/// The flight-recorder export of the default trace spec (Halfback, fig6
+/// path, seed 42) against committed fixtures. Regenerate with:
+///   cargo run --release --bin repro -- trace \
+///       --out crates/scenarios/tests/golden/trace
+#[test]
+fn default_trace_is_byte_identical_to_golden() {
+    let _guard = HARNESS_LOCK.lock().unwrap();
+    let out = scenarios::trace::run_trace(&scenarios::trace::TraceSpec::default());
+    harness::take_metrics();
+    let golden = snapshot(&golden_dir("trace"));
+    assert!(!golden.is_empty(), "no golden trace fixtures");
+    assert_eq!(
+        out.jsonl.as_bytes(),
+        golden["trace.jsonl"].as_slice(),
+        "trace.jsonl differs from the committed golden (determinism \
+         regression, or an intentional change that must regenerate it)"
+    );
+    assert_eq!(
+        out.timeseq_csv.as_bytes(),
+        golden["trace_timeseq.csv"].as_slice(),
+        "trace_timeseq.csv differs from the committed golden"
+    );
+}

@@ -116,6 +116,70 @@ fn chaos_runs_are_byte_identical_across_worker_counts() {
     let _ = fs::remove_dir_all(&d4);
 }
 
+/// The flight-recorder export is a pure function of `(scenario, seed)`:
+/// running the same trace specs as harness jobs on 1 worker and on 4 must
+/// produce byte-identical JSONL and time–sequence CSV, and repeating the
+/// whole thing must reproduce the same bytes again.
+#[test]
+fn trace_exports_are_byte_identical_across_worker_counts() {
+    let _guard = HARNESS_LOCK.lock().unwrap();
+    use scenarios::harness::{run_jobs_on, Job};
+    use scenarios::trace::{run_trace, TraceSpec};
+    use scenarios::Protocol;
+
+    let specs = || {
+        vec![
+            TraceSpec::default(),
+            TraceSpec {
+                seed: 7,
+                flow: 2,
+                ..Default::default()
+            },
+            // Flow 3 starts at t = 1000 ms, inside a chaos down window, so
+            // the trace must show wire-level fault events.
+            TraceSpec {
+                figure: "chaos".to_string(),
+                protocol: Protocol::Tcp,
+                seed: 9,
+                flow: 3,
+                ..Default::default()
+            },
+        ]
+    };
+    let render = |n_workers: usize| -> Vec<(String, String)> {
+        let jobs: Vec<Job<'_, (String, String)>> = specs()
+            .into_iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                Job::new(format!("trace{i}"), move || {
+                    let out = run_trace(&spec);
+                    (out.jsonl, out.timeseq_csv)
+                })
+            })
+            .collect();
+        run_jobs_on(jobs, n_workers)
+            .into_iter()
+            .map(|r| r.expect("trace job panicked"))
+            .collect()
+    };
+
+    let serial = render(1);
+    let parallel = render(4);
+    let again = render(4);
+    harness::take_metrics();
+    assert_eq!(serial.len(), 3);
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s.0, p.0, "trace {i} JSONL differs between 1 and 4 workers");
+        assert_eq!(s.1, p.1, "trace {i} CSV differs between 1 and 4 workers");
+    }
+    assert_eq!(parallel, again, "same-seed rerun changed trace bytes");
+    // Sanity: the faulty-link spec produced wire-level fault events.
+    assert!(
+        serial[2].0.contains("\"fault_drop\"") || serial[2].0.contains("\"blackhole\""),
+        "chaos trace shows no fault events"
+    );
+}
+
 #[test]
 fn panicking_job_does_not_poison_the_pool() {
     let _guard = HARNESS_LOCK.lock().unwrap();

@@ -11,11 +11,11 @@ use crate::fasthash::FastMap;
 use crate::receiver::ReceiverConn;
 use crate::sender::{FlowRecord, SenderConn, TimerKind};
 use crate::strategy::Strategy;
+use crate::trace::{DeliveryTimelines, FlightRecorder, FlowEvent};
 use crate::wire::Header;
 use netsim::engine::EngineCore;
 use netsim::node::{Node, TimerId};
-use netsim::stats::TimeBinned;
-use netsim::{Ctx, FlowId, LinkId, NodeId, Packet};
+use netsim::{Ctx, FlowId, LinkId, NodeId, Packet, SimTime};
 use std::any::Any;
 use std::cell::RefCell;
 use std::collections::VecDeque;
@@ -46,9 +46,21 @@ pub struct HostCore {
     pub timer_cancels: u64,
     /// Optional shared completion queue drained by the harness.
     pub bus: Option<CompletionBus>,
+    /// Optional flight recorder capturing transport-level trace events for
+    /// every flow endpoint on this host. `None` (the default) keeps every
+    /// emission site a branch on a cold `Option` — zero-cost tracing.
+    pub recorder: Option<FlightRecorder>,
 }
 
 impl HostCore {
+    /// Record a transport event if a flight recorder is installed.
+    #[inline]
+    pub(crate) fn record(&mut self, at: SimTime, flow: FlowId, event: FlowEvent) {
+        if let Some(rec) = &mut self.recorder {
+            rec.record(at, flow, event);
+        }
+    }
+
     pub(crate) fn alloc_token(&mut self, flow: FlowId, kind: TimerKind) -> u64 {
         let t = self.next_token;
         self.next_token += 1;
@@ -84,17 +96,16 @@ pub struct Host {
     core: HostCore,
     senders: FastMap<FlowId, SenderConn>,
     receivers: FastMap<FlowId, ReceiverConn>,
-    /// When set, receiver endpoints record delivered bytes into time bins of
-    /// this width (for the Fig. 15 throughput traces).
-    pub trace_bin_ns: Option<u64>,
+    /// When set, receiver endpoints record delivered bytes into per-flow
+    /// timelines (the Fig. 15 throughput traces). The final partial bin is
+    /// closed at the flow-completion instant.
+    pub timelines: Option<DeliveryTimelines>,
     /// Override the RFC 6298 1 s minimum RTO for flows started on this host
     /// (sensitivity studies; `None` = standard).
     pub min_rto: Option<netsim::SimDuration>,
     /// When true, receiver endpoints keep a per-packet arrival log (the
     /// Fig. 3 timeline view). Off by default — it stores every arrival.
     pub log_arrivals: bool,
-    /// Per-flow delivery traces (flow -> binned delivered bytes).
-    pub delivery_traces: FastMap<FlowId, TimeBinned>,
     /// Data packets that arrived for unknown flows (should stay zero).
     pub stray_packets: u64,
 }
@@ -113,13 +124,13 @@ impl Host {
                 timer_arms: [0; 4],
                 timer_cancels: 0,
                 bus: None,
+                recorder: None,
             },
             senders: FastMap::default(),
             receivers: FastMap::default(),
-            trace_bin_ns: None,
+            timelines: None,
             min_rto: None,
             log_arrivals: false,
-            delivery_traces: FastMap::default(),
             stray_packets: 0,
         }
     }
@@ -133,6 +144,16 @@ impl Host {
     /// Attach a completion bus.
     pub fn set_bus(&mut self, bus: CompletionBus) {
         self.core.bus = Some(bus);
+    }
+
+    /// Install a flight recorder holding at most `cap` events.
+    pub fn enable_recorder(&mut self, cap: usize) {
+        self.core.recorder = Some(FlightRecorder::new(cap));
+    }
+
+    /// The installed flight recorder, if any.
+    pub fn recorder(&self) -> Option<&FlightRecorder> {
+        self.core.recorder.as_ref()
     }
 
     /// Records of flows completed with this host as the sender.
@@ -247,13 +268,22 @@ impl Node<Header> for Host {
                     let reply = conn.on_data(hdr, pkt.sent_at, ctx.now());
                     let delivered = conn.delivered_bytes - before;
                     if delivered > 0 {
-                        if let Some(bin) = self.trace_bin_ns {
-                            self.delivery_traces
-                                .entry(flow)
-                                .or_insert_with(|| TimeBinned::new(bin))
-                                .add(ctx.now().as_nanos(), delivered as f64);
+                        if let Some(tl) = &mut self.timelines {
+                            tl.record(flow, ctx.now().as_nanos(), delivered as f64);
+                            if conn.complete_at.is_some() {
+                                tl.close(flow, ctx.now().as_nanos());
+                            }
                         }
                     }
+                    self.core.record(
+                        ctx.now(),
+                        flow,
+                        FlowEvent::Delivered {
+                            seg: hdr.seg,
+                            cum: conn.cum(),
+                            delivered_bytes: conn.delivered_bytes,
+                        },
+                    );
                     ctx.send(self.core.egress, reply);
                 }
                 None => {

@@ -87,6 +87,11 @@ impl ReceiverConn {
         self.cum >= self.total_segs
     }
 
+    /// Cumulative receive point: all segments `< cum` have arrived.
+    pub fn cum(&self) -> SegId {
+        self.cum
+    }
+
     /// The SYN-ACK reply (also used for retransmitted SYNs).
     pub fn syn_ack(&self) -> Packet<Header> {
         Packet::new(

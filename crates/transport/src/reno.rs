@@ -10,6 +10,7 @@
 
 use crate::scoreboard::AckOutcome;
 use crate::sender::Ops;
+use crate::trace::FlowEvent;
 use crate::wire::{SegId, SendClass, MSS};
 
 /// Static configuration of a [`RenoEngine`].
@@ -167,8 +168,21 @@ impl RenoEngine {
         }
     }
 
+    /// Emit a `CwndUpdate` trace event if the window state moved away from
+    /// `prev` — before the subsequent `fill`, so the update precedes the
+    /// sends it causes in the recorded stream.
+    fn trace_window(&self, ops: &mut Ops<'_, '_>, prev: (u64, u64)) {
+        if (self.cwnd, self.ssthresh) != prev {
+            ops.record(FlowEvent::CwndUpdate {
+                cwnd: self.cwnd,
+                ssthresh: self.ssthresh,
+            });
+        }
+    }
+
     /// Window growth plus recovery bookkeeping; call from `Strategy::on_ack`.
     pub fn on_ack(&mut self, ops: &mut Ops<'_, '_>, outcome: &AckOutcome) {
+        let prev = (self.cwnd, self.ssthresh);
         if self.in_recovery {
             if ops.board().cum_ack() >= self.recovery_point {
                 self.in_recovery = false;
@@ -184,16 +198,19 @@ impl RenoEngine {
                 self.cwnd += inc;
             }
         }
+        self.trace_window(ops, prev);
         self.fill(ops, SendClass::FastRetx);
     }
 
     /// SACK loss detection fired; enter (or continue) fast recovery.
     pub fn on_loss(&mut self, ops: &mut Ops<'_, '_>, _newly_lost: &[SegId]) {
         if !self.in_recovery {
+            let prev = (self.cwnd, self.ssthresh);
             self.in_recovery = true;
             self.recovery_point = ops.board().high_sent();
             self.ssthresh = (self.cwnd / 2).max(2 * MSS as u64);
             self.cwnd = self.ssthresh;
+            self.trace_window(ops, prev);
         }
         if self.cfg.burst_retransmit {
             // JumpStart: blast every pending retransmission immediately.
@@ -213,9 +230,11 @@ impl RenoEngine {
 
     /// RTO fired (scoreboard already reset); slow-start restart.
     pub fn on_rto(&mut self, ops: &mut Ops<'_, '_>) {
+        let prev = (self.cwnd, self.ssthresh);
         self.ssthresh = (self.cwnd / 2).max(2 * MSS as u64);
         self.cwnd = MSS as u64;
         self.in_recovery = false;
+        self.trace_window(ops, prev);
         if self.cfg.burst_retransmit {
             // JumpStart: every unacknowledged packet goes out again in one
             // line-rate burst (§2.2: "will aggressively burst out all lost

@@ -9,6 +9,7 @@ use crate::host::HostCore;
 use crate::rtt::RttEstimator;
 use crate::scoreboard::Scoreboard;
 use crate::strategy::{PaceAction, Strategy};
+use crate::trace::FlowEvent;
 use crate::wire::{
     seg_wire_bytes, segment_count, AckHeader, DataHeader, Header, ProbeAckHeader, ProbeHeader,
     SegId, SendClass, CTRL_WIRE_BYTES, DEFAULT_FCW_BYTES, MSS,
@@ -49,6 +50,16 @@ pub enum AbortReason {
     MaxRetransmits,
     /// [`MAX_SYN_RETRIES`] SYN retransmissions went unanswered.
     SynTimeout,
+}
+
+impl AbortReason {
+    /// Stable name used in trace output and summaries.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AbortReason::MaxRetransmits => "max_retransmits",
+            AbortReason::SynTimeout => "syn_timeout",
+        }
+    }
 }
 
 /// How a flow ended.
@@ -207,6 +218,14 @@ impl<'a, 'b> Ops<'a, 'b> {
         self.st.established_at.unwrap_or(self.st.start_time)
     }
 
+    /// Record a transport trace event for this flow (no-op unless the host
+    /// has a flight recorder installed). Strategies use this for events the
+    /// chassis cannot see, e.g. Halfback's ROPR/ACK meet point.
+    #[inline]
+    pub fn record(&mut self, event: FlowEvent) {
+        self.shared.record(self.ctx.now(), self.st.flow, event);
+    }
+
     /// Transmit one segment with the given class. Updates the scoreboard
     /// and accounting, and makes sure the RTO is armed.
     pub fn send_segment(&mut self, seg: SegId, class: SendClass) {
@@ -228,6 +247,11 @@ impl<'a, 'b> Ops<'a, 'b> {
         } else if class.is_proactive() {
             self.st.counters.proactive_retx += 1;
         }
+        self.record(FlowEvent::SegmentSent {
+            seg,
+            class,
+            wire_bytes: wire,
+        });
         if self.st.rto_timer.is_none() {
             let after = self.st.rtt.rto();
             self.arm_rto(after);
@@ -257,6 +281,9 @@ impl<'a, 'b> Ops<'a, 'b> {
         let token = self.shared.alloc_token(self.st.flow, TimerKind::Pace);
         let id = self.ctx.set_timer(interval, token);
         self.st.pace_timer = Some((id, token));
+        self.record(FlowEvent::PacingStarted {
+            interval_ns: interval.as_nanos(),
+        });
     }
 
     /// Change the tick interval used when the current tick re-arms.
@@ -274,6 +301,7 @@ impl<'a, 'b> Ops<'a, 'b> {
         if let Some((id, token)) = self.st.pace_timer.take() {
             self.ctx.cancel_timer(id);
             self.shared.drop_token(token);
+            self.record(FlowEvent::PacingStopped);
         }
     }
 
@@ -423,6 +451,13 @@ impl SenderConn {
         st.syn_sent_at = core.now();
         st.counters.syn_sent += 1;
         st.counters.wire_bytes_sent += CTRL_WIRE_BYTES as u64;
+        shared.record(
+            core.now(),
+            st.flow,
+            FlowEvent::SynSent {
+                attempt: st.counters.syn_sent as u32,
+            },
+        );
         let pkt = Packet::new(
             st.flow,
             st.local,
@@ -480,6 +515,7 @@ impl SenderConn {
         self.state.window_bytes = window;
         self.state.phase = Phase::Established;
         self.state.established_at = Some(now);
+        shared.record(now, self.state.flow, FlowEvent::Established { window });
         self.with_ops(shared, ctx, |s, ops| s.on_established(ops));
         self.rearm_rto_after_progress(shared, ctx);
     }
@@ -504,6 +540,14 @@ impl SenderConn {
         if outcome.cum_advanced {
             self.state.rtt.reset_backoff();
         }
+        shared.record(
+            now,
+            self.state.flow,
+            FlowEvent::AckReceived {
+                cum: self.state.board.cum_ack(),
+                newly_acked_bytes: outcome.newly_acked_bytes,
+            },
+        );
         // Restart the retransmission timer only on *cumulative* progress
         // (RFC 6298: "an ACK that acknowledges new data"). Healthy SACK
         // recovery advances the cumulative point every RTT (the first hole
@@ -593,6 +637,13 @@ impl SenderConn {
                 st.syn_sent_at = ctx.now();
                 st.counters.syn_sent += 1;
                 st.counters.wire_bytes_sent += CTRL_WIRE_BYTES as u64;
+                shared.record(
+                    ctx.now(),
+                    st.flow,
+                    FlowEvent::SynSent {
+                        attempt: st.counters.syn_sent as u32,
+                    },
+                );
                 let pkt = Packet::new(
                     st.flow,
                     st.local,
@@ -616,6 +667,13 @@ impl SenderConn {
                     return;
                 }
                 self.state.counters.rto_events += 1;
+                shared.record(
+                    ctx.now(),
+                    self.state.flow,
+                    FlowEvent::RtoFired {
+                        backoff_level: self.state.rtt.backoff_level(),
+                    },
+                );
                 self.state.rtt.backoff();
                 self.state.board.on_rto();
                 self.with_ops(shared, ctx, |s, ops| s.on_rto(ops));
@@ -723,6 +781,19 @@ impl SenderConn {
             ctx.cancel_timer(id);
             shared.drop_token(token);
         }
+        let fct = now.saturating_since(self.state.start_time);
+        shared.record(
+            now,
+            self.state.flow,
+            match outcome {
+                FlowOutcome::Completed => FlowEvent::Completed {
+                    fct_ns: fct.as_nanos(),
+                },
+                FlowOutcome::Aborted(reason) => FlowEvent::Aborted {
+                    reason: reason.as_str(),
+                },
+            },
+        );
         let record = FlowRecord {
             flow: self.state.flow,
             protocol: self.state.proto_name,
@@ -730,7 +801,7 @@ impl SenderConn {
             start: self.state.start_time,
             established_at: self.state.established_at.unwrap_or(self.state.start_time),
             done_at: now,
-            fct: now.saturating_since(self.state.start_time),
+            fct,
             counters: self.state.counters,
             min_rtt: self.state.rtt.min_rtt(),
             outcome,

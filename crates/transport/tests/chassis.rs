@@ -105,7 +105,9 @@ fn completion_bus_receives_records_in_order() {
 fn delivery_traces_cover_the_flow() {
     let spec = PathSpec::clean(Rate::from_mbps(50), SimDuration::from_millis(20));
     let (mut sim, net) = rig(&spec, 3);
-    sim.with_node_mut::<Host, _>(net.receiver, |h, _| h.trace_bin_ns = Some(10_000_000));
+    sim.with_node_mut::<Host, _>(net.receiver, |h, _| {
+        h.timelines = Some(transport::trace::DeliveryTimelines::new(10_000_000))
+    });
     sim.with_node_mut::<Host, _>(net.sender, |h, core| {
         h.start_flow(
             core,
@@ -118,8 +120,9 @@ fn delivery_traces_cover_the_flow() {
     sim.run_to_completion(1_000_000);
     let host = sim.node_as::<Host>(net.receiver).unwrap();
     let tb = host
-        .delivery_traces
-        .get(&FlowId(1))
+        .timelines
+        .as_ref()
+        .and_then(|tl| tl.get(FlowId(1)))
         .expect("trace recorded");
     let total: f64 = tb.series().iter().map(|&(_, v)| v).sum();
     assert!((total - 50_000.0).abs() < 1.0, "trace bytes {total}");

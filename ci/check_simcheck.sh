@@ -1,0 +1,42 @@
+#!/usr/bin/env sh
+# Assert a simcheck battery came back clean: every randomized case upheld
+# the full oracle set (conservation, ACK monotonicity, terminal flows,
+# clean drain, FCT lower bound, RTO sanity, Halfback-vs-TCP differential)
+# and no case tripped the per-job watchdog.
+# Usage: check_simcheck.sh path/to/simcheck.summary.txt
+set -eu
+
+summary=${1:?usage: check_simcheck.sh simcheck.summary.txt}
+
+grep_count() {
+    # Lines look like: "invariant violations: 0" / "watchdog trips: 0"
+    sed -n "s/^$1: \([0-9][0-9]*\)$/\1/p" "$summary"
+}
+
+violations=$(grep_count "invariant violations")
+trips=$(grep_count "watchdog trips")
+
+for name in violations trips; do
+    eval "val=\$$name"
+    if [ -z "$val" ]; then
+        echo "FAIL: no '$name' totals line in $summary" >&2
+        cat "$summary" >&2
+        exit 1
+    fi
+done
+
+# A failing case prints "case N: FAILED [oracle] …" plus its shrunk repro
+# command; surface those lines directly in the CI log.
+if grep -q "FAILED" "$summary"; then
+    echo "FAIL: simcheck found failing cases" >&2
+    grep -A 1 "FAILED" "$summary" >&2
+    exit 1
+fi
+
+echo "simcheck: invariant violations=$violations watchdog trips=$trips"
+if [ "$violations" -eq 0 ] && [ "$trips" -eq 0 ]; then
+    echo "OK: every randomized case upheld every oracle"
+else
+    echo "FAIL: expected zero invariant violations and watchdog trips" >&2
+    exit 1
+fi

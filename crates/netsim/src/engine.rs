@@ -258,6 +258,11 @@ impl<P: Payload> EngineCore<P> {
     pub fn corrupt_dropped(&self) -> u64 {
         self.corrupt_dropped
     }
+
+    /// Number of links in the topology (oracles iterate every link).
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
 }
 
 /// Execution context handed to a node during dispatch.
@@ -422,6 +427,11 @@ impl<P: Payload> Simulator<P> {
         self.core.link_stats(link)
     }
 
+    /// Number of links in the topology.
+    pub fn link_count(&self) -> usize {
+        self.core.link_count()
+    }
+
     /// Dispatch a single event. Returns `false` when the event queue is empty.
     ///
     /// A stale cancelled timer entry still advances the clock to its
@@ -438,15 +448,17 @@ impl<P: Payload> Simulator<P> {
         self.core.events_processed += 1;
         match entry.kind {
             EventKind::LinkTxDone { link, pkt } => self.handle_tx_done(link, pkt),
-            EventKind::Deliver { node, pkt } => {
+            EventKind::Deliver { node, link, pkt } => {
                 if pkt.corrupted {
                     self.core.corrupt_dropped += 1;
+                    self.core.links[link.0 as usize].stats.corrupt_dropped += 1;
                     self.core.trace(TraceEvent::CorruptDrop {
                         node,
                         packet: pkt.id,
                         size: pkt.size,
                     });
                 } else {
+                    self.core.links[link.0 as usize].stats.delivered += 1;
                     self.core.trace(TraceEvent::Deliver {
                         node,
                         packet: pkt.id,
@@ -534,12 +546,19 @@ impl<P: Payload> Simulator<P> {
                     now + delay + dup_extra,
                     EventKind::Deliver {
                         node: dst,
+                        link,
                         pkt: pkt.clone(),
                     },
                 );
             }
-            self.core
-                .push(now + delay + extra, EventKind::Deliver { node: dst, pkt });
+            self.core.push(
+                now + delay + extra,
+                EventKind::Deliver {
+                    node: dst,
+                    link,
+                    pkt,
+                },
+            );
         }
         // Pull the next packet from the queue, if any.
         let l = &mut self.core.links[link.0 as usize];

@@ -74,8 +74,15 @@ fn bucket_of(at_ns: u64) -> usize {
 pub(crate) enum EventKind<P: Payload> {
     /// The head packet of `link` finished serializing.
     LinkTxDone { link: LinkId, pkt: Packet<P> },
-    /// A packet arrives at a node after propagation.
-    Deliver { node: NodeId, pkt: Packet<P> },
+    /// A packet arrives at a node after propagation. `link` is the link it
+    /// travelled, carried so delivery can be accounted per link (the
+    /// conservation oracles in `scenarios::simcheck` balance each link's
+    /// books on arbitrary multi-hop topologies).
+    Deliver {
+        node: NodeId,
+        link: LinkId,
+        pkt: Packet<P>,
+    },
     /// A timer fires at a node.
     Timer {
         node: NodeId,

@@ -74,6 +74,13 @@ pub struct LinkStats {
     pub corrupt_marked: u64,
     /// Extra delivered copies created by fault duplication.
     pub duplicated: u64,
+    /// Packets delivered to this link's destination node (clean copies,
+    /// including surviving duplicates). Counted per link so conservation
+    /// oracles balance each link's books on multi-hop topologies.
+    pub delivered: u64,
+    /// Corrupt-marked packets dropped at this link's destination
+    /// (checksum failure on arrival).
+    pub corrupt_dropped: u64,
 }
 
 impl LinkStats {

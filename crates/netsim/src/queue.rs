@@ -23,6 +23,10 @@ pub struct QueueStats {
     pub dropped_bytes: u64,
     /// High-water mark of queued bytes.
     pub max_backlog_bytes: u64,
+    /// Packets larger than the byte capacity admitted into an empty queue
+    /// (standard drop-tail semantics; prevents sub-MTU buffers from
+    /// blackholing every packet).
+    pub oversized_admitted: u64,
 }
 
 /// Outcome of offering a packet to a queue.
@@ -84,9 +88,16 @@ impl<P: Payload> QueueDiscipline<P> for DropTail<P> {
     fn enqueue(&mut self, pkt: Packet<P>, _now: SimTime) -> Verdict {
         let sz = pkt.size as u64;
         if self.backlog_bytes + sz > self.capacity_bytes {
-            self.stats.dropped += 1;
-            self.stats.dropped_bytes += sz;
-            return Verdict::Dropped;
+            // A packet bigger than the whole buffer still gets service
+            // when the queue is empty — otherwise a capacity below one
+            // MTU would silently blackhole every packet forever.
+            if self.queue.is_empty() {
+                self.stats.oversized_admitted += 1;
+            } else {
+                self.stats.dropped += 1;
+                self.stats.dropped_bytes += sz;
+                return Verdict::Dropped;
+            }
         }
         self.backlog_bytes += sz;
         self.stats.enqueued += 1;
@@ -336,6 +347,24 @@ mod tests {
         q.dequeue(SimTime::ZERO);
         q.enqueue(pkt(500), SimTime::ZERO);
         assert_eq!(q.stats().max_backlog_bytes, 3000);
+    }
+
+    #[test]
+    fn droptail_admits_oversized_packet_into_empty_queue() {
+        // Capacity below one MTU: without the empty-queue exception every
+        // 1500-byte packet would be dropped and the link would blackhole.
+        let mut q = DropTail::new(1000);
+        assert_eq!(q.enqueue(pkt(1500), SimTime::ZERO), Verdict::Accepted);
+        assert_eq!(q.stats().oversized_admitted, 1);
+        assert_eq!(q.backlog_bytes(), 1500);
+        // A second packet sees a non-empty (over-full) queue and is dropped.
+        assert_eq!(q.enqueue(pkt(100), SimTime::ZERO), Verdict::Dropped);
+        assert_eq!(q.stats().dropped, 1);
+        // Draining restores service; the next oversized packet is admitted.
+        assert_eq!(q.dequeue(SimTime::ZERO).unwrap().size, 1500);
+        assert_eq!(q.enqueue(pkt(1500), SimTime::ZERO), Verdict::Accepted);
+        assert_eq!(q.stats().oversized_admitted, 2);
+        assert_eq!(q.stats().enqueued, 2);
     }
 
     #[test]

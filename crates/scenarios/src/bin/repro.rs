@@ -4,6 +4,8 @@
 //! repro <experiment>... [--quick | --scale quick|full] [--jobs N] [--out DIR]
 //! repro all [--quick] [--out DIR]
 //! repro trace [--figure F] [--protocol P] [--seed S] [--flow N] [--bytes B] [--out DIR]
+//! repro simcheck [--seed S] [--cases N] [--jobs N] [--out DIR]
+//! repro simcheck --case ID [--seed S] [--keep-flows L] [--keep-faults L] [--keep-hops K]
 //! repro list
 //! ```
 //!
@@ -18,6 +20,7 @@
 //! interleaving.
 
 use scenarios::figures::{distinct_experiment_ids, run_experiment};
+use scenarios::simcheck;
 use scenarios::trace::{run_trace, TraceSpec};
 use scenarios::{harness, Protocol, Scale};
 use std::path::PathBuf;
@@ -120,7 +123,13 @@ fn trace_main(args: Vec<String>) -> ExitCode {
         spec.flow,
         spec.bytes
     );
-    let out = run_trace(&spec);
+    let out = match run_trace(&spec) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("trace failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("failed to create {}: {e}", out_dir.display());
         return ExitCode::FAILURE;
@@ -151,10 +160,156 @@ fn trace_main(args: Vec<String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Parse a `--keep-*` index list: comma-separated indices, or `none` for
+/// the empty selection.
+fn parse_keep_list(s: &str) -> Option<Vec<usize>> {
+    if s == "none" {
+        return Some(Vec::new());
+    }
+    s.split(',')
+        .map(|p| p.trim().parse::<usize>().ok())
+        .collect()
+}
+
+/// `repro simcheck`: run the invariant-fuzzer battery (default), or replay
+/// one case — possibly restricted by the `--keep-*` flags an emitted repro
+/// command carries. Battery summaries go to stdout and are byte-identical
+/// across `--jobs N`; failing-case traces are written under `--out`.
+fn simcheck_main(args: Vec<String>) -> ExitCode {
+    let mut seed = 42u64;
+    let mut cases = simcheck::DEFAULT_CASES;
+    let mut single: Option<u64> = None;
+    let mut keep_flows: Option<Vec<usize>> = None;
+    let mut keep_faults: Option<Vec<usize>> = None;
+    let mut keep_hops: Option<usize> = None;
+    let mut out_dir = PathBuf::from("out");
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" | "-s" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--cases" | "-n" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => cases = n,
+                _ => {
+                    eprintln!("--cases needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--case" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(id) => single = Some(id),
+                None => {
+                    eprintln!("--case needs a case id");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--keep-flows" => match it.next().as_deref().and_then(parse_keep_list) {
+                Some(l) => keep_flows = Some(l),
+                None => {
+                    eprintln!("--keep-flows needs comma-separated indices or 'none'");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--keep-faults" => match it.next().as_deref().and_then(parse_keep_list) {
+                Some(l) => keep_faults = Some(l),
+                None => {
+                    eprintln!("--keep-faults needs comma-separated indices or 'none'");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--keep-hops" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(k) if k >= 1 => keep_hops = Some(k),
+                _ => {
+                    eprintln!("--keep-hops needs a positive hop count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" | "-j" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => harness::set_workers(n),
+                _ => {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" | "-o" => match it.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown simcheck flag '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if let Some(id) = single {
+        let spec = simcheck::generate_case(seed, id);
+        let mut sel = simcheck::Selection::full(&spec);
+        if let Some(l) = keep_flows {
+            sel.flows = l.into_iter().filter(|&i| i < spec.flows.len()).collect();
+        }
+        if let Some(l) = keep_faults {
+            sel.faults = l.into_iter().filter(|&i| i < spec.faults.len()).collect();
+        }
+        if let Some(k) = keep_hops {
+            sel.hops = k.clamp(1, spec.hops.len());
+        }
+        let out = simcheck::run_single(&spec, &sel);
+        println!("{}", out.line);
+        if out.failed {
+            if let Some(trace) = &out.trace {
+                let path = out_dir.join(format!("simcheck_case{id}.trace.jsonl"));
+                match std::fs::create_dir_all(&out_dir).and_then(|()| std::fs::write(&path, trace))
+                {
+                    Ok(()) => eprintln!(">> trace written to {}", path.display()),
+                    Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+                }
+            }
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    eprintln!(
+        ">> simcheck: seed {seed}, {cases} cases on {} workers...",
+        harness::workers()
+    );
+    let started = std::time::Instant::now();
+    let battery = simcheck::run_battery(seed, cases);
+    print!("{}", battery.render_text());
+    // Failing cases get their shrunk trace exported; files only, so stdout
+    // stays byte-identical across worker counts.
+    for c in battery.cases.iter().filter(|c| !c.ok()) {
+        if let Some(trace) = &c.trace {
+            let path = out_dir.join(format!("simcheck_case{}.trace.jsonl", c.id));
+            match std::fs::create_dir_all(&out_dir).and_then(|()| std::fs::write(&path, trace)) {
+                Ok(()) => eprintln!(">> case {}: trace written to {}", c.id, path.display()),
+                Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+            }
+        }
+    }
+    report_jobs("simcheck", started.elapsed().as_secs_f64());
+    if battery.failures() > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace") {
         return trace_main(args.split_off(1));
+    }
+    if args.first().map(String::as_str) == Some("simcheck") {
+        return simcheck_main(args.split_off(1));
     }
     if args.is_empty() {
         eprintln!(

@@ -82,7 +82,7 @@ pub fn run() -> (Vec<String>, transport::FlowRecord) {
                     .parse::<f64>()
                     .unwrap_or(0.0)
             };
-            t(a).partial_cmp(&t(b)).unwrap()
+            t(a).total_cmp(&t(b))
         });
     }
     lines.push(format!(

@@ -19,6 +19,7 @@ pub mod metrics;
 pub mod protocols;
 pub mod report;
 pub mod runner;
+pub mod simcheck;
 pub mod trace;
 
 pub use protocols::Protocol;

@@ -73,7 +73,7 @@ impl Figure {
                 .iter()
                 .flat_map(|s| s.points.iter().map(|p| p.0))
                 .collect();
-            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs.sort_by(f64::total_cmp);
             xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
             let stride = xs.len().div_ceil(24).max(1);
             let rows: Vec<f64> = xs.iter().copied().step_by(stride).collect();
@@ -233,6 +233,21 @@ mod tests {
         assert!(text.contains("Halfback wins"));
         assert!(text.contains("TCP"));
         assert!(text.contains("120.000"));
+    }
+
+    /// Regression: a NaN-bearing series used to panic the whole report in
+    /// `partial_cmp(..).unwrap()`; `f64::total_cmp` sorts NaN to the end
+    /// and the table still renders every finite row.
+    #[test]
+    fn render_survives_nan_samples() {
+        let mut f = Figure::new("figN", "NaN robustness", "x", "y");
+        f.push_series("A", vec![(f64::NAN, 1.0), (0.5, 2.0), (0.25, f64::NAN)]);
+        f.push_series("B", vec![(0.5, 3.0)]);
+        let text = f.render_text();
+        assert!(text.contains("figN"));
+        assert!(text.contains("2.000"));
+        let chart = f.render_ascii_chart();
+        assert!(!chart.is_empty());
     }
 
     #[test]

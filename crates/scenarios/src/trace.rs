@@ -104,14 +104,35 @@ pub struct TraceOutput {
     pub events: usize,
 }
 
+/// Why a trace could not run: a bad spec (unknown figure, zero bytes) or a
+/// node missing its flight recorder. Returned instead of panicking so
+/// `repro trace` can exit nonzero with a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError(String);
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl TraceError {
+    fn new(msg: impl Into<String>) -> Self {
+        TraceError(msg.into())
+    }
+}
+
 /// The path configuration a figure name maps to.
-pub fn path_for(figure: &str) -> PathSpec {
+pub fn path_for(figure: &str) -> Result<PathSpec, TraceError> {
     match figure {
         // The §4.2 global-Internet evaluation's representative bottleneck:
         // clean 15 Mbps, 60 ms one-way (120 ms RTT).
-        "fig5" | "fig6" | "fig7" | "fig8" => {
-            PathSpec::clean(Rate::from_mbps(15), SimDuration::from_millis(60))
-        }
+        "fig5" | "fig6" | "fig7" | "fig8" => Ok(PathSpec::clean(
+            Rate::from_mbps(15),
+            SimDuration::from_millis(60),
+        )),
         // A chaos-style flapping link: 100 ms outages every 700 ms.
         "chaos" => {
             let mut faults = FaultSpec::none();
@@ -123,9 +144,14 @@ pub fn path_for(figure: &str) -> PathSpec {
                 );
                 at += 700;
             }
-            PathSpec::clean(Rate::from_mbps(10), SimDuration::from_millis(40)).with_faults(faults)
+            Ok(
+                PathSpec::clean(Rate::from_mbps(10), SimDuration::from_millis(40))
+                    .with_faults(faults),
+            )
         }
-        other => panic!("unknown trace figure {other:?}: expected fig5..fig8 or chaos"),
+        other => Err(TraceError::new(format!(
+            "unknown trace figure {other:?}: expected fig5..fig8 or chaos"
+        ))),
     }
 }
 
@@ -225,11 +251,44 @@ fn flow_line(src: &str, rec: &FlowEventRecord) -> String {
     }
 }
 
+/// Merge the three recorded streams into deterministic JSONL: ordered by
+/// `(t_ns, stream rank net < snd < rcv)`, with each stream's emission order
+/// preserved inside a tie. Shared with `simcheck`'s failure-trace export.
+/// Returns the merged text and the event count.
+pub(crate) fn merge_streams_jsonl(
+    wire: &[(u64, TraceEvent)],
+    snd: &[FlowEventRecord],
+    rcv: &[FlowEventRecord],
+) -> (String, usize) {
+    let mut lines: Vec<(u64, u8, String)> = Vec::with_capacity(wire.len() + snd.len() + rcv.len());
+    for (t_ns, ev) in wire {
+        lines.push((*t_ns, 0, wire_line(*t_ns, ev)));
+    }
+    for rec in snd {
+        lines.push((rec.at.as_nanos(), 1, flow_line("snd", rec)));
+    }
+    for rec in rcv {
+        lines.push((rec.at.as_nanos(), 2, flow_line("rcv", rec)));
+    }
+    let events = lines.len();
+    lines.sort_by_key(|l| (l.0, l.1));
+    let mut jsonl = String::new();
+    for (_, _, l) in &lines {
+        jsonl.push_str(l);
+        jsonl.push('\n');
+    }
+    (jsonl, events)
+}
+
 /// Run the spec and export the merged trace.
-pub fn run_trace(spec: &TraceSpec) -> TraceOutput {
-    assert!(spec.flow >= 1, "flows are numbered from 1");
-    assert!(spec.bytes > 0);
-    let path = path_for(&spec.figure);
+pub fn run_trace(spec: &TraceSpec) -> Result<TraceOutput, TraceError> {
+    if spec.flow < 1 {
+        return Err(TraceError::new("flows are numbered from 1"));
+    }
+    if spec.bytes == 0 {
+        return Err(TraceError::new("--bytes must be positive"));
+    }
+    let path = path_for(&spec.figure)?;
     let mut sim = TransportSim::new(spec.seed);
     let net = build_path(&mut sim, &path, |_| Box::new(Host::new()));
     sim.with_node_mut::<Host, _>(net.sender, |h, _| {
@@ -265,47 +324,23 @@ pub fn run_trace(spec: &TraceSpec) -> TraceOutput {
         sim.events_processed(),
     );
 
-    let snd: Vec<FlowEventRecord> = sim
-        .node_as::<Host>(net.sender)
-        .unwrap()
-        .recorder()
-        .unwrap()
-        .events()
-        .copied()
-        .collect();
-    let rcv: Vec<FlowEventRecord> = sim
-        .node_as::<Host>(net.receiver)
-        .unwrap()
-        .recorder()
-        .unwrap()
-        .events()
-        .copied()
-        .collect();
+    let recorded = |node| -> Result<Vec<FlowEventRecord>, TraceError> {
+        Ok(sim
+            .node_as::<Host>(node)
+            .ok_or_else(|| TraceError::new("traced node is not a transport Host"))?
+            .recorder()
+            .ok_or_else(|| TraceError::new("flight recorder was not enabled on a traced node"))?
+            .events()
+            .copied()
+            .collect())
+    };
+    let snd = recorded(net.sender)?;
+    let rcv = recorded(net.receiver)?;
     let wire = wire.borrow();
 
-    // Merge by (t_ns, stream rank net < snd < rcv); the stable sort keeps
-    // each stream's emission order inside a tie, so the merge — and the
-    // exported bytes — is a pure function of (scenario, seed).
-    let mut lines: Vec<(u64, u8, String)> = Vec::with_capacity(wire.len() + snd.len() + rcv.len());
-    for (t_ns, ev) in wire.iter() {
-        lines.push((*t_ns, 0, wire_line(*t_ns, ev)));
-    }
-    for rec in &snd {
-        lines.push((rec.at.as_nanos(), 1, flow_line("snd", rec)));
-    }
-    for rec in &rcv {
-        lines.push((rec.at.as_nanos(), 2, flow_line("rcv", rec)));
-    }
-    let events = lines.len();
-    lines.sort_by_key(|l| (l.0, l.1));
-
+    let (mut jsonl, events) = merge_streams_jsonl(&wire, &snd, &rcv);
     let traced = FlowId(spec.flow);
     let meet = meet_point(&snd, traced);
-    let mut jsonl = String::new();
-    for (_, _, l) in &lines {
-        jsonl.push_str(l);
-        jsonl.push('\n');
-    }
     match meet {
         Some(m) => {
             let _ = writeln!(
@@ -355,12 +390,12 @@ pub fn run_trace(spec: &TraceSpec) -> TraceOutput {
         }
     }
 
-    TraceOutput {
+    Ok(TraceOutput {
         jsonl,
         timeseq_csv: csv,
         meet,
         events,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -438,9 +473,32 @@ mod tests {
         assert_eq!(meet_point(&events, FlowId(1)).unwrap().fraction, 0.0);
     }
 
+    /// Bad specs are reported as errors, not panics, so `repro trace`
+    /// exits nonzero with a message instead of crashing the harness.
+    #[test]
+    fn bad_specs_return_errors() {
+        assert!(path_for("fig99").is_err());
+        let err = run_trace(&TraceSpec {
+            figure: "nope".into(),
+            ..Default::default()
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("unknown trace figure"));
+        assert!(run_trace(&TraceSpec {
+            bytes: 0,
+            ..Default::default()
+        })
+        .is_err());
+        assert!(run_trace(&TraceSpec {
+            flow: 0,
+            ..Default::default()
+        })
+        .is_err());
+    }
+
     #[test]
     fn halfback_meets_near_half_on_clean_bottleneck() {
-        let out = run_trace(&TraceSpec::default());
+        let out = run_trace(&TraceSpec::default()).unwrap();
         let m = out.meet.expect("Halfback must meet on a clean path");
         assert!(
             (0.4..=0.6).contains(&m.fraction),
@@ -457,8 +515,8 @@ mod tests {
 
     #[test]
     fn same_seed_same_bytes() {
-        let a = run_trace(&TraceSpec::default());
-        let b = run_trace(&TraceSpec::default());
+        let a = run_trace(&TraceSpec::default()).unwrap();
+        let b = run_trace(&TraceSpec::default()).unwrap();
         assert_eq!(a.jsonl, b.jsonl);
         assert_eq!(a.timeseq_csv, b.timeseq_csv);
     }
@@ -468,7 +526,8 @@ mod tests {
         let out = run_trace(&TraceSpec {
             protocol: Protocol::Tcp,
             ..Default::default()
-        });
+        })
+        .unwrap();
         assert!(out.meet.is_none());
         assert!(out.jsonl.contains("\"found\":false"));
     }

@@ -101,7 +101,8 @@ fn chaos_quick_is_byte_identical_to_golden() {
 #[test]
 fn default_trace_is_byte_identical_to_golden() {
     let _guard = HARNESS_LOCK.lock().unwrap();
-    let out = scenarios::trace::run_trace(&scenarios::trace::TraceSpec::default());
+    let out = scenarios::trace::run_trace(&scenarios::trace::TraceSpec::default())
+        .expect("default trace spec is valid");
     harness::take_metrics();
     let golden = snapshot(&golden_dir("trace"));
     assert!(!golden.is_empty(), "no golden trace fixtures");

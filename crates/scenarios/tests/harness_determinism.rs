@@ -152,7 +152,7 @@ fn trace_exports_are_byte_identical_across_worker_counts() {
             .enumerate()
             .map(|(i, spec)| {
                 Job::new(format!("trace{i}"), move || {
-                    let out = run_trace(&spec);
+                    let out = run_trace(&spec).expect("trace spec is valid");
                     (out.jsonl, out.timeseq_csv)
                 })
             })
@@ -178,6 +178,48 @@ fn trace_exports_are_byte_identical_across_worker_counts() {
         serial[2].0.contains("\"fault_drop\"") || serial[2].0.contains("\"blackhole\""),
         "chaos trace shows no fault events"
     );
+}
+
+/// The simcheck battery stacks random-case generation, shrinking, and
+/// trace export on top of the harness; its rendered summary (and every
+/// failing-case trace) must be byte-identical for any worker count, which
+/// is what makes an emitted `repro simcheck --seed … --case …` command
+/// trustworthy.
+#[test]
+fn simcheck_batteries_are_byte_identical_across_worker_counts() {
+    let _guard = HARNESS_LOCK.lock().unwrap();
+    use scenarios::simcheck::{run_battery_on, run_breaking_battery};
+
+    let serial = run_battery_on(42, 24, 1);
+    let parallel = run_battery_on(42, 24, 4);
+    harness::take_metrics();
+    assert_eq!(
+        serial.render_text(),
+        parallel.render_text(),
+        "simcheck summary differs between 1 and 4 workers"
+    );
+    assert_eq!(serial.failures(), 0, "healthy battery reported failures");
+    assert!(serial.render_text().contains("invariant violations: 0"));
+    assert!(serial.render_text().contains("watchdog trips: 0"));
+
+    // A battery of deliberately broken cases exercises the full failure
+    // path — shrink, repro command, trace export — and must stay
+    // deterministic too. Cases without a fault event cannot reproduce the
+    // break, so only some fail; each failing one emits a repro command.
+    let broken_a = run_breaking_battery(42, 8);
+    let broken_b = run_breaking_battery(42, 8);
+    harness::take_metrics();
+    assert_eq!(broken_a.render_text(), broken_b.render_text());
+    assert!(broken_a.failures() > 0, "break hook never fired in 8 cases");
+    let text = broken_a.render_text();
+    assert!(text.contains("FAILED [conservation]"), "{text}");
+    assert!(
+        text.contains("repro: repro simcheck --seed 42 --case"),
+        "{text}"
+    );
+    for (a, b) in broken_a.cases.iter().zip(&broken_b.cases) {
+        assert_eq!(a.trace, b.trace, "case {} trace not deterministic", a.id);
+    }
 }
 
 #[test]

@@ -108,7 +108,17 @@ pub struct Host {
     pub log_arrivals: bool,
     /// Data packets that arrived for unknown flows (should stay zero).
     pub stray_packets: u64,
+    /// When true, every ACK and data delivery is checked against the
+    /// transport invariants (cumulative-ACK monotonicity, no ghost bytes)
+    /// and violations accumulate in `invariant_breaches`. Off by default so
+    /// the packet hot path pays only a cold branch.
+    pub check_invariants: bool,
+    invariant_breaches: Vec<String>,
 }
+
+/// Cap on recorded breach messages per host: one is enough to fail a case,
+/// a handful aids debugging, unbounded growth could swamp a broken run.
+const MAX_BREACHES: usize = 16;
 
 impl Host {
     /// Create a host. `node` and `egress` may be placeholders fixed later
@@ -132,6 +142,20 @@ impl Host {
             min_rto: None,
             log_arrivals: false,
             stray_packets: 0,
+            check_invariants: false,
+            invariant_breaches: Vec::new(),
+        }
+    }
+
+    /// Transport-invariant violations observed so far (empty unless
+    /// `check_invariants` is set and something is genuinely broken).
+    pub fn invariant_breaches(&self) -> &[String] {
+        &self.invariant_breaches
+    }
+
+    fn breach(&mut self, msg: String) {
+        if self.invariant_breaches.len() < MAX_BREACHES {
+            self.invariant_breaches.push(msg);
         }
     }
 
@@ -285,13 +309,49 @@ impl Node<Header> for Host {
                         },
                     );
                     ctx.send(self.core.egress, reply);
+                    if self.check_invariants {
+                        let msg = (conn.delivered_bytes > conn.total_bytes()).then(|| {
+                            format!(
+                                "flow {flow}: receiver delivered {} bytes of a {}-byte flow \
+                                 (ghost bytes)",
+                                conn.delivered_bytes,
+                                conn.total_bytes()
+                            )
+                        });
+                        if let Some(m) = msg {
+                            self.breach(m);
+                        }
+                    }
                 }
                 None => {
                     self.stray_packets += 1;
                 }
             },
             Header::Ack(ref ack) => {
+                let before = if self.check_invariants {
+                    self.senders
+                        .get(&flow)
+                        .map(|c| (c.cum_ack(), c.total_segs()))
+                } else {
+                    None
+                };
                 self.dispatch_sender(flow, ctx, |c, sh, ctx| c.handle_ack(sh, ctx, ack));
+                if let Some((before, total_segs)) = before {
+                    // A finished flow is removed from the map; its final
+                    // cumulative ACK equals the flow length by construction.
+                    if let Some(after) = self.senders.get(&flow).map(|c| c.cum_ack()) {
+                        if after < before {
+                            self.breach(format!(
+                                "flow {flow}: cumulative ACK moved backwards ({before} -> {after})"
+                            ));
+                        }
+                        if after > total_segs {
+                            self.breach(format!(
+                                "flow {flow}: cumulative ACK {after} beyond flow end {total_segs}"
+                            ));
+                        }
+                    }
+                }
             }
             Header::Probe(ref ph) => match self.receivers.get_mut(&flow) {
                 Some(conn) => {

@@ -71,12 +71,14 @@ impl RttEstimator {
                 } else {
                     srtt - sample
                 };
-                // rttvar = 3/4 rttvar + 1/4 |err|
+                // rttvar = 3/4 rttvar + 1/4 |err|, rounded to nearest:
+                // truncating each term separately loses up to 3 ns per
+                // update and biases both estimators below the true mean.
                 self.rttvar =
-                    SimDuration::from_nanos((self.rttvar.as_nanos() / 4) * 3 + err.as_nanos() / 4);
-                // srtt = 7/8 srtt + 1/8 sample
+                    SimDuration::from_nanos((3 * self.rttvar.as_nanos() + err.as_nanos() + 2) / 4);
+                // srtt = 7/8 srtt + 1/8 sample, rounded to nearest.
                 self.srtt = Some(SimDuration::from_nanos(
-                    (srtt.as_nanos() / 8) * 7 + sample.as_nanos() / 8,
+                    (7 * srtt.as_nanos() + sample.as_nanos() + 4) / 8,
                 ));
             }
         }
@@ -166,6 +168,26 @@ mod tests {
         assert!(srtt >= MS(79) && srtt <= MS(81), "srtt {srtt}");
         // Variance decays toward zero; RTO approaches srtt + floor-var.
         assert!(e.rto() < MS(250), "rto {}", e.rto());
+    }
+
+    /// Regression for the truncating integer EWMAs: on a constant 60 ms
+    /// stream whose nanosecond count is not divisible by 8, the old
+    /// `(x/8)*7 + s/8` arithmetic lost the remainders every update and
+    /// settled tens of nanoseconds *below* the true RTT (and likewise for
+    /// rttvar). Round-to-nearest keeps srtt pinned to the sample exactly.
+    #[test]
+    fn constant_rtt_converges_without_downward_bias() {
+        let sample = SimDuration::from_nanos(60_000_001);
+        let mut e = RttEstimator::new();
+        for _ in 0..200 {
+            e.on_sample(sample);
+        }
+        assert_eq!(e.srtt(), Some(sample), "srtt must not drift below 60 ms");
+        // Variance decays toward zero but the 1 ms granularity floor keeps
+        // RTO at srtt + 1 ms — never below the path RTT.
+        e.set_min_rto(MS(1));
+        assert!(e.rto() >= sample + MS(1), "rto {}", e.rto());
+        assert!(e.rto() <= sample + MS(2), "rto {}", e.rto());
     }
 
     #[test]

@@ -412,6 +412,17 @@ impl SenderConn {
         matches!(self.state.phase, Phase::Done | Phase::Aborted)
     }
 
+    /// Highest cumulative ACK the sender has seen, in segments. Exposed so
+    /// invariant checkers can assert it never moves backwards.
+    pub fn cum_ack(&self) -> u32 {
+        self.state.board.cum_ack()
+    }
+
+    /// Total segments in the flow (for cross-endpoint invariant checks).
+    pub fn total_segs(&self) -> u32 {
+        self.state.board.total_segs()
+    }
+
     /// Read-only accounting.
     pub fn counters(&self) -> &Counters {
         &self.state.counters

@@ -2,16 +2,23 @@
 # Perf smoke: run the engine and end-to-end benchmarks and compare each
 # median against the committed baselines (BENCH_netsim.json /
 # BENCH_e2e.json at the repo root). The bench harness's --check mode
-# fails (exit 1) if any benchmark is more than 2x slower than its
-# baseline median — loose enough for shared-runner noise, tight enough
-# to catch an accidental O(n log n) -> O(n^2) in the event queue or a
-# reintroduced per-packet allocation.
+# fails (exit 1) if any benchmark is more than 1.3x slower than its
+# baseline median. The harness takes the minimum of per-block medians
+# across the sample stream (see crates/bench, "Noise handling"), which
+# absorbs shared-runner noise bursts well enough that 1.3x holds the
+# line where the old plain-median gate needed 2x headroom — tight
+# enough to catch a reintroduced per-packet allocation, not just an
+# O(n log n) -> O(n^2) blowup.
+#
+# The harness also exits nonzero if a filter below matches no
+# benchmark, so a renamed bench fails this script instead of silently
+# shrinking perf coverage.
 #
 # Usage: ci/check_bench.sh  (from the repo root)
 #
 # Refresh the baselines after an intentional perf change with:
-#   cargo bench --bench engine -- event_queue --json /tmp/engine.json
-#   cargo bench --bench e2e   --            --json /tmp/e2e.json
+#   cargo bench --bench engine -- --json /tmp/engine.json
+#   cargo bench --bench e2e   --  --json /tmp/e2e.json
 # and fold the new numbers into the committed files' "after" section
 # (see EXPERIMENTS.md, "Performance baselines").
 set -eu
@@ -20,16 +27,19 @@ set -eu
 # baseline paths must be absolute.
 root=$(cd "$(dirname "$0")/.." && pwd)
 
-# The 1e7-event macro bench takes ~30 s per sample; CI only needs the
+# The 1e7-event macro bench takes ~2 s per sample; CI only needs the
 # smaller points to detect a complexity regression, so filter to the
 # sub-second benches. link_pipeline guards the flight-recorder contract:
 # with no tracer installed the packet hot path must stay as fast as the
-# committed baseline (tracing is a branch on a cold Option, nothing more).
+# committed baseline (tracing is a branch on a cold Option, nothing
+# more). far_schedule exercises the L2 wheel + overflow heap path;
+# packet_arena pins the pooled-packet alloc/free cycle.
 cargo bench --bench engine -- \
     schedule_fire_1e5 schedule_cancel_fire_1e6 event_queue_hold \
+    far_schedule_fire_1e6 packet_arena \
     link_pipeline \
     --check "$root/BENCH_netsim.json"
 
 cargo bench --bench e2e -- --check "$root/BENCH_e2e.json"
 
-echo "OK: benchmark medians within 2x of committed baselines"
+echo "OK: benchmark medians within 1.3x of committed baselines"

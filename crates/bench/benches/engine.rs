@@ -4,8 +4,8 @@
 
 use bench::{run_benches, Bench};
 use netsim::link::LinkSpec;
-use netsim::packet::{FlowId, Packet};
-use netsim::queue::{DropTail, QueueDiscipline};
+use netsim::packet::{FlowId, Packet, PacketArena};
+use netsim::queue::{DropTail, QueueDiscipline, Verdict};
 use netsim::rng::SimRng;
 use netsim::time::{Rate, SimDuration, SimTime};
 use netsim::topology::{build_dumbbell, DumbbellSpec};
@@ -101,6 +101,13 @@ fn event_queue(c: &mut Bench) {
     });
     g.bench_function("schedule_cancel_fire_1e6", || {
         schedule_drain(1_000_000, 1_000_000_000, 2);
+    });
+    // 60 s spread: every event lands far beyond the L1 segment (~537 ms),
+    // parks in the second-level wheel, and cascades into L1 as the cursor
+    // crosses segments — the far-future path that used to live on the
+    // overflow heap.
+    g.bench_function("far_schedule_fire_1e6", || {
+        schedule_drain(1_000_000, 60_000_000_000, 0);
     });
     g.sample_size(3);
     g.throughput_elements(10_000_000);
@@ -203,22 +210,57 @@ fn link_pipeline(c: &mut Bench) {
     g.finish();
 }
 
-/// Drop-tail enqueue/dequeue cycle.
+/// Drop-tail enqueue/dequeue cycle (arena-parked packets, handle moves).
 fn queue_ops(c: &mut Bench) {
     let n = 100_000u64;
     let mut g = c.benchmark_group("queue_ops");
     g.throughput_elements(n);
     g.sample_size(10);
     g.bench_function("droptail_cycle", || {
-        let mut q: DropTail<u32> = DropTail::new(64 * 1500);
+        let mut arena: PacketArena<u32> = PacketArena::new();
+        let mut q = DropTail::new(64 * 1500);
+        let mut aqm_drops = Vec::new();
         let src = netsim::NodeId(0);
         let dst = netsim::NodeId(1);
         for i in 0..n {
-            let _ = q.enqueue(Packet::new(FlowId(i), src, dst, 1500, 0u32), SimTime::ZERO);
+            let h = arena.alloc(Packet::new(FlowId(i), src, dst, 1500, 0u32));
+            if q.enqueue(arena.meta(h), SimTime::ZERO) == Verdict::Dropped {
+                arena.free(h);
+            }
             if i % 2 == 1 {
-                black_box(q.dequeue(SimTime::ZERO));
+                if let Some(m) = black_box(q.dequeue(SimTime::ZERO, &mut aqm_drops)) {
+                    arena.free(m.handle);
+                }
             }
         }
+        black_box(arena.live());
+    });
+    g.finish();
+}
+
+/// Packet-arena alloc/take churn at a steady in-flight depth, the access
+/// pattern of a saturated link (every transmit allocates, every delivery
+/// releases). Measures slab reuse + generation stamping overhead.
+fn packet_arena(c: &mut Bench) {
+    let n = 1_000_000u64;
+    let depth = 256usize;
+    let mut g = c.benchmark_group("packet_arena");
+    g.throughput_elements(n);
+    g.sample_size(10);
+    g.bench_function("churn_1e6", || {
+        let mut arena: PacketArena<u32> = PacketArena::new();
+        let src = netsim::NodeId(0);
+        let dst = netsim::NodeId(1);
+        let mut in_flight = std::collections::VecDeque::with_capacity(depth);
+        for i in 0..n {
+            let h = arena.alloc(Packet::new(FlowId(i), src, dst, 1500, i as u32));
+            in_flight.push_back(h);
+            if in_flight.len() > depth {
+                let h = in_flight.pop_front().unwrap();
+                black_box(arena.take(h).size);
+            }
+        }
+        black_box((arena.live(), arena.capacity()));
     });
     g.finish();
 }
@@ -278,6 +320,7 @@ fn main() {
         ("engine_throughput", engine_throughput),
         ("link_pipeline", link_pipeline),
         ("queue_ops", queue_ops),
+        ("packet_arena", packet_arena),
         ("transport_flow", transport_flow),
         ("workload_generation", workload_generation),
     ]);

@@ -18,7 +18,9 @@ use crate::eventq::{EventKind, EventQueue, TimerSlots};
 use crate::faults::{FaultSpec, FaultState};
 use crate::link::{LinkSpec, LinkState, LinkStats};
 use crate::node::{Node, TimerId};
-use crate::packet::{LinkId, NodeId, Packet, PacketId, Payload};
+use crate::packet::{
+    LinkId, NodeId, Packet, PacketArena, PacketHandle, PacketId, PacketMeta, Payload,
+};
 use crate::queue::{QueueStats, Verdict};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
@@ -92,8 +94,13 @@ pub type Tracer = Box<dyn FnMut(SimTime, &TraceEvent)>;
 pub struct EngineCore<P: Payload> {
     now: SimTime,
     seq: u64,
-    events: EventQueue<P>,
-    links: Vec<LinkState<P>>,
+    events: EventQueue,
+    links: Vec<LinkState>,
+    /// Bodies of every packet in flight or queued; events and link queues
+    /// hold generation-stamped handles into this slab.
+    packets: PacketArena<P>,
+    /// Reusable scratch for dequeue-time (AQM) drop victims.
+    queue_drop_scratch: Vec<PacketMeta>,
     rng: SimRng,
     timers: TimerSlots,
     cancelled_pending: u64,
@@ -105,7 +112,7 @@ pub struct EngineCore<P: Payload> {
 }
 
 impl<P: Payload> EngineCore<P> {
-    fn push(&mut self, at: SimTime, kind: EventKind<P>) {
+    fn push(&mut self, at: SimTime, kind: EventKind) {
         debug_assert!(
             at >= self.now,
             "scheduling into the past: {at} < {}",
@@ -148,40 +155,86 @@ impl<P: Payload> EngineCore<P> {
         let now = self.now;
         let l = &mut self.links[link.0 as usize];
         l.stats.offered += 1;
-        l.apply_fault_steps(now);
-        // A down link rejects the packet at offer time (no carrier); a
-        // packet already serializing completes (store-and-forward).
-        if l.faults.as_ref().is_some_and(|f| f.is_down(now)) {
-            l.stats.down_dropped += 1;
-            let (id, size) = (pkt.id, pkt.size);
-            self.trace(TraceEvent::FaultDrop {
-                link,
-                packet: id,
-                size,
-            });
-            return;
-        }
-        let l = &mut self.links[link.0 as usize];
-        if l.busy {
-            let id = pkt.id;
-            let size = pkt.size;
-            if l.queue.enqueue(pkt, self.now) == Verdict::Dropped {
-                self.trace(TraceEvent::QueueDrop {
+        // `plain` links have no fault state, so the step/down-window checks
+        // are no-ops by construction and skipping them is unobservable.
+        if !l.plain {
+            l.apply_fault_steps(now);
+            // A down link rejects the packet at offer time (no carrier); a
+            // packet already serializing completes (store-and-forward).
+            if l.faults.as_ref().is_some_and(|f| f.is_down(now)) {
+                l.stats.down_dropped += 1;
+                let (id, size) = (pkt.id, pkt.size);
+                self.trace(TraceEvent::FaultDrop {
                     link,
                     packet: id,
                     size,
                 });
+                return;
+            }
+        }
+        let (id, flow, size) = (pkt.id, pkt.flow, pkt.size);
+        let h = self.packets.alloc(pkt);
+        let meta = PacketMeta {
+            handle: h,
+            id,
+            flow,
+            size,
+        };
+        let l = &mut self.links[link.0 as usize];
+        if l.busy {
+            if l.queue.enqueue(meta, now) == Verdict::Dropped {
+                self.packets.free(h);
+                self.trace(TraceEvent::QueueDrop {
+                    link,
+                    packet: meta.id,
+                    size: meta.size,
+                });
             }
         } else {
             l.busy = true;
-            let done = self.now + l.tx_time(&pkt);
+            let done = now + l.tx_time(meta.size);
             self.trace(TraceEvent::TxStart {
                 link,
-                packet: pkt.id,
-                size: pkt.size,
+                packet: meta.id,
+                size: meta.size,
             });
-            self.push(done, EventKind::LinkTxDone { link, pkt });
+            self.push(done, EventKind::LinkTxDone { link, pkt: h });
         }
+    }
+
+    /// Pull the next packet (if any) from `link`'s queue onto the wire, or
+    /// mark the link idle. AQM disciplines may surrender dequeue-time drop
+    /// victims here; those are accounted in [`QueueStats`] by the queue
+    /// itself and emit no trace event — the engine only releases their
+    /// arena slots.
+    fn pump_link(&mut self, link: LinkId) {
+        let now = self.now;
+        let mut dropped = std::mem::take(&mut self.queue_drop_scratch);
+        let l = &mut self.links[link.0 as usize];
+        match l.queue.dequeue(now, &mut dropped) {
+            Some(next) => {
+                let done = now + l.tx_time(next.size);
+                self.trace(TraceEvent::TxStart {
+                    link,
+                    packet: next.id,
+                    size: next.size,
+                });
+                self.push(
+                    done,
+                    EventKind::LinkTxDone {
+                        link,
+                        pkt: next.handle,
+                    },
+                );
+            }
+            None => {
+                l.busy = false;
+            }
+        }
+        for victim in dropped.drain(..) {
+            self.packets.free(victim.handle);
+        }
+        self.queue_drop_scratch = dropped;
     }
 
     /// Schedule a timer for `node`, `after` from now. Returns an id usable
@@ -259,6 +312,17 @@ impl<P: Payload> EngineCore<P> {
         self.corrupt_dropped
     }
 
+    /// Packets currently parked in the arena (on the wire or queued).
+    pub fn live_packets(&self) -> usize {
+        self.packets.live()
+    }
+
+    /// High-water mark of simultaneously parked packets (arena slots ever
+    /// allocated — growth tests pin this).
+    pub fn packet_arena_capacity(&self) -> usize {
+        self.packets.capacity()
+    }
+
     /// Number of links in the topology (oracles iterate every link).
     pub fn link_count(&self) -> usize {
         self.links.len()
@@ -333,6 +397,8 @@ impl<P: Payload> Simulator<P> {
                 seq: 0,
                 events: EventQueue::new(),
                 links: Vec::new(),
+                packets: PacketArena::new(),
+                queue_drop_scratch: Vec::new(),
                 rng: SimRng::new(seed),
                 timers: TimerSlots::new(),
                 cancelled_pending: 0,
@@ -358,7 +424,7 @@ impl<P: Payload> Simulator<P> {
     }
 
     /// Add a link; returns its id.
-    pub fn add_link(&mut self, spec: LinkSpec<P>) -> LinkId {
+    pub fn add_link(&mut self, spec: LinkSpec) -> LinkId {
         let id = LinkId(self.core.links.len() as u32);
         self.core.links.push(LinkState::new(spec));
         id
@@ -370,7 +436,9 @@ impl<P: Payload> Simulator<P> {
     /// fault decision and the engine's own RNG stream is untouched.
     pub fn set_link_faults(&mut self, link: LinkId, spec: FaultSpec) {
         let rng = self.core.rng.fork_indexed("link-faults", link.0 as u64);
-        self.core.links[link.0 as usize].faults = Some(FaultState::new(spec, rng));
+        let l = &mut self.core.links[link.0 as usize];
+        l.faults = Some(FaultState::new(spec, rng));
+        l.plain = false; // fault machinery now required on this link
     }
 
     /// Current simulation time.
@@ -446,9 +514,30 @@ impl<P: Payload> Simulator<P> {
         debug_assert!(entry.at >= self.core.now, "time went backwards");
         self.core.now = entry.at;
         self.core.events_processed += 1;
+        // Lookahead prefetch: start a future event's dependent random load
+        // (timer generation cell / packet arena slot) while this one
+        // dispatches. At millions of pending timers or in-flight packets
+        // those loads are DRAM misses that would otherwise serialize with
+        // dispatch; a depth of 8 pops puts the hint far enough ahead to
+        // cover the latency, and the adjacent depth-1 hint covers run
+        // boundaries. Purely cache hints — invisible to firing order and
+        // all observable state.
+        for depth in [1usize, 8] {
+            if let Some(next) = self.core.events.lookahead(depth) {
+                match next.kind {
+                    EventKind::Timer { id, .. } => self.core.timers.prefetch(id),
+                    EventKind::Deliver { pkt, .. } | EventKind::LinkTxDone { pkt, .. } => {
+                        self.core.packets.prefetch(pkt)
+                    }
+                }
+            }
+        }
         match entry.kind {
             EventKind::LinkTxDone { link, pkt } => self.handle_tx_done(link, pkt),
             EventKind::Deliver { node, link, pkt } => {
+                // The packet leaves the arena here: delivery hands the body
+                // to the node by value, a corrupt arrival just drops it.
+                let pkt = self.core.packets.take(pkt);
                 if pkt.corrupted {
                     self.core.corrupt_dropped += 1;
                     self.core.links[link.0 as usize].stats.corrupt_dropped += 1;
@@ -476,12 +565,47 @@ impl<P: Payload> Simulator<P> {
         true
     }
 
-    fn handle_tx_done(&mut self, link: LinkId, mut pkt: Packet<P>) {
+    fn handle_tx_done(&mut self, link: LinkId, pkt: PacketHandle) {
         let now = self.core.now;
+        let l = &mut self.core.links[link.0 as usize];
+        if l.plain {
+            // Fast path: the link has no faults installed and a `None` loss
+            // model. `apply_fault_steps` and the blackhole/corrupt/reorder/
+            // duplicate draws are all no-ops by construction, and
+            // `LossProcess::should_drop` for `LossModel::None` consumes no
+            // randomness (it only advances the process's private packet
+            // counter, which nothing observes for this model) — so skipping
+            // the whole machinery leaves the RNG stream, stats, and trace
+            // byte-identical to the general path.
+            let size = self.core.packets.get(pkt).size;
+            l.stats.tx_packets += 1;
+            l.stats.tx_bytes += size as u64;
+            let (dst, delay) = (l.dst, l.delay);
+            self.core.push(
+                now + delay,
+                EventKind::Deliver {
+                    node: dst,
+                    link,
+                    pkt,
+                },
+            );
+        } else {
+            self.handle_tx_done_faulty(link, pkt);
+        }
+        self.core.pump_link(link);
+    }
+
+    /// The general transmit-completion path: wire loss, fault windows, and
+    /// the corrupt/reorder/duplicate draws. Kept out of the hot path — the
+    /// common topology has no loss model and no fault spec on any link.
+    #[cold]
+    fn handle_tx_done_faulty(&mut self, link: LinkId, pkt: PacketHandle) {
+        let now = self.core.now;
+        let meta = self.core.packets.meta(pkt);
         let l = &mut self.core.links[link.0 as usize];
         l.apply_fault_steps(now);
         l.stats.tx_packets += 1;
-        l.stats.tx_bytes += pkt.size as u64;
+        l.stats.tx_bytes += meta.size as u64;
         let dst = l.dst;
         let delay = l.delay;
         let dropped = l.loss.should_drop(&mut self.core.rng);
@@ -499,7 +623,7 @@ impl<P: Payload> Simulator<P> {
                     blackholed = true;
                 } else {
                     if f.draw_corrupt() {
-                        pkt.corrupted = true;
+                        self.core.packets.get_mut(pkt).corrupted = true;
                         l.stats.corrupt_marked += 1;
                     }
                     extra = f.draw_reorder_extra();
@@ -514,40 +638,39 @@ impl<P: Payload> Simulator<P> {
         // decides, it does not account.
         if dropped {
             self.core.links[link.0 as usize].stats.wire_lost += 1;
-            let id = pkt.id;
-            let size = pkt.size;
+            self.core.packets.free(pkt);
             self.core.trace(TraceEvent::WireDrop {
                 link,
-                packet: id,
-                size,
+                packet: meta.id,
+                size: meta.size,
             });
         } else if blackholed {
             self.core.links[link.0 as usize].stats.blackholed += 1;
-            let id = pkt.id;
-            let size = pkt.size;
+            self.core.packets.free(pkt);
             self.core.trace(TraceEvent::Blackhole {
                 link,
-                packet: id,
-                size,
+                packet: meta.id,
+                size: meta.size,
             });
         } else {
             if let Some(dup_extra) = duplicate_extra {
                 self.core.links[link.0 as usize].stats.duplicated += 1;
                 self.core.trace(TraceEvent::Duplicate {
                     link,
-                    packet: pkt.id,
-                    size: pkt.size,
+                    packet: meta.id,
+                    size: meta.size,
                 });
-                // `Packet` is fully inline for the transport payload
-                // (`Header` is `Copy`, SACK blocks are a fixed array), so
-                // this clone is a plain memcpy — no heap traffic on the
-                // duplication path.
+                // The duplicate gets its own arena slot holding a clone of
+                // the (possibly corrupt-marked) body; both copies are then
+                // independent deliveries.
+                let dup = self.core.packets.get(pkt).clone();
+                let dup = self.core.packets.alloc(dup);
                 self.core.push(
                     now + delay + dup_extra,
                     EventKind::Deliver {
                         node: dst,
                         link,
-                        pkt: pkt.clone(),
+                        pkt: dup,
                     },
                 );
             }
@@ -559,23 +682,6 @@ impl<P: Payload> Simulator<P> {
                     pkt,
                 },
             );
-        }
-        // Pull the next packet from the queue, if any.
-        let l = &mut self.core.links[link.0 as usize];
-        match l.queue.dequeue(now) {
-            Some(next) => {
-                let done = now + l.tx_time(&next);
-                self.core.trace(TraceEvent::TxStart {
-                    link,
-                    packet: next.id,
-                    size: next.size,
-                });
-                self.core
-                    .push(done, EventKind::LinkTxDone { link, pkt: next });
-            }
-            None => {
-                l.busy = false;
-            }
         }
     }
 
@@ -660,6 +766,7 @@ impl<P: Payload> Simulator<P> {
         HygieneReport {
             live_timers: self.core.timers.live(),
             pending_events: self.core.events.len(),
+            live_packets: self.core.packets.live(),
             busy_links,
             backlogged_links,
         }
@@ -680,6 +787,10 @@ pub struct HygieneReport {
     pub live_timers: usize,
     /// Queue entries, including stale cancelled timers (informational).
     pub pending_events: usize,
+    /// Packets still parked in the arena (must be 0 at drain: every packet
+    /// on the wire or in a queue holds a slot, so a leftover means a leaked
+    /// handle somewhere in the engine's drop paths).
+    pub live_packets: usize,
     /// Links still mid-serialization (must be empty at drain).
     pub busy_links: Vec<LinkId>,
     /// Links with queued bytes (must be empty at drain).
@@ -687,9 +798,13 @@ pub struct HygieneReport {
 }
 
 impl HygieneReport {
-    /// True when nothing leaked: no live timers, no busy links, no backlog.
+    /// True when nothing leaked: no live timers, no live packets, no busy
+    /// links, no backlog.
     pub fn is_clean(&self) -> bool {
-        self.live_timers == 0 && self.busy_links.is_empty() && self.backlogged_links.is_empty()
+        self.live_timers == 0
+            && self.live_packets == 0
+            && self.busy_links.is_empty()
+            && self.backlogged_links.is_empty()
     }
 }
 
@@ -697,8 +812,12 @@ impl std::fmt::Display for HygieneReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} live timers, {} pending queue entries, busy links {:?}, backlogged links {:?}",
-            self.live_timers, self.pending_events, self.busy_links, self.backlogged_links
+            "{} live timers, {} pending queue entries, {} live packets, busy links {:?}, backlogged links {:?}",
+            self.live_timers,
+            self.pending_events,
+            self.live_packets,
+            self.busy_links,
+            self.backlogged_links
         )
     }
 }

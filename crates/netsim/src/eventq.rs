@@ -1,5 +1,5 @@
-//! The engine's event queue: a bucketed calendar queue (timer wheel) with a
-//! far-future overflow heap, plus generation-stamped timer slots.
+//! The engine's event queue: a two-level bucketed calendar queue (timer
+//! wheel) with batch-drained buckets, plus generation-stamped timer slots.
 //!
 //! The queue is a drop-in replacement for the `BinaryHeap<Reverse<_>>` the
 //! engine started with, with the same total order — events fire strictly by
@@ -8,20 +8,39 @@
 //! deliveries, ACK clocking), instead of O(log n) sift operations over a
 //! heap that also holds every stale cancelled RTO timer.
 //!
+//! Since the packet-arena refactor the queue is also *payload-free*: packet
+//! events carry a [`PacketHandle`] into the engine's arena, so an
+//! [`EventEntry`] is a few `Copy` words regardless of the protocol payload,
+//! and the whole structure is non-generic.
+//!
 //! Layout:
 //!
-//! - **Wheel**: `N_BUCKETS` buckets of `2^W_SHIFT` ns each, covering a
-//!   sliding window of ~34 ms from the cursor. An event lands in bucket
-//!   `(at >> W_SHIFT) % N_BUCKETS`; bucket membership is tracked in a
-//!   bitmap so advancing over empty buckets costs a trailing-zeros scan,
-//!   not a per-bucket probe.
-//! - **Slab arena**: bucket contents are index-linked chains through one
-//!   growing slab, not per-bucket `Vec`s. The figure sweeps run hundreds of
-//!   small simulations per second, so per-queue setup and teardown must
-//!   stay at one allocation, matching the heap it replaces.
-//! - **Current run**: when the cursor reaches a bucket, its chain is
-//!   unlinked into a reusable scratch `Vec`, sorted descending so
-//!   `Vec::pop` yields the earliest entry, and consumed in place.
+//! - **L1 wheel**: `N_BUCKETS` buckets of `2^W_SHIFT` ns each. An event
+//!   lands in bucket `(at >> W_SHIFT) % N_BUCKETS`; bucket membership is
+//!   tracked in a bitmap so advancing over empty buckets costs a
+//!   trailing-zeros scan, not a per-bucket probe. The L1 window is
+//!   *segment-aligned*: it covers `[cursor_time, end of the current L2
+//!   segment)`, never straddling an L2 boundary.
+//! - **L2 wheel**: `N_L2` buckets, each spanning one whole L1 horizon
+//!   (`2^L2_SHIFT` ns — one *segment*). Events past the current segment but
+//!   within the L2 span park here and cascade into L1 when the cursor
+//!   crosses into their segment. This is what keeps multi-second RTO timers
+//!   and long flow-start schedules off the comparison-based heap.
+//! - **Dense buckets**: each bucket (both levels) is a plain
+//!   `Vec<EventEntry>` whose capacity persists across drains. An earlier
+//!   design chained entries through a shared slab to keep the queue at one
+//!   allocation, but draining a chain is serial pointer-chasing — one
+//!   dependent cache miss per entry once the population outgrows the LLC,
+//!   which capped the whole engine near 4 M events/s. Contiguous buckets
+//!   let the drain *stream*: the hardware prefetcher hides the latency, and
+//!   the entries-are-`Copy` move is a memcpy the compiler vectorizes.
+//! - **Batch drain**: when the cursor reaches an occupied L1 bucket, the
+//!   whole bucket is sorted ascending by `(at, seq)` *in place* and then
+//!   consumed through an advancing index — a drain moves nothing, and
+//!   `pop` degenerates to a sequential read the prefetcher sees coming.
+//!   (An intermediate design copied sort keys into a structure-of-arrays
+//!   scratch; sorting the `Copy` bodies directly measured faster — the
+//!   keys' extra write+read traffic outweighed the smaller sort moves.)
 //! - **Inbox**: events scheduled into the cursor's own bucket (or behind
 //!   the eagerly-advanced cursor) are binary-inserted into the sorted run
 //!   while it is short, and spill to a small min-heap once the run exceeds
@@ -30,37 +49,43 @@
 //!   heap operations. Pop takes the smaller of the run's tail and the
 //!   inbox head; the inbox only ever holds entries for the window
 //!   currently being consumed, so it stays small.
-//! - **Overflow**: events beyond the window (RTO timers, long flow-start
-//!   schedules) go to a min-heap ordered by `(at, seq)` and migrate into
-//!   buckets as the window slides over them.
+//! - **Overflow**: events beyond the L2 span (~9 virtual minutes — idle
+//!   horizons, `FAR_FUTURE` sentinels) go to a min-heap ordered by
+//!   `(at, seq)` and migrate into the wheels as segments advance.
 //!
-//! Two invariants carry the determinism proof: every bucket's entries
-//! belong to exactly one future cursor visit (pushes beyond the window go
-//! to overflow, and overflow drains exactly as the window slides), and the
-//! cursor never passes an occupied bucket. Together they mean the pop
-//! sequence is exactly the ascending `(at, seq)` order — byte-identical to
-//! the reference heap, which `tests/event_order.rs` checks against a
-//! sorted-list model under randomized schedule/cancel workloads.
+//! Three invariants carry the determinism proof: every L1 bucket's entries
+//! belong to the current segment (pushes beyond it go to L2 or overflow),
+//! L2/overflow entries are strictly beyond the current segment (both drain
+//! exactly at segment crossings), and the cursor never passes an occupied
+//! bucket. Together they mean the pop sequence is exactly the ascending
+//! `(at, seq)` order — byte-identical to the reference heap, which
+//! `tests/event_order.rs` checks against a sorted-list model under
+//! randomized schedule/cancel workloads.
 
 use crate::node::TimerId;
-use crate::packet::{LinkId, NodeId, Packet, Payload};
+use crate::packet::{LinkId, NodeId, PacketHandle};
 use crate::time::SimTime;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-/// Bucket width: 2^17 ns = 131.072 us.
+/// L1 bucket width: 2^17 ns = 131.072 us.
 const W_SHIFT: u32 = 17;
-/// Number of buckets; the window spans `N_BUCKETS << W_SHIFT` ns (~537 ms).
-/// Sized so that WAN-scale RTT events (the PlanetLab population is
-/// lognormal, median ~80 ms, clamped at 400 ms) land in buckets rather
-/// than bouncing through the overflow heap — only second-scale timers
-/// (RTO backoff, idle horizons) overflow.
-const N_BUCKETS: usize = 4096;
+/// Number of L1 buckets; one segment spans `N_BUCKETS << W_SHIFT` ns
+/// (~134 ms). Sized so one segment's population stays cache-resident even
+/// at millions of pending events: pushes scatter randomly across the
+/// current segment's buckets, and bounding the segment bounds that
+/// working set. Events past the segment (WAN RTTs, RTOs) take a dense L2
+/// append plus a streaming cascade, which is cheaper than missing to DRAM
+/// on every push.
+const N_BUCKETS: usize = 1024;
 const IDX_MASK: usize = N_BUCKETS - 1;
-/// Sliding-window span in nanoseconds.
-const HORIZON_NS: u64 = (N_BUCKETS as u64) << W_SHIFT;
-/// Chain terminator / empty bucket marker.
-const NIL: u32 = u32::MAX;
+/// L2 bucket width: one whole L1 segment. `W_SHIFT + log2(N_BUCKETS)`.
+const L2_SHIFT: u32 = W_SHIFT + N_BUCKETS.trailing_zeros();
+/// Number of L2 buckets; the L2 span is `N_L2 << L2_SHIFT` ns (~9 min).
+/// Second-scale timers (RTO backoff towers, flow-start schedules) all land
+/// here; only idle-horizon sentinels overflow.
+const N_L2: usize = 4096;
+const L2_MASK: usize = N_L2 - 1;
 /// Pushes into the cursor's bucket are binary-inserted into the sorted
 /// `current` run while it is at most this long; past that they go to the
 /// inbox heap (a mid-run `Vec::insert` memmove grows with run length).
@@ -71,9 +96,16 @@ fn bucket_of(at_ns: u64) -> usize {
     ((at_ns >> W_SHIFT) as usize) & IDX_MASK
 }
 
-pub(crate) enum EventKind<P: Payload> {
+/// Absolute segment index (L2 bucket ordinal) of a timestamp.
+#[inline]
+fn segment_of(at_ns: u64) -> u64 {
+    at_ns >> L2_SHIFT
+}
+
+#[derive(Clone, Copy)]
+pub(crate) enum EventKind {
     /// The head packet of `link` finished serializing.
-    LinkTxDone { link: LinkId, pkt: Packet<P> },
+    LinkTxDone { link: LinkId, pkt: PacketHandle },
     /// A packet arrives at a node after propagation. `link` is the link it
     /// travelled, carried so delivery can be accounted per link (the
     /// conservation oracles in `scenarios::simcheck` balance each link's
@@ -81,7 +113,7 @@ pub(crate) enum EventKind<P: Payload> {
     Deliver {
         node: NodeId,
         link: LinkId,
-        pkt: Packet<P>,
+        pkt: PacketHandle,
     },
     /// A timer fires at a node.
     Timer {
@@ -91,76 +123,79 @@ pub(crate) enum EventKind<P: Payload> {
     },
 }
 
-pub(crate) struct EventEntry<P: Payload> {
+#[derive(Clone, Copy)]
+pub(crate) struct EventEntry {
     pub(crate) at: SimTime,
     pub(crate) seq: u64,
-    pub(crate) kind: EventKind<P>,
+    pub(crate) kind: EventKind,
 }
 
-impl<P: Payload> PartialEq for EventEntry<P> {
+impl PartialEq for EventEntry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<P: Payload> Eq for EventEntry<P> {}
-impl<P: Payload> PartialOrd for EventEntry<P> {
+impl Eq for EventEntry {}
+impl PartialOrd for EventEntry {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<P: Payload> Ord for EventEntry<P> {
+impl Ord for EventEntry {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         (self.at, self.seq).cmp(&(other.at, other.seq))
     }
 }
 
-/// One slab cell: an entry plus the next link of its bucket chain. Free
-/// cells keep `entry: None` and chain through the free list.
-struct Slot<P: Payload> {
-    entry: Option<EventEntry<P>>,
-    next: u32,
-}
-
 /// The calendar queue. Total order: `(at, seq)` ascending.
-pub(crate) struct EventQueue<P: Payload> {
-    /// Per-bucket chain heads into `arena` (`NIL` = empty bucket).
-    heads: Vec<u32>,
-    /// One bit per bucket: does it hold any entries?
+pub(crate) struct EventQueue {
+    /// L1 buckets; capacity persists across drains, so steady state runs
+    /// allocation-free.
+    l1: Vec<Vec<EventEntry>>,
+    /// One bit per L1 bucket: does it hold any entries?
     occupied: Vec<u64>,
-    /// Slab of chain cells; the only growing allocation.
-    arena: Vec<Slot<P>>,
-    /// Free-list head into `arena`.
-    free_head: u32,
-    /// Entries across all bucket chains (excluding `current`/`overflow`).
+    /// L2 buckets (one per segment in the span).
+    l2: Vec<Vec<EventEntry>>,
+    /// One bit per L2 bucket.
+    l2_occupied: Vec<u64>,
+    /// Entries across all L1 buckets.
     in_buckets: usize,
+    /// Entries parked in L2.
+    in_l2: usize,
     /// Index of the bucket the cursor last consumed from.
     cursor: usize,
     /// Start time of the cursor's bucket (multiple of the bucket width).
     cursor_time: u64,
-    /// Remaining entries of the cursor's bucket, sorted *descending* by
-    /// `(at, seq)` so `pop()` removes the earliest. Capacity is reused
-    /// across bucket loads.
-    current: Vec<EventEntry<P>>,
+    /// Consumption index into `l1[cursor]`, which after a refill is sorted
+    /// ascending by `(at, seq)` *in place* — a drain moves nothing, `pop`
+    /// is a sequential read, and consumed entries linger in the bucket's
+    /// prefix until the next refill clears it.
+    run_pos: usize,
+    /// Cascade scratch, swapped with an L2 bucket during a segment jump so
+    /// its capacity is recycled.
+    seg_scratch: Vec<EventEntry>,
     /// Entries pushed into the cursor's bucket (or behind the cursor)
-    /// after it was loaded; consumed in merge with `current`.
-    inbox: BinaryHeap<Reverse<EventEntry<P>>>,
-    /// Events at least one horizon past the cursor.
-    overflow: BinaryHeap<Reverse<EventEntry<P>>>,
+    /// after it was loaded; consumed in merge with the run.
+    inbox: BinaryHeap<Reverse<EventEntry>>,
+    /// Events beyond the L2 span.
+    overflow: BinaryHeap<Reverse<EventEntry>>,
     /// Total entries in the queue.
     len: usize,
 }
 
-impl<P: Payload> EventQueue<P> {
+impl EventQueue {
     pub(crate) fn new() -> Self {
         EventQueue {
-            heads: vec![NIL; N_BUCKETS],
+            l1: (0..N_BUCKETS).map(|_| Vec::new()).collect(),
             occupied: vec![0u64; N_BUCKETS / 64],
-            arena: Vec::new(),
-            free_head: NIL,
+            l2: (0..N_L2).map(|_| Vec::new()).collect(),
+            l2_occupied: vec![0u64; N_L2 / 64],
             in_buckets: 0,
+            in_l2: 0,
             cursor: 0,
             cursor_time: 0,
-            current: Vec::new(),
+            run_pos: 0,
+            seg_scratch: Vec::new(),
             inbox: BinaryHeap::new(),
             overflow: BinaryHeap::new(),
             len: 0,
@@ -169,15 +204,6 @@ impl<P: Payload> EventQueue<P> {
 
     pub(crate) fn len(&self) -> usize {
         self.len
-    }
-
-    /// Window membership, overflow-safe at `t = u64::MAX` (FAR_FUTURE):
-    /// `t` is within the wheel iff it is less than one horizon past the
-    /// cursor. `t >= cursor_time` always holds (events are never scheduled
-    /// into the past), so the subtraction cannot underflow.
-    #[inline]
-    fn in_window(&self, t: u64) -> bool {
-        t - self.cursor_time < HORIZON_NS
     }
 
     #[inline]
@@ -190,26 +216,35 @@ impl<P: Payload> EventQueue<P> {
         self.occupied[b >> 6] &= !(1 << (b & 63));
     }
 
-    /// Link `entry` into its bucket's chain.
-    fn bucket_insert(&mut self, b: usize, entry: EventEntry<P>) {
-        let idx = if self.free_head != NIL {
-            let idx = self.free_head;
-            let s = &mut self.arena[idx as usize];
-            self.free_head = s.next;
-            s.entry = Some(entry);
-            idx
-        } else {
-            debug_assert!(self.arena.len() < NIL as usize);
-            self.arena.push(Slot {
-                entry: Some(entry),
-                next: NIL,
-            });
-            (self.arena.len() - 1) as u32
-        };
-        self.arena[idx as usize].next = self.heads[b];
-        self.heads[b] = idx;
+    /// Append `entry` to its L1 bucket.
+    #[inline]
+    fn bucket_insert(&mut self, b: usize, entry: EventEntry) {
+        let v = &mut self.l1[b];
+        if !v.is_empty() && v.capacity() == v.len() {
+            // Skip the 8→16→32→… doubling ramp once a bucket proves it
+            // holds more than one entry: dense fills put dozens per
+            // bucket and the ramp's reallocs dominate the push cost. The
+            // first touch stays a plain push, so the hundreds of tiny
+            // simulations in a figure sweep (one or two events per
+            // bucket, bucket never revisited) don't pay a 32-slot
+            // allocation per bucket they graze.
+            v.reserve(32.max(v.len()));
+        }
+        v.push(entry);
         self.set_occupied(b);
         self.in_buckets += 1;
+    }
+
+    /// Append `entry` to an L2 bucket.
+    #[inline]
+    fn l2_insert(&mut self, slot: usize, entry: EventEntry) {
+        let v = &mut self.l2[slot];
+        if !v.is_empty() && v.capacity() == v.len() {
+            v.reserve(32.max(v.len()));
+        }
+        v.push(entry);
+        self.l2_occupied[slot >> 6] |= 1 << (slot & 63);
+        self.in_l2 += 1;
     }
 
     /// Insert an event. The engine guarantees `at >= now` (never into the
@@ -218,98 +253,176 @@ impl<P: Payload> EventQueue<P> {
     /// which keeps the global `(at, seq)` order: everything already popped
     /// is `<= now <= at`, and everything still in buckets or overflow is
     /// strictly past the cursor's bucket.
-    pub(crate) fn push(&mut self, entry: EventEntry<P>) {
+    pub(crate) fn push(&mut self, entry: EventEntry) {
         let at = entry.at.as_nanos();
         self.len += 1;
         if at >= self.cursor_time {
-            if !self.in_window(at) {
-                self.overflow.push(Reverse(entry));
-                return;
-            }
-            let b = bucket_of(at);
-            if b != self.cursor {
-                self.bucket_insert(b, entry);
+            let seg = segment_of(self.cursor_time);
+            if segment_of(at) == seg {
+                // Within the current L1 segment.
+                let b = bucket_of(at);
+                if b != self.cursor {
+                    self.bucket_insert(b, entry);
+                    return;
+                }
+            } else {
+                // `segment_of(at) > seg`; distances up to N_L2 park in the
+                // L2 wheel (the slot for `seg + N_L2` is free: its previous
+                // tenant was drained when the cursor entered `seg`).
+                let d = segment_of(at) - seg;
+                if d <= N_L2 as u64 {
+                    self.l2_insert((segment_of(at) as usize) & L2_MASK, entry);
+                } else {
+                    self.overflow.push(Reverse(entry));
+                }
                 return;
             }
         }
         // Cursor's own bucket, or behind the eagerly-advanced cursor.
         // Short runs (the common case in small simulations) take a binary
-        // insert into `current` — a few-entry memmove beats two heap
+        // insert into the run — a few-entry memmove beats two heap
         // operations. Deep runs spill to the inbox instead, where the
         // memmove would be O(bucket population).
-        if self.current.len() <= INBOX_SPILL {
+        let run = &mut self.l1[self.cursor];
+        if run.len() - self.run_pos <= INBOX_SPILL {
             let key = (entry.at, entry.seq);
-            let idx = self.current.partition_point(|e| (e.at, e.seq) > key);
-            self.current.insert(idx, entry);
+            let pos = self.run_pos + run[self.run_pos..].partition_point(|e| (e.at, e.seq) < key);
+            run.insert(pos, entry);
         } else {
             self.inbox.push(Reverse(entry));
         }
     }
 
-    /// Advance the cursor to the next occupied bucket (draining overflow as
-    /// the window slides) and load that bucket into the `current` run.
-    /// Returns `false` if the queue is empty. Caller ensures `current` is
-    /// empty.
-    fn refill(&mut self) -> bool {
-        debug_assert!(self.current.is_empty());
-        if self.in_buckets == 0 {
-            // Everything pending (if anything) is beyond the window: jump
-            // the cursor straight to the overflow head's bucket.
-            let head_at = match self.overflow.peek() {
-                Some(Reverse(head)) => head.at.as_nanos(),
-                None => return false,
-            };
-            self.cursor_time = head_at & !((1u64 << W_SHIFT) - 1);
-            self.cursor = bucket_of(head_at);
-            self.drain_overflow();
+    /// Jump the cursor to the next segment holding work (L2 buckets or
+    /// overflow entries) and cascade that segment's events into L1.
+    /// Returns `false` when nothing is pending in L2 or overflow.
+    fn advance_segment(&mut self) -> bool {
+        debug_assert!(self.in_buckets == 0);
+        let seg = segment_of(self.cursor_time);
+        // Distance (1..=N_L2) to the next occupied L2 bucket, if any.
+        let l2_d = if self.in_l2 > 0 {
+            Some(next_occupied_distance(
+                &self.l2_occupied,
+                N_L2,
+                ((seg as usize) + 1) & L2_MASK,
+                (seg as usize) & L2_MASK,
+            ))
         } else {
-            let d = self.next_occupied_distance();
-            self.cursor = (self.cursor + d) & IDX_MASK;
-            self.cursor_time += (d as u64) << W_SHIFT;
-            self.drain_overflow();
+            None
+        };
+        let heap_d = self
+            .overflow
+            .peek()
+            .map(|Reverse(e)| segment_of(e.at.as_nanos()) - seg);
+        let d = match (l2_d, heap_d) {
+            (Some(a), Some(b)) => a.min(b as usize),
+            (Some(a), None) => a,
+            (None, Some(b)) => b as usize,
+            (None, None) => return false,
+        };
+        let target = seg + d as u64;
+        self.cursor_time = target << L2_SHIFT;
+        self.cursor = bucket_of(self.cursor_time);
+        // Cascade the target segment's L2 bucket: a streaming copy into the
+        // L1 buckets (dense source, so the prefetcher hides the latency).
+        let slot = (target as usize) & L2_MASK;
+        if !self.l2[slot].is_empty() {
+            let mut batch =
+                std::mem::replace(&mut self.l2[slot], std::mem::take(&mut self.seg_scratch));
+            self.l2_occupied[slot >> 6] &= !(1 << (slot & 63));
+            self.in_l2 -= batch.len();
+            for e in batch.drain(..) {
+                let at = e.at.as_nanos();
+                debug_assert_eq!(segment_of(at), target, "L2 bucket holds a mixed segment");
+                self.bucket_insert(bucket_of(at), e);
+            }
+            self.seg_scratch = batch;
         }
-        // Unlink the cursor's chain into the scratch run and sort it.
-        let b = self.cursor;
-        let mut h = self.heads[b];
-        debug_assert!(h != NIL, "advanced to an empty bucket");
-        while h != NIL {
-            let s = &mut self.arena[h as usize];
-            self.current
-                .push(s.entry.take().expect("chained slot is free"));
-            let next = s.next;
-            s.next = self.free_head;
-            self.free_head = h;
-            h = next;
+        // Drain overflow entries that fall inside the target segment.
+        while let Some(Reverse(head)) = self.overflow.peek() {
+            if segment_of(head.at.as_nanos()) != target {
+                break;
+            }
+            let Reverse(e) = self.overflow.pop().unwrap();
+            let b = bucket_of(e.at.as_nanos());
+            self.bucket_insert(b, e);
         }
-        self.heads[b] = NIL;
-        self.clear_occupied(b);
-        self.in_buckets -= self.current.len();
-        self.current
-            .sort_unstable_by_key(|e| std::cmp::Reverse((e.at, e.seq)));
+        debug_assert!(self.in_buckets > 0, "segment jump found no entries");
         true
+    }
+
+    /// Advance the cursor to the next occupied bucket (crossing segments as
+    /// needed) and batch-drain that bucket into the run scratch: bodies are
+    /// copied once, keys are sorted. Returns `false` if the wheels and
+    /// overflow are empty (the inbox may still hold entries — `pop`/`peek`
+    /// check it). Caller ensures the run is empty.
+    /// Remaining entries in the current sorted run.
+    #[inline]
+    fn run_len(&self) -> usize {
+        self.l1[self.cursor].len() - self.run_pos
+    }
+
+    fn refill(&mut self) -> bool {
+        debug_assert!(self.run_len() == 0);
+        // The consumed run still occupies the old cursor bucket's prefix;
+        // with the run drained it is all dead, so reclaim the bucket
+        // before the cursor moves on (it must be empty by the time the
+        // wheel wraps back to it).
+        self.l1[self.cursor].clear();
+        self.run_pos = 0;
+        if self.in_buckets == 0 && !self.advance_segment() {
+            return false;
+        }
+        // Inclusive scan: after a segment jump the cursor's own bucket may
+        // hold the cascaded entries (distance 0); in steady state the
+        // cursor bucket is empty (its entries were drained), so the scan
+        // lands strictly ahead.
+        let d = next_occupied_distance(&self.occupied, N_BUCKETS, self.cursor, self.cursor);
+        self.cursor = (self.cursor + d) & IDX_MASK;
+        self.cursor_time += (d as u64) << W_SHIFT;
+        let b = self.cursor;
+        debug_assert!(!self.l1[b].is_empty(), "advanced to an empty bucket");
+        self.clear_occupied(b);
+        self.in_buckets -= self.l1[b].len();
+        self.l1[b].sort_unstable_by_key(|e| (e.at, e.seq));
+        true
+    }
+
+    /// The entry `n` pops in the future within the current sorted run, if
+    /// the run is that deep. A pure read: no refill, no cursor motion.
+    /// The engine uses it to issue cache prefetches far enough ahead to
+    /// cover DRAM latency; entries that will merge in from the inbox are
+    /// not seen here, which only costs a wasted hint.
+    pub(crate) fn lookahead(&self, n: usize) -> Option<&EventEntry> {
+        self.l1[self.cursor].get(self.run_pos + n)
     }
 
     /// The earliest entry, if any. May advance the cursor internally (which
     /// is invisible to firing order — see `push`).
-    pub(crate) fn peek(&mut self) -> Option<&EventEntry<P>> {
-        if self.current.is_empty() {
+    pub(crate) fn peek(&mut self) -> Option<&EventEntry> {
+        if self.run_len() == 0 {
             self.refill();
         }
-        let run = self.current.last();
-        let inbox = self.inbox.peek().map(|Reverse(e)| e);
-        match (run, inbox) {
-            (Some(c), Some(i)) => Some(if (i.at, i.seq) < (c.at, c.seq) { i } else { c }),
-            (Some(c), None) => Some(c),
-            (None, i) => i,
+        let run = self.l1[self.cursor].get(self.run_pos);
+        match (run, self.inbox.peek()) {
+            (Some(c), Some(Reverse(i))) => {
+                if (i.at, i.seq) < (c.at, c.seq) {
+                    self.inbox.peek().map(|Reverse(e)| e)
+                } else {
+                    run
+                }
+            }
+            (Some(_), None) => run,
+            (None, _) => self.inbox.peek().map(|Reverse(e)| e),
         }
     }
 
     /// Remove and return the earliest entry.
-    pub(crate) fn pop(&mut self) -> Option<EventEntry<P>> {
-        if self.current.is_empty() {
+    pub(crate) fn pop(&mut self) -> Option<EventEntry> {
+        if self.run_len() == 0 {
             self.refill();
         }
-        let take_inbox = match (self.current.last(), self.inbox.peek()) {
+        let take_inbox = match (self.l1[self.cursor].get(self.run_pos), self.inbox.peek()) {
             (Some(c), Some(Reverse(i))) => (i.at, i.seq) < (c.at, c.seq),
             (Some(_), None) => false,
             (None, Some(_)) => true,
@@ -319,70 +432,49 @@ impl<P: Payload> EventQueue<P> {
         if take_inbox {
             self.inbox.pop().map(|Reverse(e)| e)
         } else {
-            self.current.pop()
-        }
-    }
-
-    /// Distance (1..N_BUCKETS-1) from the cursor to the next occupied
-    /// bucket in circular order. The cursor's own bucket is always empty
-    /// (its entries live in `current`), so the scan starts one past it.
-    fn next_occupied_distance(&self) -> usize {
-        debug_assert!(self.in_buckets > 0);
-        let n_words = N_BUCKETS / 64;
-        let start = (self.cursor + 1) & IDX_MASK;
-        let mut word_idx = start >> 6;
-        let mut word = self.occupied[word_idx] & (!0u64 << (start & 63));
-        for _ in 0..=n_words {
-            if word != 0 {
-                let idx = (word_idx << 6) + word.trailing_zeros() as usize;
-                return (idx + N_BUCKETS - self.cursor) & IDX_MASK;
-            }
-            word_idx = (word_idx + 1) % n_words;
-            word = self.occupied[word_idx];
-        }
-        unreachable!("in_buckets > 0 but no occupied bucket found");
-    }
-
-    /// Move overflow entries that the (just-slid) window now covers into
-    /// their buckets. They land behind the cursor — i.e. in buckets whose
-    /// next visit is exactly their firing window.
-    fn drain_overflow(&mut self) {
-        while let Some(Reverse(head)) = self.overflow.peek() {
-            if !self.in_window(head.at.as_nanos()) {
-                break;
-            }
-            let Reverse(e) = self.overflow.pop().unwrap();
-            let b = bucket_of(e.at.as_nanos());
-            self.bucket_insert(b, e);
+            let e = self.l1[self.cursor][self.run_pos];
+            self.run_pos += 1;
+            Some(e)
         }
     }
 
     /// Keep only entries satisfying `pred` (used to shed stale cancelled
     /// timers when they dominate the queue). Order is preserved.
-    pub(crate) fn retain(&mut self, mut pred: impl FnMut(&EventEntry<P>) -> bool) {
-        self.current.retain(|e| pred(e));
+    pub(crate) fn retain(&mut self, mut pred: impl FnMut(&EventEntry) -> bool) {
+        // Current run: compact the live suffix of the cursor bucket in
+        // place; the consumed prefix must not be resurrected, so the
+        // bucket is filtered from `run_pos` on and truncated.
+        let cursor = self.cursor;
+        {
+            let v = &mut self.l1[cursor];
+            let mut w = self.run_pos;
+            for r in self.run_pos..v.len() {
+                if pred(&v[r]) {
+                    v[w] = v[r];
+                    w += 1;
+                }
+            }
+            v.truncate(w);
+        }
+        // L1 and L2 buckets. The cursor bucket is run storage — handled
+        // above — so it is skipped here.
         for b in 0..N_BUCKETS {
-            let mut h = self.heads[b];
-            if h == NIL {
+            if b == cursor {
                 continue;
             }
-            self.heads[b] = NIL;
-            while h != NIL {
-                let next = self.arena[h as usize].next;
-                let s = &mut self.arena[h as usize];
-                if pred(s.entry.as_ref().expect("chained slot is free")) {
-                    s.next = self.heads[b];
-                    self.heads[b] = h;
-                } else {
-                    s.entry = None;
-                    s.next = self.free_head;
-                    self.free_head = h;
-                    self.in_buckets -= 1;
-                }
-                h = next;
-            }
-            if self.heads[b] == NIL {
+            let before = self.l1[b].len();
+            self.l1[b].retain(&mut pred);
+            self.in_buckets -= before - self.l1[b].len();
+            if self.l1[b].is_empty() {
                 self.clear_occupied(b);
+            }
+        }
+        for s in 0..N_L2 {
+            let before = self.l2[s].len();
+            self.l2[s].retain(&mut pred);
+            self.in_l2 -= before - self.l2[s].len();
+            if self.l2[s].is_empty() {
+                self.l2_occupied[s >> 6] &= !(1 << (s & 63));
             }
         }
         let inbox = std::mem::take(&mut self.inbox);
@@ -397,8 +489,28 @@ impl<P: Payload> EventQueue<P> {
             .into_iter()
             .filter(|Reverse(e)| pred(e))
             .collect();
-        self.len = self.in_buckets + self.current.len() + self.inbox.len() + self.overflow.len();
+        self.len =
+            self.in_buckets + self.in_l2 + self.run_len() + self.inbox.len() + self.overflow.len();
     }
+}
+
+/// Distance (0..n) from `start` to the next set bit in circular order,
+/// scanning the whole ring. `origin` anchors the returned distance so a
+/// ring with one set bit exactly at `start` still terminates. Caller
+/// guarantees at least one bit is set.
+fn next_occupied_distance(bitmap: &[u64], n: usize, start: usize, origin: usize) -> usize {
+    let n_words = n / 64;
+    let mut word_idx = start >> 6;
+    let mut word = bitmap[word_idx] & (!0u64 << (start & 63));
+    for _ in 0..=n_words {
+        if word != 0 {
+            let idx = (word_idx << 6) + word.trailing_zeros() as usize;
+            return (idx + n - origin) & (n - 1);
+        }
+        word_idx = (word_idx + 1) % n_words;
+        word = bitmap[word_idx];
+    }
+    unreachable!("no occupied bucket found in a ring promised non-empty");
 }
 
 /// Generation-stamped timer slots: O(1) arm / cancel / fire with ABA-safe
@@ -442,6 +554,28 @@ impl TimerSlots {
         TimerId(((*gen as u64) << 32) | idx as u64)
     }
 
+    /// Hint the CPU to pull `id`'s generation cell into cache. Timer fires
+    /// walk the generation table in schedule-time order — random — so at
+    /// large timer populations every `disarm` is a dependent DRAM miss;
+    /// the engine prefetches the *next* event's slot while dispatching the
+    /// current one, overlapping the miss with useful work. Architecturally
+    /// a no-op: determinism and observable state are untouched.
+    #[inline]
+    pub(crate) fn prefetch(&self, id: TimerId) {
+        let idx = (id.0 & 0xFFFF_FFFF) as usize;
+        #[cfg(target_arch = "x86_64")]
+        if idx < self.gens.len() {
+            // SAFETY: `idx` is in bounds; _mm_prefetch has no memory or
+            // register effects beyond the cache hint.
+            unsafe {
+                use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                _mm_prefetch(self.gens.as_ptr().add(idx) as *const i8, _MM_HINT_T0);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = idx;
+    }
+
     /// True while `id` is armed (neither fired nor cancelled).
     pub(crate) fn is_live(&self, id: TimerId) -> bool {
         let idx = (id.0 & 0xFFFF_FFFF) as usize;
@@ -470,7 +604,12 @@ impl TimerSlots {
 mod tests {
     use super::*;
 
-    fn entry(at_ns: u64, seq: u64) -> EventEntry<()> {
+    /// Segment span in nanoseconds (the old single-level horizon).
+    const SEG_NS: u64 = (N_BUCKETS as u64) << W_SHIFT;
+    /// Full L2 span in nanoseconds.
+    const L2_SPAN_NS: u64 = (N_L2 as u64) << L2_SHIFT;
+
+    fn entry(at_ns: u64, seq: u64) -> EventEntry {
         EventEntry {
             at: SimTime::from_nanos(at_ns),
             seq,
@@ -483,19 +622,61 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "manual perf probe"]
+    fn raw_throughput_probe() {
+        for (label, n, spread) in [
+            ("1e5/1e8", 100_000u64, 100_000_000u64),
+            ("1e6/1e9", 1_000_000, 1_000_000_000),
+            ("1e6/6e10", 1_000_000, 60_000_000_000),
+        ] {
+            let mut q = EventQueue::new();
+            let mut lcg: u64 = 0x9e3779b97f4a7c15;
+            let t0 = std::time::Instant::now();
+            for seq in 0..n {
+                lcg = lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                q.push(entry((lcg >> 16) % spread + 1, seq));
+            }
+            let push_t = t0.elapsed();
+            let t1 = std::time::Instant::now();
+            let mut popped = 0u64;
+            while q.pop().is_some() {
+                popped += 1;
+            }
+            let pop_t = t1.elapsed();
+            assert_eq!(popped, n);
+            let total = push_t + pop_t;
+            eprintln!(
+                "{label}: push {:?} pop {:?} total {:?} => {:.2} M ev/s",
+                push_t,
+                pop_t,
+                total,
+                n as f64 / total.as_secs_f64() / 1e6
+            );
+        }
+    }
+
+    #[test]
     fn pops_in_at_seq_order_across_window_boundaries() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        // A spread from sub-bucket to far beyond the horizon.
+        let mut q = EventQueue::new();
+        // A spread from sub-bucket to beyond the L2 span: L1 same-bucket,
+        // L1 neighbours, segment boundaries (L2 parking), deep L2, the
+        // overflow heap, and the FAR_FUTURE sentinel.
         let times = [
             0u64,
             1,
             100,
             (1 << W_SHIFT) - 1,
             1 << W_SHIFT,
-            HORIZON_NS - 1,
-            HORIZON_NS,
-            HORIZON_NS + 1,
-            3 * HORIZON_NS + 17,
+            SEG_NS - 1,
+            SEG_NS,
+            SEG_NS + 1,
+            3 * SEG_NS + 17,
+            60_000_000_000, // 60 s: deep in the L2 wheel
+            L2_SPAN_NS - 1, // last L2 segment
+            L2_SPAN_NS,     // first overflow entry
+            3 * L2_SPAN_NS + 99,
             u64::MAX,
         ];
         let mut seq = 0u64;
@@ -518,8 +699,11 @@ mod tests {
 
     #[test]
     fn peek_matches_pop() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        for (i, &t) in [5u64, HORIZON_NS + 5, 3, 3, 80_000].iter().enumerate() {
+        let mut q = EventQueue::new();
+        for (i, &t) in [5u64, SEG_NS + 5, 3, 3, 80_000, 2 * L2_SPAN_NS]
+            .iter()
+            .enumerate()
+        {
             q.push(entry(t, i as u64));
         }
         while q.len() > 0 {
@@ -535,14 +719,16 @@ mod tests {
 
     #[test]
     fn interleaved_push_pop_respects_order() {
-        let mut q: EventQueue<()> = EventQueue::new();
+        let mut q = EventQueue::new();
         let mut now = 0u64;
         let mut fired: Vec<(u64, u64)> = Vec::new();
         // Schedule relative to the last fired time, like dispatch does;
-        // the round number doubles as the scheduling sequence.
+        // the round number doubles as the scheduling sequence. The spread
+        // hits the same bucket, nearby buckets, the L2 wheel, and (via the
+        // 3_000 s delta) the overflow heap.
         for round in 0..5_000u64 {
-            let spread = [1, 700, 9_000, 2_000_000, 120_000_000];
-            let d = spread[(round % 5) as usize] + (round * 37) % 977;
+            let spread = [1, 700, 9_000, 2_000_000, 120_000_000, 3_000_000_000_000];
+            let d = spread[(round % 6) as usize] + (round * 37) % 977;
             q.push(entry(now + d, round));
             if round % 3 == 0 {
                 if let Some(e) = q.pop() {
@@ -564,14 +750,40 @@ mod tests {
     }
 
     #[test]
-    fn retain_drops_entries_and_fixes_len() {
-        let mut q: EventQueue<()> = EventQueue::new();
-        for i in 0..100u64 {
-            q.push(entry(i * 500_000, i)); // spans buckets and overflow
+    fn l2_cascade_preserves_order_at_scale() {
+        // A dense population spread over ~100 segments: every entry parks
+        // in L2 first and cascades into L1 as segments advance.
+        let mut q = EventQueue::new();
+        let mut lcg: u64 = 0x9e3779b97f4a7c15;
+        let n = 50_000u64;
+        for seq in 0..n {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            q.push(entry((lcg >> 16) % (100 * SEG_NS), seq));
         }
-        q.push(entry(2 * HORIZON_NS, 100));
+        let mut prev = (0u64, 0u64);
+        let mut count = 0u64;
+        while let Some(e) = q.pop() {
+            let k = (e.at.as_nanos(), e.seq);
+            assert!(k > prev || count == 0, "order violated at {k:?}");
+            prev = k;
+            count += 1;
+        }
+        assert_eq!(count, n);
+    }
+
+    #[test]
+    fn retain_drops_entries_and_fixes_len() {
+        let mut q = EventQueue::new();
+        for i in 0..100u64 {
+            q.push(entry(i * 500_000, i)); // spans many L1 buckets
+        }
+        q.push(entry(2 * SEG_NS, 100)); // parked in L2
+        q.push(entry(2 * L2_SPAN_NS, 101)); // overflow heap
+        q.push(entry(3 * L2_SPAN_NS, 102)); // overflow heap
         q.retain(|e| e.seq % 2 == 0);
-        assert_eq!(q.len(), 51);
+        assert_eq!(q.len(), 52);
         let mut prev = (0u64, 0u64);
         let mut n = 0;
         while let Some(e) = q.pop() {
@@ -581,7 +793,7 @@ mod tests {
             prev = k;
             n += 1;
         }
-        assert_eq!(n, 51);
+        assert_eq!(n, 52);
     }
 
     #[test]

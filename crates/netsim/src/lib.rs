@@ -61,5 +61,7 @@ pub mod topology;
 pub use engine::{Ctx, HygieneReport, Simulator};
 pub use faults::FaultSpec;
 pub use node::{Node, TimerId};
-pub use packet::{FlowId, LinkId, NodeId, Packet, PacketId, Payload};
+pub use packet::{
+    FlowId, LinkId, NodeId, Packet, PacketArena, PacketHandle, PacketId, PacketMeta, Payload,
+};
 pub use time::{Rate, SimDuration, SimTime};

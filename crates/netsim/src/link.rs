@@ -4,16 +4,20 @@
 //! propagation time, and feeds from a [`QueueDiscipline`] when busy. Random
 //! wire loss (from a [`LossProcess`]) is applied after serialization,
 //! modelling loss beyond the queue (e.g. WiFi corruption).
+//!
+//! Links never touch packet bodies: they move [`PacketMeta`] records whose
+//! handles point into the engine's packet arena, so the whole link layer is
+//! payload-agnostic and non-generic.
 
 use crate::faults::FaultState;
 use crate::loss::{LossModel, LossProcess};
-use crate::packet::{NodeId, Packet, Payload};
+use crate::packet::NodeId;
 use crate::queue::{DropTail, QueueDiscipline, QueueStats};
 use crate::time::{Rate, SimDuration, SimTime};
 
 /// Configuration for one unidirectional link.
 #[derive(Debug)]
-pub struct LinkSpec<P: Payload> {
+pub struct LinkSpec {
     /// Node that transmits onto this link.
     pub src: NodeId,
     /// Node packets are delivered to.
@@ -23,12 +27,12 @@ pub struct LinkSpec<P: Payload> {
     /// One-way propagation delay.
     pub delay: SimDuration,
     /// Queue discipline feeding the link.
-    pub queue: Box<dyn QueueDiscipline<P>>,
+    pub queue: Box<dyn QueueDiscipline>,
     /// Random wire loss model.
     pub loss: LossModel,
 }
 
-impl<P: Payload> LinkSpec<P> {
+impl LinkSpec {
     /// Convenience constructor with a drop-tail queue of `buffer_bytes` and
     /// no random loss.
     pub fn drop_tail(
@@ -93,22 +97,27 @@ impl LinkStats {
 }
 
 /// Runtime state of a link inside the engine.
-pub(crate) struct LinkState<P: Payload> {
+pub(crate) struct LinkState {
     #[allow(dead_code)] // kept for debugging/tracing symmetry with `dst`
     pub(crate) src: NodeId,
     pub(crate) dst: NodeId,
     pub(crate) rate: Rate,
     pub(crate) delay: SimDuration,
-    pub(crate) queue: Box<dyn QueueDiscipline<P>>,
+    pub(crate) queue: Box<dyn QueueDiscipline>,
     pub(crate) loss: LossProcess,
     pub(crate) busy: bool,
     pub(crate) stats: LinkStats,
     /// Fault-injection state, if a spec was installed for this link.
     pub(crate) faults: Option<FaultState>,
+    /// True while the link needs none of the fault/loss machinery: the
+    /// engine's transmit path checks this one flag and takes a straight-line
+    /// fast path when set. Recomputed whenever faults are installed.
+    pub(crate) plain: bool,
 }
 
-impl<P: Payload> LinkState<P> {
-    pub(crate) fn new(spec: LinkSpec<P>) -> Self {
+impl LinkState {
+    pub(crate) fn new(spec: LinkSpec) -> Self {
+        let plain = spec.loss.is_none();
         LinkState {
             src: spec.src,
             dst: spec.dst,
@@ -119,6 +128,7 @@ impl<P: Payload> LinkState<P> {
             busy: false,
             stats: LinkStats::default(),
             faults: None,
+            plain,
         }
     }
 
@@ -136,9 +146,9 @@ impl<P: Payload> LinkState<P> {
         }
     }
 
-    /// Serialization time of a packet on this link.
-    pub(crate) fn tx_time(&self, pkt: &Packet<P>) -> SimDuration {
-        self.rate.transmission_time(pkt.size)
+    /// Serialization time of a packet of `size` bytes on this link.
+    pub(crate) fn tx_time(&self, size: u32) -> SimDuration {
+        self.rate.transmission_time(size)
     }
 
     pub(crate) fn queue_stats(&self) -> QueueStats {
@@ -151,7 +161,4 @@ impl<P: Payload> LinkState<P> {
         self.rate
             .transmission_time(self.queue.backlog_bytes().min(u32::MAX as u64) as u32)
     }
-
-    #[allow(dead_code)]
-    pub(crate) fn now_unused(_: SimTime) {}
 }

@@ -53,6 +53,13 @@ impl LossModel {
         }
     }
 
+    /// True for [`LossModel::None`] — the model never drops and its
+    /// evaluator consumes no randomness, so links carrying it qualify for
+    /// the engine's no-loss fast path.
+    pub fn is_none(&self) -> bool {
+        matches!(self, LossModel::None)
+    }
+
     /// Expected long-run loss rate of the model.
     pub fn mean_loss_rate(&self) -> f64 {
         match *self {

@@ -85,6 +85,198 @@ impl<P: Payload> Packet<P> {
     }
 }
 
+/// Generation-stamped index of a packet parked in a [`PacketArena`].
+///
+/// Packs `(generation << 32) | slot`, the same scheme as the engine's timer
+/// slots: a slot's generation is odd while occupied and even while free, so
+/// any handle that survives past its packet's release fails the generation
+/// match — use-after-free is a deterministic panic, not silent corruption.
+///
+/// Everything between a packet's send and its delivery (event-queue
+/// entries, link-queue entries) moves this one word instead of the packet
+/// struct, which for the transport payload is well over a hundred bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PacketHandle(u64);
+
+impl PacketHandle {
+    #[inline]
+    fn new(gen: u32, idx: u32) -> Self {
+        PacketHandle(((gen as u64) << 32) | idx as u64)
+    }
+
+    #[inline]
+    fn idx(self) -> usize {
+        (self.0 & 0xFFFF_FFFF) as usize
+    }
+
+    #[inline]
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
+/// Metadata a link queue needs about a parked packet: enough to account
+/// bytes, trace drops, and (later) classify flows — without touching the
+/// payload. `Copy`, four words; this is what queue disciplines store.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketMeta {
+    /// Arena handle of the parked packet.
+    pub handle: PacketHandle,
+    /// Unique transmission id (for trace events).
+    pub id: PacketId,
+    /// Flow the packet belongs to (flow-aware disciplines key on this).
+    pub flow: FlowId,
+    /// Total on-wire size in bytes.
+    pub size: u32,
+}
+
+/// A slab of in-flight packets addressed by generation-stamped handles.
+///
+/// One growing allocation per simulator, sized by the peak number of
+/// packets simultaneously in flight (wire + queues), not by the number of
+/// packets sent: slots are freed at delivery/drop and reused LIFO. The
+/// generation array is kept separate from the payload slots so a liveness
+/// check touches four bytes, not a payload-sized stride.
+#[derive(Debug)]
+pub struct PacketArena<P> {
+    gens: Vec<u32>,
+    slots: Vec<Option<Packet<P>>>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl<P> Default for PacketArena<P> {
+    fn default() -> Self {
+        PacketArena {
+            gens: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+}
+
+impl<P: Payload> PacketArena<P> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        PacketArena::default()
+    }
+
+    /// Park a packet; returns its handle.
+    pub fn alloc(&mut self, pkt: Packet<P>) -> PacketHandle {
+        self.live += 1;
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = Some(pkt);
+                idx
+            }
+            None => {
+                debug_assert!(self.slots.len() < u32::MAX as usize);
+                self.slots.push(Some(pkt));
+                self.gens.push(0);
+                (self.slots.len() - 1) as u32
+            }
+        };
+        let gen = &mut self.gens[idx as usize];
+        *gen = gen.wrapping_add(1); // odd: occupied
+        debug_assert!(*gen & 1 == 1);
+        PacketHandle::new(*gen, idx)
+    }
+
+    /// True while `h` refers to a packet still parked in the arena.
+    pub fn is_live(&self, h: PacketHandle) -> bool {
+        let idx = h.idx();
+        idx < self.gens.len() && self.gens[idx] == h.gen()
+    }
+
+    /// Hint the CPU to pull `h`'s slot into cache ahead of a `get`/`take`.
+    /// The engine issues this for the *next* event's packet while the
+    /// current one dispatches, hiding the arena's random-access miss at
+    /// high in-flight populations. Architecturally a no-op.
+    #[inline]
+    pub fn prefetch(&self, h: PacketHandle) {
+        let idx = h.idx();
+        #[cfg(target_arch = "x86_64")]
+        if idx < self.gens.len() {
+            // SAFETY: `idx` is in bounds; _mm_prefetch has no memory or
+            // register effects beyond the cache hint.
+            unsafe {
+                use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                _mm_prefetch(self.gens.as_ptr().add(idx) as *const i8, _MM_HINT_T0);
+                _mm_prefetch(self.slots.as_ptr().add(idx) as *const i8, _MM_HINT_T0);
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = idx;
+    }
+
+    #[inline]
+    fn check(&self, h: PacketHandle, op: &str) {
+        assert!(
+            self.is_live(h),
+            "packet handle use-after-free: {op} of {h:?} (slot reused or already released)"
+        );
+    }
+
+    /// Borrow the parked packet. Panics on a stale handle.
+    #[inline]
+    pub fn get(&self, h: PacketHandle) -> &Packet<P> {
+        self.check(h, "get");
+        self.slots[h.idx()]
+            .as_ref()
+            .expect("live slot holds packet")
+    }
+
+    /// Mutably borrow the parked packet. Panics on a stale handle.
+    #[inline]
+    pub fn get_mut(&mut self, h: PacketHandle) -> &mut Packet<P> {
+        self.check(h, "get_mut");
+        self.slots[h.idx()]
+            .as_mut()
+            .expect("live slot holds packet")
+    }
+
+    /// Remove and return the parked packet, releasing its slot. Panics on a
+    /// stale handle (double release is a bug, not a no-op).
+    pub fn take(&mut self, h: PacketHandle) -> Packet<P> {
+        self.check(h, "take");
+        let idx = h.idx();
+        self.gens[idx] = self.gens[idx].wrapping_add(1); // even: free
+        self.free.push(idx as u32);
+        self.live -= 1;
+        self.slots[idx].take().expect("live slot holds packet")
+    }
+
+    /// Release a parked packet without reading it (drop paths).
+    pub fn free(&mut self, h: PacketHandle) {
+        drop(self.take(h));
+    }
+
+    /// The queue-facing record of a parked packet. Panics on a stale
+    /// handle.
+    #[inline]
+    pub fn meta(&self, h: PacketHandle) -> PacketMeta {
+        let p = self.get(h);
+        PacketMeta {
+            handle: h,
+            id: p.id,
+            flow: p.flow,
+            size: p.size,
+        }
+    }
+
+    /// Packets currently parked.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Slots ever allocated — the arena's high-water mark of simultaneously
+    /// parked packets (growth tests pin this).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,5 +295,55 @@ mod tests {
         assert_eq!(NodeId(4).to_string(), "n4");
         assert_eq!(LinkId(2).to_string(), "l2");
         assert_eq!(FlowId(9).to_string(), "f9");
+    }
+
+    fn parked(tag: u8) -> Packet<u8> {
+        Packet::new(FlowId(0), NodeId(0), NodeId(1), 1500, tag)
+    }
+
+    #[test]
+    fn arena_roundtrip_and_slot_reuse() {
+        let mut a: PacketArena<u8> = PacketArena::new();
+        let h1 = a.alloc(parked(1));
+        let h2 = a.alloc(parked(2));
+        assert_eq!(a.live(), 2);
+        assert_eq!(a.get(h1).payload, 1);
+        assert_eq!(a.take(h1).payload, 1);
+        assert_eq!(a.live(), 1);
+        // The freed slot is reused, but under a fresh generation.
+        let h3 = a.alloc(parked(3));
+        assert_eq!(h3.idx(), h1.idx());
+        assert_ne!(h3, h1);
+        assert!(!a.is_live(h1));
+        assert!(a.is_live(h3) && a.is_live(h2));
+        assert_eq!(a.capacity(), 2, "reuse must not grow the arena");
+    }
+
+    #[test]
+    #[should_panic(expected = "use-after-free")]
+    fn arena_get_after_take_panics() {
+        let mut a: PacketArena<u8> = PacketArena::new();
+        let h = a.alloc(parked(1));
+        let _ = a.take(h);
+        let _ = a.get(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "use-after-free")]
+    fn arena_double_take_panics() {
+        let mut a: PacketArena<u8> = PacketArena::new();
+        let h = a.alloc(parked(1));
+        let _ = a.take(h);
+        let _ = a.take(h);
+    }
+
+    #[test]
+    #[should_panic(expected = "use-after-free")]
+    fn arena_stale_handle_after_slot_reuse_panics() {
+        let mut a: PacketArena<u8> = PacketArena::new();
+        let h = a.alloc(parked(1));
+        let _ = a.take(h);
+        let _fresh = a.alloc(parked(2)); // reuses the slot, bumps generation
+        let _ = a.get(h);
     }
 }

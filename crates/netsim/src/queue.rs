@@ -5,8 +5,14 @@
 //! is the workhorse. [`CoDel`] is provided as an extension for the
 //! bufferbloat discussion in §6 (AQM is "fully complementary" to Halfback —
 //! the ablation bench exercises it).
+//!
+//! Queues store [`PacketMeta`] — a `Copy` handle-plus-accounting record —
+//! not packets: the packet bodies stay parked in the engine's
+//! [`PacketArena`](crate::packet::PacketArena), so an enqueue/dequeue cycle
+//! moves four words regardless of payload size, and the disciplines are not
+//! generic over the payload type.
 
-use crate::packet::{Packet, Payload};
+use crate::packet::PacketMeta;
 use crate::time::{SimDuration, SimTime};
 use std::collections::VecDeque;
 
@@ -40,11 +46,15 @@ pub enum Verdict {
 
 /// A queue discipline: accepts packets, releases them in some order,
 /// may drop.
-pub trait QueueDiscipline<P: Payload>: std::fmt::Debug {
+pub trait QueueDiscipline: std::fmt::Debug {
     /// Offer a packet at `now`; the queue either keeps it or drops it.
-    fn enqueue(&mut self, pkt: Packet<P>, now: SimTime) -> Verdict;
-    /// Remove the next packet to transmit, if any.
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet<P>>;
+    /// On [`Verdict::Dropped`] the caller still owns the packet (and must
+    /// release its arena slot).
+    fn enqueue(&mut self, pkt: PacketMeta, now: SimTime) -> Verdict;
+    /// Remove the next packet to transmit, if any. Disciplines that drop at
+    /// dequeue time (AQM) push the victims into `dropped` — ownership of
+    /// those transfers to the caller, which must release their arena slots.
+    fn dequeue(&mut self, now: SimTime, dropped: &mut Vec<PacketMeta>) -> Option<PacketMeta>;
     /// Bytes currently queued.
     fn backlog_bytes(&self) -> u64;
     /// Packets currently queued.
@@ -59,14 +69,14 @@ pub trait QueueDiscipline<P: Payload>: std::fmt::Debug {
 
 /// Byte-limited drop-tail FIFO.
 #[derive(Debug)]
-pub struct DropTail<P> {
+pub struct DropTail {
     capacity_bytes: u64,
     backlog_bytes: u64,
-    queue: VecDeque<Packet<P>>,
+    queue: VecDeque<PacketMeta>,
     stats: QueueStats,
 }
 
-impl<P> DropTail<P> {
+impl DropTail {
     /// Create a queue holding at most `capacity_bytes` of packets.
     pub fn new(capacity_bytes: u64) -> Self {
         assert!(capacity_bytes > 0, "queue capacity must be positive");
@@ -84,8 +94,8 @@ impl<P> DropTail<P> {
     }
 }
 
-impl<P: Payload> QueueDiscipline<P> for DropTail<P> {
-    fn enqueue(&mut self, pkt: Packet<P>, _now: SimTime) -> Verdict {
+impl QueueDiscipline for DropTail {
+    fn enqueue(&mut self, pkt: PacketMeta, _now: SimTime) -> Verdict {
         let sz = pkt.size as u64;
         if self.backlog_bytes + sz > self.capacity_bytes {
             // A packet bigger than the whole buffer still gets service
@@ -106,7 +116,7 @@ impl<P: Payload> QueueDiscipline<P> for DropTail<P> {
         Verdict::Accepted
     }
 
-    fn dequeue(&mut self, _now: SimTime) -> Option<Packet<P>> {
+    fn dequeue(&mut self, _now: SimTime, _dropped: &mut Vec<PacketMeta>) -> Option<PacketMeta> {
         let pkt = self.queue.pop_front()?;
         self.backlog_bytes -= pkt.size as u64;
         self.stats.dequeued += 1;
@@ -132,12 +142,12 @@ impl<P: Payload> QueueDiscipline<P> for DropTail<P> {
 /// enters a dropping state, dropping one packet and shrinking the next drop
 /// interval by `1/sqrt(count)`.
 #[derive(Debug)]
-pub struct CoDel<P> {
+pub struct CoDel {
     capacity_bytes: u64,
     target: SimDuration,
     interval: SimDuration,
     backlog_bytes: u64,
-    queue: VecDeque<(Packet<P>, SimTime)>,
+    queue: VecDeque<(PacketMeta, SimTime)>,
     stats: QueueStats,
     // CoDel state
     first_above_time: Option<SimTime>,
@@ -146,7 +156,7 @@ pub struct CoDel<P> {
     dropping: bool,
 }
 
-impl<P> CoDel<P> {
+impl CoDel {
     /// Create a CoDel queue with the standard 5 ms target / 100 ms interval.
     pub fn new(capacity_bytes: u64) -> Self {
         Self::with_params(
@@ -179,7 +189,7 @@ impl<P> CoDel<P> {
     }
 
     /// Pop head and decide whether its sojourn time keeps us "above target".
-    fn do_dequeue(&mut self, now: SimTime) -> (Option<Packet<P>>, bool) {
+    fn do_dequeue(&mut self, now: SimTime) -> (Option<PacketMeta>, bool) {
         match self.queue.pop_front() {
             None => {
                 self.first_above_time = None;
@@ -198,10 +208,17 @@ impl<P> CoDel<P> {
             }
         }
     }
+
+    /// Account a dequeue-time drop and surrender the victim to the caller.
+    fn drop_victim(&mut self, victim: PacketMeta, dropped: &mut Vec<PacketMeta>) {
+        self.stats.dropped += 1;
+        self.stats.dropped_bytes += victim.size as u64;
+        dropped.push(victim);
+    }
 }
 
-impl<P: Payload> QueueDiscipline<P> for CoDel<P> {
-    fn enqueue(&mut self, pkt: Packet<P>, now: SimTime) -> Verdict {
+impl QueueDiscipline for CoDel {
+    fn enqueue(&mut self, pkt: PacketMeta, now: SimTime) -> Verdict {
         let sz = pkt.size as u64;
         if self.backlog_bytes + sz > self.capacity_bytes {
             self.stats.dropped += 1;
@@ -215,7 +232,7 @@ impl<P: Payload> QueueDiscipline<P> for CoDel<P> {
         Verdict::Accepted
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet<P>> {
+    fn dequeue(&mut self, now: SimTime, dropped: &mut Vec<PacketMeta>) -> Option<PacketMeta> {
         let (mut pkt, mut above) = self.do_dequeue(now);
         if self.dropping {
             if !above {
@@ -223,9 +240,8 @@ impl<P: Payload> QueueDiscipline<P> for CoDel<P> {
             } else {
                 while self.dropping && now >= self.drop_next {
                     // Drop the packet we hold and pull the next one.
-                    if let Some(dropped) = pkt.take() {
-                        self.stats.dropped += 1;
-                        self.stats.dropped_bytes += dropped.size as u64;
+                    if let Some(victim) = pkt.take() {
+                        self.drop_victim(victim, dropped);
                     }
                     self.drop_count += 1;
                     let (next, still_above) = self.do_dequeue(now);
@@ -242,9 +258,8 @@ impl<P: Payload> QueueDiscipline<P> for CoDel<P> {
             && (now.saturating_since(self.drop_next) < self.interval || self.drop_count > 0)
         {
             // Enter dropping state.
-            if let Some(dropped) = pkt.take() {
-                self.stats.dropped += 1;
-                self.stats.dropped_bytes += dropped.size as u64;
+            if let Some(victim) = pkt.take() {
+                self.drop_victim(victim, dropped);
             }
             let (next, _) = self.do_dequeue(now);
             pkt = next;
@@ -256,9 +271,8 @@ impl<P: Payload> QueueDiscipline<P> for CoDel<P> {
             };
             self.drop_next = self.control_law(now);
         } else if above {
-            if let Some(dropped) = pkt.take() {
-                self.stats.dropped += 1;
-                self.stats.dropped_bytes += dropped.size as u64;
+            if let Some(victim) = pkt.take() {
+                self.drop_victim(victim, dropped);
             }
             let (next, _) = self.do_dequeue(now);
             pkt = next;
@@ -288,51 +302,73 @@ impl<P: Payload> QueueDiscipline<P> for CoDel<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{FlowId, NodeId};
+    use crate::packet::{FlowId, NodeId, Packet, PacketArena};
 
-    fn pkt(size: u32) -> Packet<u8> {
-        Packet::new(FlowId(0), NodeId(0), NodeId(1), size, 0)
+    /// Park a packet of `size` bytes in `arena` and return its queue record.
+    fn pkt(arena: &mut PacketArena<u8>, size: u32) -> PacketMeta {
+        let h = arena.alloc(Packet::new(FlowId(0), NodeId(0), NodeId(1), size, 0));
+        arena.meta(h)
     }
 
     #[test]
     fn droptail_fifo_order() {
+        let mut arena = PacketArena::new();
+        let mut none = Vec::new();
         let mut q = DropTail::new(10_000);
-        for i in 0..3u8 {
-            let mut p = pkt(1000);
-            p.payload = i;
-            assert_eq!(q.enqueue(p, SimTime::ZERO), Verdict::Accepted);
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let m = pkt(&mut arena, 1000);
+            handles.push(m.handle);
+            assert_eq!(q.enqueue(m, SimTime::ZERO), Verdict::Accepted);
         }
-        for i in 0..3u8 {
-            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().payload, i);
+        for h in handles {
+            assert_eq!(q.dequeue(SimTime::ZERO, &mut none).unwrap().handle, h);
         }
-        assert!(q.dequeue(SimTime::ZERO).is_none());
+        assert!(q.dequeue(SimTime::ZERO, &mut none).is_none());
+        assert!(none.is_empty(), "drop-tail never drops at dequeue");
     }
 
     #[test]
     fn droptail_drops_when_full() {
+        let mut arena = PacketArena::new();
+        let mut none = Vec::new();
         let mut q = DropTail::new(2500);
-        assert_eq!(q.enqueue(pkt(1500), SimTime::ZERO), Verdict::Accepted);
-        assert_eq!(q.enqueue(pkt(1000), SimTime::ZERO), Verdict::Accepted);
-        assert_eq!(q.enqueue(pkt(1), SimTime::ZERO), Verdict::Dropped);
+        assert_eq!(
+            q.enqueue(pkt(&mut arena, 1500), SimTime::ZERO),
+            Verdict::Accepted
+        );
+        assert_eq!(
+            q.enqueue(pkt(&mut arena, 1000), SimTime::ZERO),
+            Verdict::Accepted
+        );
+        assert_eq!(
+            q.enqueue(pkt(&mut arena, 1), SimTime::ZERO),
+            Verdict::Dropped
+        );
         assert_eq!(q.stats().dropped, 1);
         assert_eq!(q.backlog_bytes(), 2500);
         // Draining frees space again.
-        q.dequeue(SimTime::ZERO).unwrap();
-        assert_eq!(q.enqueue(pkt(1500), SimTime::ZERO), Verdict::Accepted);
+        q.dequeue(SimTime::ZERO, &mut none).unwrap();
+        assert_eq!(
+            q.enqueue(pkt(&mut arena, 1500), SimTime::ZERO),
+            Verdict::Accepted
+        );
     }
 
     #[test]
     fn droptail_byte_conservation() {
+        let mut arena = PacketArena::new();
+        let mut none = Vec::new();
         let mut q = DropTail::new(100_000);
         let mut in_bytes = 0u64;
         for i in 0..50 {
             let size = 100 + (i * 37) % 1400;
-            if q.enqueue(pkt(size), SimTime::ZERO) == Verdict::Accepted {
+            if q.enqueue(pkt(&mut arena, size), SimTime::ZERO) == Verdict::Accepted {
                 in_bytes += size as u64;
             }
         }
         let mut out_bytes = 0u64;
-        while let Some(p) = q.dequeue(SimTime::ZERO) {
+        while let Some(p) = q.dequeue(SimTime::ZERO, &mut none) {
             out_bytes += p.size as u64;
         }
         assert_eq!(in_bytes, out_bytes);
@@ -341,11 +377,13 @@ mod tests {
 
     #[test]
     fn droptail_high_water_mark() {
+        let mut arena = PacketArena::new();
+        let mut none = Vec::new();
         let mut q = DropTail::new(5000);
-        q.enqueue(pkt(1500), SimTime::ZERO);
-        q.enqueue(pkt(1500), SimTime::ZERO);
-        q.dequeue(SimTime::ZERO);
-        q.enqueue(pkt(500), SimTime::ZERO);
+        q.enqueue(pkt(&mut arena, 1500), SimTime::ZERO);
+        q.enqueue(pkt(&mut arena, 1500), SimTime::ZERO);
+        q.dequeue(SimTime::ZERO, &mut none);
+        q.enqueue(pkt(&mut arena, 500), SimTime::ZERO);
         assert_eq!(q.stats().max_backlog_bytes, 3000);
     }
 
@@ -353,46 +391,62 @@ mod tests {
     fn droptail_admits_oversized_packet_into_empty_queue() {
         // Capacity below one MTU: without the empty-queue exception every
         // 1500-byte packet would be dropped and the link would blackhole.
+        let mut arena = PacketArena::new();
+        let mut none = Vec::new();
         let mut q = DropTail::new(1000);
-        assert_eq!(q.enqueue(pkt(1500), SimTime::ZERO), Verdict::Accepted);
+        assert_eq!(
+            q.enqueue(pkt(&mut arena, 1500), SimTime::ZERO),
+            Verdict::Accepted
+        );
         assert_eq!(q.stats().oversized_admitted, 1);
         assert_eq!(q.backlog_bytes(), 1500);
         // A second packet sees a non-empty (over-full) queue and is dropped.
-        assert_eq!(q.enqueue(pkt(100), SimTime::ZERO), Verdict::Dropped);
+        assert_eq!(
+            q.enqueue(pkt(&mut arena, 100), SimTime::ZERO),
+            Verdict::Dropped
+        );
         assert_eq!(q.stats().dropped, 1);
         // Draining restores service; the next oversized packet is admitted.
-        assert_eq!(q.dequeue(SimTime::ZERO).unwrap().size, 1500);
-        assert_eq!(q.enqueue(pkt(1500), SimTime::ZERO), Verdict::Accepted);
+        assert_eq!(q.dequeue(SimTime::ZERO, &mut none).unwrap().size, 1500);
+        assert_eq!(
+            q.enqueue(pkt(&mut arena, 1500), SimTime::ZERO),
+            Verdict::Accepted
+        );
         assert_eq!(q.stats().oversized_admitted, 2);
         assert_eq!(q.stats().enqueued, 2);
     }
 
     #[test]
     fn codel_passes_traffic_below_target() {
+        let mut arena = PacketArena::new();
+        let mut drops = Vec::new();
         let mut q = CoDel::new(100_000);
         let mut t = SimTime::ZERO;
         // Light load: every packet dequeued 1 ms after enqueue (< 5 ms target).
         for _ in 0..100 {
-            q.enqueue(pkt(1500), t);
+            q.enqueue(pkt(&mut arena, 1500), t);
             t += SimDuration::from_millis(1);
-            assert!(q.dequeue(t).is_some());
+            assert!(q.dequeue(t, &mut drops).is_some());
         }
         assert_eq!(q.stats().dropped, 0);
+        assert!(drops.is_empty());
     }
 
     #[test]
     fn codel_drops_under_sustained_standing_queue() {
+        let mut arena = PacketArena::new();
+        let mut drops = Vec::new();
         let mut q = CoDel::new(1_000_000);
         // Build a large standing queue, then drain slowly: sojourn times far
         // above target for far longer than the interval.
         for _ in 0..400 {
-            q.enqueue(pkt(1500), SimTime::ZERO);
+            q.enqueue(pkt(&mut arena, 1500), SimTime::ZERO);
         }
         let mut t = SimTime::from_nanos(0);
         let mut got = 0;
         for _ in 0..400 {
             t += SimDuration::from_millis(10);
-            if q.dequeue(t).is_some() {
+            if q.dequeue(t, &mut drops).is_some() {
                 got += 1;
             }
             if q.is_empty() {
@@ -400,5 +454,10 @@ mod tests {
             }
         }
         assert!(q.stats().dropped > 0, "CoDel never dropped: got {got}");
+        // Every dequeue-time victim was surrendered to the caller, and the
+        // ledger balances: enqueued = dequeued + dropped + still queued.
+        assert_eq!(drops.len() as u64, q.stats().dropped);
+        let s = q.stats();
+        assert_eq!(s.enqueued, s.dequeued + s.dropped + q.len() as u64);
     }
 }

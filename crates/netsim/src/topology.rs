@@ -138,7 +138,7 @@ where
 
     // Bottleneck links, both directions. ACK-direction gets the same buffer;
     // it essentially never fills in these workloads.
-    let make_queue = |spec: &DumbbellSpec| -> Box<dyn QueueDiscipline<P>> {
+    let make_queue = |spec: &DumbbellSpec| -> Box<dyn QueueDiscipline> {
         if spec.bottleneck_codel {
             Box::new(CoDel::new(spec.bottleneck_buffer))
         } else {

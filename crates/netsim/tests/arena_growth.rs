@@ -1,0 +1,124 @@
+//! Packet-arena growth under deep standing backlogs — the engine-level
+//! counterpart of the `event_queue_hold/depth_20k_1e6_events` bench
+//! shape. The arena must size itself by the *peak number of packets
+//! simultaneously in flight*, not by the number of packets ever sent:
+//! a second wave through the same link must recycle the first wave's
+//! slots without growing the slab, and after quiescence the hygiene
+//! report must show zero parked packets.
+
+use netsim::link::LinkSpec;
+use netsim::loss::LossModel;
+use netsim::node::{Node, TimerId};
+use netsim::packet::{FlowId, Packet};
+use netsim::queue::DropTail;
+use netsim::time::{Rate, SimDuration};
+use netsim::{Ctx, Simulator};
+use std::any::Any;
+
+struct Count(u64);
+impl Node<u32> for Count {
+    fn on_packet(&mut self, _p: Packet<u32>, _c: &mut Ctx<'_, u32>) {
+        self.0 += 1;
+    }
+    fn on_timer(&mut self, _i: TimerId, _t: u64, _c: &mut Ctx<'_, u32>) {}
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+const DEPTH: usize = 20_000;
+
+#[test]
+fn arena_capacity_tracks_peak_backlog_not_packets_sent() {
+    let mut sim: Simulator<u32> = Simulator::new(7);
+    let a = sim.add_node(Box::new(Count(0)));
+    let b = sim.add_node(Box::new(Count(0)));
+    let l = sim.add_link(LinkSpec {
+        src: a,
+        dst: b,
+        rate: Rate::from_mbps(500),
+        delay: SimDuration::from_millis(1),
+        // Buffer sized for the whole wave: this test is about growth,
+        // so nothing may be queue-dropped.
+        queue: Box::new(DropTail::new(DEPTH as u64 * 1500)),
+        loss: LossModel::Bernoulli { p: 0.0 },
+    });
+
+    // Wave 1: a 20k-deep standing backlog, all parked at once.
+    for i in 0..DEPTH {
+        sim.core()
+            .send_on(l, Packet::new(FlowId(i as u64), a, b, 1500, 0u32));
+    }
+    assert_eq!(sim.core().live_packets(), DEPTH);
+    assert_eq!(
+        sim.core().packet_arena_capacity(),
+        DEPTH,
+        "arena must allocate exactly one slot per parked packet"
+    );
+
+    sim.run_to_completion(10 * DEPTH as u64);
+    assert_eq!(sim.node_as::<Count>(b).unwrap().0, DEPTH as u64);
+    let report = sim.hygiene_report();
+    assert_eq!(
+        report.live_packets, 0,
+        "packets leaked after drain: {report:?}"
+    );
+
+    // Wave 2: the same depth again. Every slot freed by wave 1 must be
+    // reused — any capacity growth here means release is leaking slots.
+    for i in 0..DEPTH {
+        sim.core()
+            .send_on(l, Packet::new(FlowId(i as u64), a, b, 1500, 0u32));
+    }
+    assert_eq!(sim.core().live_packets(), DEPTH);
+    assert_eq!(
+        sim.core().packet_arena_capacity(),
+        DEPTH,
+        "second wave grew the arena: slots are not being recycled"
+    );
+
+    sim.run_to_completion(10 * DEPTH as u64);
+    assert_eq!(sim.node_as::<Count>(b).unwrap().0, 2 * DEPTH as u64);
+    assert_eq!(sim.core().packet_arena_capacity(), DEPTH);
+    sim.assert_drained();
+}
+
+/// A trickle that never backlogs more than a handful of packets must keep
+/// the arena tiny no matter how many packets pass through — the property
+/// that makes one growing allocation per simulator acceptable for
+/// minute-long traces.
+#[test]
+fn arena_stays_small_when_backlog_is_shallow() {
+    let mut sim: Simulator<u32> = Simulator::new(11);
+    let a = sim.add_node(Box::new(Count(0)));
+    let b = sim.add_node(Box::new(Count(0)));
+    let l = sim.add_link(LinkSpec {
+        src: a,
+        dst: b,
+        rate: Rate::from_mbps(100),
+        delay: SimDuration::from_micros(200),
+        queue: Box::new(DropTail::new(64 * 1500)),
+        loss: LossModel::Bernoulli { p: 0.0 },
+    });
+
+    for i in 0..5_000u64 {
+        sim.core()
+            .send_on(l, Packet::new(FlowId(i), a, b, 1500, 0u32));
+        // Drain fully every 4 packets: peak in-flight stays single-digit.
+        if i % 4 == 3 {
+            let t = sim.now() + SimDuration::from_millis(2);
+            sim.run_until(t);
+        }
+    }
+    sim.run_to_completion(100_000);
+    assert_eq!(sim.node_as::<Count>(b).unwrap().0, 5_000);
+    assert!(
+        sim.core().packet_arena_capacity() <= 16,
+        "trickle traffic grew the arena to {} slots",
+        sim.core().packet_arena_capacity()
+    );
+    assert_eq!(sim.hygiene_report().live_packets, 0);
+}

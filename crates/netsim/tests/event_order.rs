@@ -47,9 +47,14 @@ fn lcg(x: &mut u64) -> u64 {
 }
 
 /// Deltas chosen to land everywhere interesting relative to the wheel
-/// geometry: same bucket, neighbouring buckets, mid-window, the far side
-/// of the horizon, and multiple horizons out.
-const DELTAS: [u64; 8] = [
+/// geometry: same bucket, neighbouring buckets, mid-window, past the L1
+/// segment (~134 ms, so the L2 wheel parks it), many segments out, and —
+/// the last two — past the whole L2 span (~9.2 min), which exercises the
+/// overflow heap and the cascade that refills L2 from it. With batch
+/// drains these also interleave run consumption with pushes into every
+/// tier, so a bucket sorted once per refill must still merge correctly
+/// against inbox entries that arrive mid-run.
+const DELTAS: [u64; 10] = [
     0,
     1,
     40_000,
@@ -58,6 +63,8 @@ const DELTAS: [u64; 8] = [
     300_000_000,
     700_000_000,
     3_000_000_000,
+    600_000_000_000,
+    3_000_000_000_000,
 ];
 
 fn run_workload(seed: u64, ops: usize) {

@@ -78,19 +78,27 @@ fn serial_and_parallel_runs_are_byte_identical() {
 
 /// The chaos sweep adds fault-injected simulations and per-cell watchdog
 /// caps on top of the harness; none of it may leak worker-count effects.
-/// `repro chaos --jobs 1` and `--jobs 4` must write identical bytes.
+/// `repro chaos --jobs 1`, `--jobs 3`, and `--jobs 4` must write
+/// identical bytes. The odd worker count matters since the packet arena
+/// landed: each worker's simulator recycles arena slots in its own LIFO
+/// order, and three workers over eight cells gives maximally uneven
+/// cell-to-worker assignments — if slot reuse leaked into output (stale
+/// handle read, id minted from a slot index), this is where it shows.
 #[test]
 fn chaos_runs_are_byte_identical_across_worker_counts() {
     let _guard = HARNESS_LOCK.lock().unwrap();
     let d1 = scratch("chaos-serial");
+    let d3 = scratch("chaos-three");
     let d4 = scratch("chaos-parallel");
     render_to("chaos", 1, &d1);
+    render_to("chaos", 3, &d3);
     render_to("chaos", 4, &d4);
     harness::set_workers(0);
     harness::take_metrics();
 
     let a = snapshot(&d1);
     let b = snapshot(&d4);
+    let c = snapshot(&d3);
     assert!(!a.is_empty(), "no chaos output files written");
     assert_eq!(
         a.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
@@ -103,6 +111,8 @@ fn chaos_runs_are_byte_identical_across_worker_counts() {
             "{name} differs between --jobs 1 and --jobs 4"
         );
     }
+    assert_eq!(a, c, "output differs between --jobs 1 and --jobs 3");
+    let _ = fs::remove_dir_all(&d3);
     let summary = a
         .iter()
         .find(|(n, _)| n == "chaos.summary.txt")

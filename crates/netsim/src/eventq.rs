@@ -817,3 +817,33 @@ mod tests {
         assert_eq!(s.live(), 0);
     }
 }
+
+#[cfg(test)]
+mod review_probe {
+    use super::*;
+    use crate::time::SimTime;
+    fn entry(at_ns: u64, seq: u64) -> EventEntry {
+        EventEntry {
+            at: SimTime::from_nanos(at_ns),
+            seq,
+            kind: EventKind::Timer {
+                node: crate::packet::NodeId(0),
+                id: TimerId(0),
+                token: 0,
+            },
+        }
+    }
+    #[test]
+    fn exactly_one_l2_span_ahead() {
+        let mut q = EventQueue::new();
+        let l2_span = (N_L2 as u64) << L2_SHIFT;
+        // push a near event and one exactly one L2 span ahead
+        q.push(entry(5, 0));
+        q.push(entry(l2_span + 5, 1));
+        assert_eq!(q.pop().unwrap().seq, 0);
+        let e = q.pop().unwrap();
+        assert_eq!(e.seq, 1);
+        assert_eq!(e.at.as_nanos(), l2_span + 5);
+        assert!(q.pop().is_none());
+    }
+}

@@ -33,11 +33,13 @@ root=$(cd "$(dirname "$0")/.." && pwd)
 # with no tracer installed the packet hot path must stay as fast as the
 # committed baseline (tracing is a branch on a cold Option, nothing
 # more). far_schedule exercises the L2 wheel + overflow heap path;
-# packet_arena pins the pooled-packet alloc/free cycle.
+# packet_arena pins the pooled-packet alloc/free cycle. shard_barrier
+# pins the sharded engine's per-window coordination cost (barriers +
+# mailbox sweeps) with one hop of real work per window.
 cargo bench --bench engine -- \
     schedule_fire_1e5 schedule_cancel_fire_1e6 event_queue_hold \
     far_schedule_fire_1e6 packet_arena \
-    link_pipeline \
+    link_pipeline shard_barrier \
     --check "$root/BENCH_netsim.json"
 
 cargo bench --bench e2e -- --check "$root/BENCH_e2e.json"

@@ -1,0 +1,24 @@
+#!/usr/bin/env sh
+# Shard-determinism smoke: the sharded engine's whole contract is that
+# `--shards N` changes wall-clock time and nothing else. Run the scaled
+# PlanetLab scenario at quick scale on 1 and 4 shard workers and require
+# the output directories to be byte-identical. Any divergence — event
+# reordering at a window boundary, an RNG substream crossing partitions,
+# a float reduction picking up thread order — shows up here as a diff.
+#
+# Usage: ci/check_shards.sh  (from the repo root)
+set -eu
+
+out1=$(mktemp -d)
+out4=$(mktemp -d)
+trap 'rm -rf "$out1" "$out4"' EXIT
+
+cargo run --release --bin repro -- planetlab100k --scale quick --shards 1 --out "$out1"
+cargo run --release --bin repro -- planetlab100k --scale quick --shards 4 --out "$out4"
+
+if ! diff -r "$out1" "$out4"; then
+    echo "FAIL: planetlab100k output differs between --shards 1 and --shards 4" >&2
+    exit 1
+fi
+
+echo "OK: planetlab100k output is byte-identical across shard counts"

@@ -4,7 +4,7 @@
 //! figures the committed `BENCH_e2e.json` baseline tracks.
 
 use bench::{run_benches, Bench};
-use scenarios::figures::{chaos, planetlab};
+use scenarios::figures::{chaos, planetlab, planetlab_sharded};
 use scenarios::{harness, Scale};
 use std::hint::black_box;
 
@@ -35,6 +35,40 @@ fn chaos_quick(c: &mut Bench) {
     g.finish();
 }
 
+/// The scaled PlanetLab scenario on the sharded engine, one worker
+/// thread: 8 partitions, 512 flows at quick scale, ~30 conservative
+/// windows. Measures the sharded run loop (barriers + mailbox sweeps +
+/// per-partition engines) with zero parallel speedup available — the
+/// overhead floor the multi-thread configuration pays for.
+fn planetlab_shards1(c: &mut Bench) {
+    let mut g = c.benchmark_group("e2e");
+    g.sample_size(10);
+    g.bench_function("planetlab_shards1", || {
+        black_box(planetlab_sharded::run(Scale::Quick, 1).records.len());
+        let _ = harness::take_metrics();
+    });
+    g.finish();
+}
+
+/// Same scenario on four worker threads. On a multi-core box this is the
+/// speedup figure; the gate only holds it to "not pathologically slower
+/// than shards1" so a single-core CI runner (where 4 threads time-slice
+/// one core) stays green.
+fn planetlab_shards4(c: &mut Bench) {
+    let mut g = c.benchmark_group("e2e");
+    g.sample_size(10);
+    g.bench_function("planetlab_shards4", || {
+        black_box(planetlab_sharded::run(Scale::Quick, 4).records.len());
+        let _ = harness::take_metrics();
+    });
+    g.finish();
+}
+
 fn main() {
-    run_benches(&[("fig6_quick", fig6_quick), ("chaos_quick", chaos_quick)]);
+    run_benches(&[
+        ("fig6_quick", fig6_quick),
+        ("chaos_quick", chaos_quick),
+        ("planetlab_shards1", planetlab_shards1),
+        ("planetlab_shards4", planetlab_shards4),
+    ]);
 }

@@ -265,6 +265,90 @@ fn packet_arena(c: &mut Bench) {
     g.finish();
 }
 
+/// Sharded-engine coordination overhead: a single tiny packet circling a
+/// ring of partitions, so each conservative window carries exactly one
+/// cross-shard hop and the measurement is all barrier + mailbox + window
+/// arithmetic, no simulation work. Run on one thread so the number is the
+/// coordination cost itself, not contention.
+fn shard_barrier(c: &mut Bench) {
+    use netsim::shard::{run_sharded, ShardHandle};
+    use netsim::{LinkId, NodeId};
+
+    /// Forwards the token to the next partition until its budget is spent.
+    struct Ring {
+        egress: LinkId,
+        seen: u64,
+    }
+    impl Node<u64> for Ring {
+        fn on_packet(&mut self, pkt: Packet<u64>, ctx: &mut netsim::Ctx<'_, u64>) {
+            self.seen += 1;
+            if pkt.payload > 0 {
+                ctx.send(
+                    self.egress,
+                    Packet::new(pkt.flow, pkt.dst, pkt.dst, pkt.size, pkt.payload - 1),
+                );
+            }
+        }
+        fn on_timer(&mut self, _i: TimerId, _t: u64, _c: &mut netsim::Ctx<'_, u64>) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    const PARTS: usize = 4;
+    const HOPS: u64 = 2_000;
+    let mut g = c.benchmark_group("shard_barrier");
+    g.sample_size(10);
+    g.throughput_elements(HOPS);
+    g.bench_function("ring_hop_2e3", || {
+        let run = run_sharded(
+            PARTS,
+            1,
+            None,
+            |rank, handle: &mut ShardHandle<u64>| {
+                let mut sim: Simulator<u64> = Simulator::new(rank as u64);
+                let node = sim.add_node(Box::new(Ring {
+                    egress: LinkId(1),
+                    seen: 0,
+                }));
+                let ingress = sim.add_link(LinkSpec::drop_tail(
+                    node,
+                    node,
+                    Rate::from_gbps(10),
+                    SimDuration::ZERO,
+                    1 << 20,
+                ));
+                let portal = handle.add_portal(
+                    &mut sim,
+                    (rank + 1) % PARTS,
+                    NodeId(0),
+                    ingress,
+                    SimDuration::from_micros(100),
+                );
+                let egress = sim.add_link(LinkSpec::drop_tail(
+                    node,
+                    portal,
+                    Rate::from_gbps(10),
+                    SimDuration::ZERO,
+                    1 << 20,
+                ));
+                assert_eq!(egress, LinkId(1));
+                if rank == 0 {
+                    sim.core()
+                        .send_on(egress, Packet::new(FlowId(1), node, node, 64, HOPS));
+                }
+                sim
+            },
+            |_, sim: &mut Simulator<u64>| sim.node_as::<Ring>(NodeId(0)).unwrap().seen,
+        );
+        black_box(run.results.iter().sum::<u64>());
+    });
+    g.finish();
+}
+
 /// Full transport stack: one 100 KB Halfback flow on the Emulab dumbbell.
 fn transport_flow(c: &mut Bench) {
     let mut g = c.benchmark_group("transport_flow");
@@ -321,6 +405,7 @@ fn main() {
         ("link_pipeline", link_pipeline),
         ("queue_ops", queue_ops),
         ("packet_arena", packet_arena),
+        ("shard_barrier", shard_barrier),
         ("transport_flow", transport_flow),
         ("workload_generation", workload_generation),
     ]);

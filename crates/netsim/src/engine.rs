@@ -327,6 +327,31 @@ impl<P: Payload> EngineCore<P> {
     pub fn link_count(&self) -> usize {
         self.links.len()
     }
+
+    /// Schedule `pkt` to arrive at `node` at absolute time `at`, accounted
+    /// to `link` (which must be an ingress stub link of this engine's
+    /// topology — its `delivered` counter is bumped at arrival, closing the
+    /// wire-side conservation books across a partition boundary).
+    ///
+    /// This is the shard driver's injection point: the packet body crossed
+    /// the boundary by value, its source-side arena slot was released at
+    /// the portal, and it gets a fresh slot here. The event takes the next
+    /// local `seq`, so injection order decides the tiebreak among
+    /// same-instant arrivals — callers must inject in a canonical order
+    /// (see `crate::shard`). Panics if `at` is in this engine's past.
+    pub fn inject_arrival(&mut self, at: SimTime, node: NodeId, link: LinkId, pkt: Packet<P>) {
+        assert!(
+            at >= self.now,
+            "cross-shard arrival in the past: {at} < {} (lookahead violated)",
+            self.now
+        );
+        assert!(
+            (link.0 as usize) < self.links.len(),
+            "inject_arrival: no such link {link}"
+        );
+        let h = self.packets.alloc(pkt);
+        self.push(at, EventKind::Deliver { node, link, pkt: h });
+    }
 }
 
 /// Execution context handed to a node during dispatch.

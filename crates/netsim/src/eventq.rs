@@ -52,6 +52,16 @@
 //! - **Overflow**: events beyond the L2 span (~9 virtual minutes — idle
 //!   horizons, `FAR_FUTURE` sentinels) go to a min-heap ordered by
 //!   `(at, seq)` and migrate into the wheels as segments advance.
+//! - **Sparse mode**: a fresh queue allocates *nothing* and routes every
+//!   entry through the overflow heap until the pending population crosses
+//!   [`SPARSE_LIMIT`]; only then are the wheels allocated and the heap
+//!   drained into them (a one-way migration). A figure sweep runs hundreds
+//!   of tiny simulations that never hold more than a few dozen pending
+//!   events — at that depth two heap sifts beat the wheel's bucket
+//!   arithmetic, and skipping the wheel allocation (two Vec-of-Vecs plus
+//!   bitmaps, ~128 KB of zeroed headers) is the bigger win. A heap and the
+//!   wheels pop in the same `(at, seq)` order, so the migration point is
+//!   observationally invisible.
 //!
 //! Three invariants carry the determinism proof: every L1 bucket's entries
 //! belong to the current segment (pushes beyond it go to L2 or overflow),
@@ -90,6 +100,17 @@ const L2_MASK: usize = N_L2 - 1;
 /// `current` run while it is at most this long; past that they go to the
 /// inbox heap (a mid-run `Vec::insert` memmove grows with run length).
 const INBOX_SPILL: usize = 64;
+/// Pending-entry threshold for leaving sparse mode: while fewer entries
+/// are pending the queue is a plain min-heap and the wheels stay
+/// unallocated. Crossing it allocates the wheels and drains the heap into
+/// them. A single-path transport simulation holds tens of *live* events,
+/// but lazily-cancelled RTO re-arms linger as stale entries until their
+/// scheduled instant, so the pending population of even a one-flow run
+/// transiently reaches a few hundred — 256 densified most of the quick
+/// sweep and gave back half the win; 1024 keeps those runs sparse while a
+/// ~10-level heap sift still costs about as little as the wheel's bucket
+/// arithmetic.
+const SPARSE_LIMIT: usize = 1024;
 
 #[inline]
 fn bucket_of(at_ns: u64) -> usize {
@@ -177,19 +198,23 @@ pub(crate) struct EventQueue {
     /// Entries pushed into the cursor's bucket (or behind the cursor)
     /// after it was loaded; consumed in merge with the run.
     inbox: BinaryHeap<Reverse<EventEntry>>,
-    /// Events beyond the L2 span.
+    /// Events beyond the L2 span. In sparse mode this heap holds *every*
+    /// pending entry.
     overflow: BinaryHeap<Reverse<EventEntry>>,
     /// Total entries in the queue.
     len: usize,
+    /// Still in sparse (heap-only) mode; the wheel Vecs are empty until the
+    /// first [`SPARSE_LIMIT`] crossing densifies them. One-way.
+    sparse: bool,
 }
 
 impl EventQueue {
     pub(crate) fn new() -> Self {
         EventQueue {
-            l1: (0..N_BUCKETS).map(|_| Vec::new()).collect(),
-            occupied: vec![0u64; N_BUCKETS / 64],
-            l2: (0..N_L2).map(|_| Vec::new()).collect(),
-            l2_occupied: vec![0u64; N_L2 / 64],
+            l1: Vec::new(),
+            occupied: Vec::new(),
+            l2: Vec::new(),
+            l2_occupied: Vec::new(),
             in_buckets: 0,
             in_l2: 0,
             cursor: 0,
@@ -199,6 +224,7 @@ impl EventQueue {
             inbox: BinaryHeap::new(),
             overflow: BinaryHeap::new(),
             len: 0,
+            sparse: true,
         }
     }
 
@@ -254,8 +280,42 @@ impl EventQueue {
     /// is `<= now <= at`, and everything still in buckets or overflow is
     /// strictly past the cursor's bucket.
     pub(crate) fn push(&mut self, entry: EventEntry) {
-        let at = entry.at.as_nanos();
+        if self.sparse {
+            if self.len < SPARSE_LIMIT {
+                self.len += 1;
+                self.overflow.push(Reverse(entry));
+                return;
+            }
+            self.densify();
+        }
         self.len += 1;
+        self.push_dense(entry);
+    }
+
+    /// Leave sparse mode: allocate the wheels, anchor the cursor at the
+    /// earliest pending entry's bucket (so nothing lands behind it), and
+    /// drain the heap through the dense push path. Entries already counted
+    /// in `len` keep their count; order is unchanged because a heap and the
+    /// wheels pop in the same `(at, seq)` order.
+    #[cold]
+    fn densify(&mut self) {
+        self.sparse = false;
+        self.l1 = (0..N_BUCKETS).map(|_| Vec::new()).collect();
+        self.occupied = vec![0u64; N_BUCKETS / 64];
+        self.l2 = (0..N_L2).map(|_| Vec::new()).collect();
+        self.l2_occupied = vec![0u64; N_L2 / 64];
+        let pending = std::mem::take(&mut self.overflow).into_vec();
+        if let Some(min_at) = pending.iter().map(|Reverse(e)| e.at.as_nanos()).min() {
+            self.cursor_time = (min_at >> W_SHIFT) << W_SHIFT;
+            self.cursor = bucket_of(min_at);
+        }
+        for Reverse(e) in pending {
+            self.push_dense(e);
+        }
+    }
+
+    fn push_dense(&mut self, entry: EventEntry) {
+        let at = entry.at.as_nanos();
         if at >= self.cursor_time {
             let seg = segment_of(self.cursor_time);
             if segment_of(at) == seg {
@@ -394,12 +454,20 @@ impl EventQueue {
     /// cover DRAM latency; entries that will merge in from the inbox are
     /// not seen here, which only costs a wasted hint.
     pub(crate) fn lookahead(&self, n: usize) -> Option<&EventEntry> {
+        if self.sparse {
+            // No sorted run to read ahead in; the engine just skips its
+            // prefetch hints (tiny populations are cache-resident anyway).
+            return None;
+        }
         self.l1[self.cursor].get(self.run_pos + n)
     }
 
     /// The earliest entry, if any. May advance the cursor internally (which
     /// is invisible to firing order — see `push`).
     pub(crate) fn peek(&mut self) -> Option<&EventEntry> {
+        if self.sparse {
+            return self.overflow.peek().map(|Reverse(e)| e);
+        }
         if self.run_len() == 0 {
             self.refill();
         }
@@ -419,6 +487,11 @@ impl EventQueue {
 
     /// Remove and return the earliest entry.
     pub(crate) fn pop(&mut self) -> Option<EventEntry> {
+        if self.sparse {
+            let e = self.overflow.pop().map(|Reverse(e)| e)?;
+            self.len -= 1;
+            return Some(e);
+        }
         if self.run_len() == 0 {
             self.refill();
         }
@@ -441,6 +514,16 @@ impl EventQueue {
     /// Keep only entries satisfying `pred` (used to shed stale cancelled
     /// timers when they dominate the queue). Order is preserved.
     pub(crate) fn retain(&mut self, mut pred: impl FnMut(&EventEntry) -> bool) {
+        if self.sparse {
+            let overflow = std::mem::take(&mut self.overflow);
+            self.overflow = overflow
+                .into_vec()
+                .into_iter()
+                .filter(|Reverse(e)| pred(e))
+                .collect();
+            self.len = self.overflow.len();
+            return;
+        }
         // Current run: compact the live suffix of the cursor bucket in
         // place; the consumed prefix must not be resurrected, so the
         // bucket is filtered from `run_pos` on and truncated.
@@ -794,6 +877,83 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 52);
+    }
+
+    #[test]
+    fn sparse_mode_pops_in_order_without_densifying() {
+        let mut q = EventQueue::new();
+        // Descending times, well under SPARSE_LIMIT: the queue must stay
+        // sparse (wheels unallocated) and still pop ascending.
+        for seq in 0..50u64 {
+            q.push(entry((50 - seq) * 1_000, seq));
+        }
+        assert!(q.sparse);
+        assert!(q.l1.is_empty(), "sparse queue must not allocate the wheels");
+        let mut prev = 0u64;
+        while let Some(e) = q.pop() {
+            assert!(e.at.as_nanos() >= prev);
+            prev = e.at.as_nanos();
+        }
+        assert!(q.sparse, "popping must never densify");
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn densify_crossing_preserves_order() {
+        // Fill past SPARSE_LIMIT after consuming a prefix, so the migration
+        // happens with a non-zero clock and a mix of near/far entries;
+        // pushes after the crossing may land behind the new cursor (the
+        // run-insert path). The pop sequence must be (at, seq) ascending
+        // throughout, exactly as if the queue had been dense from birth.
+        let mut q = EventQueue::new();
+        let mut seq = 0u64;
+        let mut expect: Vec<(u64, u64)> = Vec::new();
+        let mut push = |q: &mut EventQueue, at: u64, expect: &mut Vec<(u64, u64)>| {
+            q.push(entry(at, seq));
+            expect.push((at, seq));
+            seq += 1;
+        };
+        for i in 0..100u64 {
+            push(&mut q, 10_000 + i * 7_919 % 50_000, &mut expect);
+        }
+        // Consume a few so the heap has seen pops before densifying.
+        for _ in 0..10 {
+            let e = q.pop().unwrap();
+            let pos = expect
+                .iter()
+                .position(|&(at, s)| (at, s) == (e.at.as_nanos(), e.seq))
+                .unwrap();
+            expect.remove(pos);
+        }
+        assert!(q.sparse);
+        // Blow past the limit with a spread covering L1, L2, and overflow.
+        for i in 0..(2 * SPARSE_LIMIT as u64) {
+            push(&mut q, 60_000 + (i * 104_729) % (120 * SEG_NS), &mut expect);
+        }
+        assert!(!q.sparse, "limit crossing must densify");
+        expect.sort_unstable();
+        let mut got = Vec::new();
+        while let Some(e) = q.pop() {
+            got.push((e.at.as_nanos(), e.seq));
+        }
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sparse_retain_drops_entries_and_fixes_len() {
+        let mut q = EventQueue::new();
+        for i in 0..20u64 {
+            q.push(entry(i * 1_000, i));
+        }
+        q.retain(|e| e.seq % 2 == 0);
+        assert_eq!(q.len(), 10);
+        assert!(q.sparse);
+        let mut n = 0;
+        while let Some(e) = q.pop() {
+            assert!(e.seq % 2 == 0);
+            n += 1;
+        }
+        assert_eq!(n, 10);
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod packet;
 pub mod queue;
 pub mod rng;
 pub mod router;
+pub mod shard;
 pub mod stats;
 pub mod time;
 pub mod topology;

@@ -1,0 +1,577 @@
+//! Conservative parallel execution: one scenario, N shards, zero rollback.
+//!
+//! A sharded run splits a topology into `parts` **partitions**, each owning
+//! a disjoint set of hosts plus their access links, with its own
+//! [`Simulator`] — its own event wheel, packet arena, and RNG substreams.
+//! Partitions exchange packets only through [`Portal`] nodes, which carry a
+//! mandatory extra propagation delay (the WAN leg of the path). That delay
+//! is the **lookahead** `L`: a packet handed off at local time `t` cannot
+//! arrive before `t + L`, so all partitions can safely simulate the window
+//! `[now, M + L]` in parallel, where `M` is the global minimum next-event
+//! time. No partition ever needs to roll back.
+//!
+//! ## Determinism contract
+//!
+//! The partition count is a property of the *scenario*, not of the machine:
+//! `threads` only maps partitions onto worker threads. Every quantity that
+//! shapes execution — window boundaries, injection order, per-partition
+//! `(at, seq)` assignment — is computed from partition-indexed state and is
+//! independent of which thread touches it, so output is byte-identical for
+//! `threads = 1, 2, or N` (the same contract the harness enforces for
+//! `--jobs`).
+//!
+//! Cross-partition arrivals are injected at each window barrier in a
+//! canonical order: sorted by `(arrival time, source partition rank,
+//! emission index within source)`. Injection assigns the destination's next
+//! `seq`, so the merged firing order inherits the engine's exact
+//! `(at, seq)` discipline with the shard rank as tiebreak.
+//!
+//! ## Arena-handle rule
+//!
+//! [`crate::packet::PacketHandle`]s never cross a partition boundary. A
+//! packet leaves its source shard **by value** (the portal receives it
+//! after the engine freed its arena slot) and is re-allocated into the
+//! destination arena by [`crate::engine::EngineCore::inject_arrival`]. Packet *ids* are
+//! only unique per partition; cross-partition id collisions are benign
+//! because ids feed stats and traces, never lookups.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex};
+
+use crate::engine::{Ctx, HygieneReport, Simulator};
+use crate::node::{Node, TimerId};
+use crate::packet::{LinkId, NodeId, Packet, Payload};
+use crate::time::{SimDuration, SimTime};
+
+/// A packet crossing a partition boundary, by value, with its arrival
+/// prescheduled in the destination's clock.
+pub struct OutMsg<P: Payload> {
+    /// Absolute arrival time at the destination node (source handoff time
+    /// plus the portal's extra delay).
+    pub at: SimTime,
+    /// Destination partition rank.
+    pub dst_part: usize,
+    /// Destination node, in the destination partition's id space.
+    pub dst_node: NodeId,
+    /// Ingress stub link in the destination partition; its `delivered`
+    /// counter is bumped at arrival so wire-side conservation closes across
+    /// the boundary (egress `delivered` == ingress `delivered`).
+    pub dst_link: LinkId,
+    /// The packet itself (ids remain from the source partition's counter).
+    pub pkt: Packet<P>,
+}
+
+/// Where a partition's portals park outbound messages between barriers.
+type Outbox<P> = Rc<RefCell<Vec<OutMsg<P>>>>;
+
+/// Terminal node for a cross-partition egress link. The source partition
+/// routes WAN-bound packets onto a zero-delay link whose `dst` is a portal;
+/// the portal stamps the WAN propagation delay and parks the packet in the
+/// partition's outbox for the next barrier.
+struct Portal<P: Payload> {
+    outbox: Outbox<P>,
+    dst_part: usize,
+    dst_node: NodeId,
+    dst_link: LinkId,
+    extra_delay: SimDuration,
+}
+
+impl<P: Payload> Node<P> for Portal<P> {
+    fn on_packet(&mut self, pkt: Packet<P>, ctx: &mut Ctx<'_, P>) {
+        self.outbox.borrow_mut().push(OutMsg {
+            at: ctx.now() + self.extra_delay,
+            dst_part: self.dst_part,
+            dst_node: self.dst_node,
+            dst_link: self.dst_link,
+            pkt,
+        });
+    }
+
+    fn on_timer(&mut self, _id: TimerId, _token: u64, _ctx: &mut Ctx<'_, P>) {
+        unreachable!("portals never arm timers");
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Handed to the build closure so it can wire portals into its partition.
+/// Tracks the minimum portal delay, which bounds the lookahead window.
+pub struct ShardHandle<P: Payload> {
+    part: usize,
+    parts: usize,
+    outbox: Outbox<P>,
+    min_extra_delay: Option<SimDuration>,
+}
+
+impl<P: Payload> ShardHandle<P> {
+    /// This partition's rank in `0..parts()`.
+    pub fn part(&self) -> usize {
+        self.part
+    }
+
+    /// Total number of partitions in the run.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// Add a portal node to `sim` forwarding to `(dst_part, dst_node)` with
+    /// arrivals accounted to `dst_link` (an ingress stub link that must
+    /// exist in the destination partition). Point a zero-delay egress link
+    /// at the returned node; `extra_delay` models the WAN leg and must be
+    /// positive — it is the lookahead that keeps the conservative barrier
+    /// sound.
+    pub fn add_portal(
+        &mut self,
+        sim: &mut Simulator<P>,
+        dst_part: usize,
+        dst_node: NodeId,
+        dst_link: LinkId,
+        extra_delay: SimDuration,
+    ) -> NodeId {
+        assert!(
+            dst_part != self.part && dst_part < self.parts,
+            "portal must target another partition: {} -> {dst_part}",
+            self.part
+        );
+        assert!(
+            !extra_delay.is_zero(),
+            "portal extra_delay must be > 0: it is the lookahead bounding \
+             the conservative window"
+        );
+        self.min_extra_delay = Some(match self.min_extra_delay {
+            Some(d) => d.min(extra_delay),
+            None => extra_delay,
+        });
+        sim.add_node(Box::new(Portal {
+            outbox: Rc::clone(&self.outbox),
+            dst_part,
+            dst_node,
+            dst_link,
+            extra_delay,
+        }))
+    }
+}
+
+/// What [`run_sharded`] returns: per-partition results and hygiene, in
+/// partition order, plus run-shape counters.
+pub struct ShardRun<T> {
+    /// One entry per partition, in rank order, from the finish closure.
+    pub results: Vec<T>,
+    /// Per-partition hygiene snapshots taken after the run ended. At a
+    /// natural drain `live_packets` must sum to zero across all entries;
+    /// a horizon cut legitimately leaves in-flight packets behind.
+    pub hygiene: Vec<HygieneReport>,
+    /// Number of barrier rounds executed.
+    pub rounds: u64,
+    /// Total cross-partition messages injected.
+    pub cross_messages: u64,
+}
+
+/// Shared coordination state for one sharded run.
+struct Coord<P: Payload> {
+    /// `mail[dst][src]`: messages deposited by `src` for `dst` this round.
+    /// Uncontended by construction (one writer per slot, barrier-separated
+    /// from the reader), so the mutexes never block.
+    mail: Vec<Vec<Mutex<Vec<OutMsg<P>>>>>,
+    /// Per-partition lookahead published once after build.
+    lookahead: Vec<Mutex<Option<SimDuration>>>,
+    /// Per-partition next-event time published each round after injection.
+    mins: Vec<Mutex<Option<u64>>>,
+    barrier: Barrier,
+    rounds: AtomicU64,
+    cross_messages: AtomicU64,
+}
+
+/// Run a partitioned scenario to completion (or `horizon`) on up to
+/// `threads` worker threads.
+///
+/// `build(rank, handle)` constructs partition `rank`'s simulator — nodes,
+/// links, portals via [`ShardHandle::add_portal`], and any initial events —
+/// and is called on the thread that will own the partition (a
+/// [`Simulator`] never migrates). `finish(rank, sim)` runs after the
+/// barrier loop ends and extracts the partition's result.
+///
+/// Partitions are assigned to threads round-robin (`rank % threads`);
+/// because all scheduling decisions are partition-indexed, the output is
+/// byte-identical for any `threads >= 1`.
+pub fn run_sharded<P, T, B, F>(
+    parts: usize,
+    threads: usize,
+    horizon: Option<SimTime>,
+    build: B,
+    finish: F,
+) -> ShardRun<T>
+where
+    P: Payload + Send,
+    T: Send,
+    B: Fn(usize, &mut ShardHandle<P>) -> Simulator<P> + Sync,
+    F: Fn(usize, &mut Simulator<P>) -> T + Sync,
+{
+    assert!(parts >= 1, "need at least one partition");
+    let threads = threads.clamp(1, parts);
+
+    let coord = Coord::<P> {
+        mail: (0..parts)
+            .map(|_| (0..parts).map(|_| Mutex::new(Vec::new())).collect())
+            .collect(),
+        lookahead: (0..parts).map(|_| Mutex::new(None)).collect(),
+        mins: (0..parts).map(|_| Mutex::new(None)).collect(),
+        barrier: Barrier::new(threads),
+        rounds: AtomicU64::new(0),
+        cross_messages: AtomicU64::new(0),
+    };
+    let slots: Mutex<Vec<Option<(T, HygieneReport)>>> =
+        Mutex::new((0..parts).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let coord = &coord;
+            let slots = &slots;
+            let build = &build;
+            let finish = &finish;
+            scope.spawn(move || {
+                shard_worker(tid, threads, parts, horizon, coord, slots, build, finish);
+            });
+        }
+    });
+
+    let mut results = Vec::with_capacity(parts);
+    let mut hygiene = Vec::with_capacity(parts);
+    for (rank, slot) in slots.into_inner().unwrap().into_iter().enumerate() {
+        let (r, h) = slot.unwrap_or_else(|| panic!("partition {rank} produced no result"));
+        results.push(r);
+        hygiene.push(h);
+    }
+    ShardRun {
+        results,
+        hygiene,
+        rounds: coord.rounds.load(Ordering::Relaxed),
+        cross_messages: coord.cross_messages.load(Ordering::Relaxed),
+    }
+}
+
+/// One worker thread's life: build owned partitions, run the two-barrier
+/// round loop, extract results. All threads compute the same window bounds
+/// from the same published state, so no leader election is needed for
+/// control flow (the barrier leader only bumps the round counter).
+#[allow(clippy::too_many_arguments)]
+fn shard_worker<P, T, B, F>(
+    tid: usize,
+    threads: usize,
+    parts: usize,
+    horizon: Option<SimTime>,
+    coord: &Coord<P>,
+    slots: &Mutex<Vec<Option<(T, HygieneReport)>>>,
+    build: &B,
+    finish: &F,
+) where
+    P: Payload + Send,
+    T: Send,
+    B: Fn(usize, &mut ShardHandle<P>) -> Simulator<P> + Sync,
+    F: Fn(usize, &mut Simulator<P>) -> T + Sync,
+{
+    // Build the partitions this thread owns (round-robin assignment).
+    let mut owned: Vec<(usize, Simulator<P>, Outbox<P>)> = Vec::new();
+    for rank in (tid..parts).step_by(threads) {
+        let outbox: Outbox<P> = Rc::new(RefCell::new(Vec::new()));
+        let mut handle = ShardHandle {
+            part: rank,
+            parts,
+            outbox: Rc::clone(&outbox),
+            min_extra_delay: None,
+        };
+        let sim = build(rank, &mut handle);
+        *coord.lookahead[rank].lock().unwrap() = handle.min_extra_delay;
+        owned.push((rank, sim, outbox));
+    }
+    coord.barrier.wait();
+
+    // Global lookahead: the smallest portal delay anywhere. `None` means no
+    // portals exist — partitions are independent and one unbounded window
+    // suffices.
+    let lookahead: Option<SimDuration> = coord
+        .lookahead
+        .iter()
+        .filter_map(|m| *m.lock().unwrap())
+        .min();
+    let horizon_ns = horizon.map_or(u64::MAX, |h| h.as_nanos());
+    let mut local_cross: u64 = 0;
+
+    loop {
+        // Phase A: deposit this round's outboxes into the mailboxes.
+        for (rank, _, outbox) in &owned {
+            for msg in outbox.borrow_mut().drain(..) {
+                coord.mail[msg.dst_part][*rank].lock().unwrap().push(msg);
+            }
+        }
+        coord.barrier.wait();
+
+        // Phase B: inject inbound messages in canonical order, publish the
+        // partition's next-event time.
+        for (rank, sim, _) in &mut owned {
+            let mut inbound: Vec<(u64, usize, usize, OutMsg<P>)> = Vec::new();
+            for src in 0..parts {
+                let batch = std::mem::take(&mut *coord.mail[*rank][src].lock().unwrap());
+                for (idx, msg) in batch.into_iter().enumerate() {
+                    inbound.push((msg.at.as_nanos(), src, idx, msg));
+                }
+            }
+            inbound.sort_by_key(|&(at, src, idx, _)| (at, src, idx));
+            local_cross += inbound.len() as u64;
+            for (_, _, _, msg) in inbound {
+                sim.core()
+                    .inject_arrival(msg.at, msg.dst_node, msg.dst_link, msg.pkt);
+            }
+            *coord.mins[*rank].lock().unwrap() = sim.next_event_time().map(SimTime::as_nanos);
+        }
+        if coord.barrier.wait().is_leader() {
+            coord.rounds.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // Phase C: every thread computes the same window from the published
+        // mins (stable until the next round's Phase B, which all threads
+        // must pass Phase A's barrier to reach). M == None means globally
+        // drained: no events, no mail, no outbox entries anywhere.
+        let m = coord.mins.iter().filter_map(|m| *m.lock().unwrap()).min();
+        let w_end = match m {
+            None => break,
+            Some(m) if m > horizon_ns => break,
+            Some(m) => lookahead
+                .map_or(u64::MAX, |l| m.saturating_add(l.as_nanos()))
+                .min(horizon_ns),
+        };
+
+        // Phase D: advance every partition through the window. `run_until`
+        // is inclusive, and any message generated at t <= w_end has
+        // at >= M + L = w_end, so nothing injected next round lands in a
+        // partition's past.
+        for (_, sim, _) in &mut owned {
+            sim.run_until(SimTime::from_nanos(w_end));
+        }
+    }
+
+    // Align clocks at the horizon (processes nothing: remaining events, if
+    // any, are strictly beyond it) and extract results.
+    let mut out = Vec::new();
+    for (rank, sim, _) in &mut owned {
+        if let Some(h) = horizon {
+            sim.run_until(h);
+        }
+        let hygiene = sim.hygiene_report();
+        out.push((*rank, finish(*rank, sim), hygiene));
+    }
+    coord
+        .cross_messages
+        .fetch_add(local_cross, Ordering::Relaxed);
+    let mut slots = slots.lock().unwrap();
+    for (rank, result, hygiene) in out {
+        slots[rank] = Some((result, hygiene));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+    use crate::packet::FlowId;
+    use crate::time::Rate;
+
+    /// Counts arrivals and replies with a decremented hop budget until it
+    /// hits zero, bouncing packets back through its egress link.
+    struct Bouncer {
+        egress: LinkId,
+        arrivals: Vec<(u64, u64)>, // (t_ns, remaining hops)
+    }
+
+    impl Node<u64> for Bouncer {
+        fn on_packet(&mut self, pkt: Packet<u64>, ctx: &mut Ctx<'_, u64>) {
+            self.arrivals.push((ctx.now().as_nanos(), pkt.payload));
+            if pkt.payload > 0 {
+                let reply = Packet::new(pkt.flow, pkt.dst, pkt.src, pkt.size, pkt.payload - 1);
+                ctx.send(self.egress, reply);
+            }
+        }
+        fn on_timer(&mut self, _id: TimerId, _t: u64, _ctx: &mut Ctx<'_, u64>) {}
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    /// Two partitions, one bouncer each, wired symmetrically:
+    /// bouncer -> zero-delay egress link -> portal (5 ms extra) -> peer.
+    /// Layout per partition: node 0 = bouncer (ingress stub link 0),
+    /// node 1 = portal, link 1 = egress.
+    fn build_pingpong(rank: usize, handle: &mut ShardHandle<u64>) -> Simulator<u64> {
+        let peer = 1 - rank;
+        let mut sim: Simulator<u64> = Simulator::new(7 + rank as u64);
+        let egress_guess = LinkId(1);
+        let bouncer = sim.add_node(Box::new(Bouncer {
+            egress: egress_guess,
+            arrivals: Vec::new(),
+        }));
+        assert_eq!(bouncer, NodeId(0));
+        // Link 0: ingress stub (stats anchor for injected arrivals).
+        let ingress = sim.add_link(LinkSpec::drop_tail(
+            bouncer,
+            bouncer,
+            Rate::from_gbps(1),
+            SimDuration::ZERO,
+            1 << 20,
+        ));
+        let portal = handle.add_portal(
+            &mut sim,
+            peer,
+            bouncer,
+            ingress,
+            SimDuration::from_millis(5),
+        );
+        let egress = sim.add_link(LinkSpec::drop_tail(
+            bouncer,
+            portal,
+            Rate::from_gbps(1),
+            SimDuration::ZERO,
+            1 << 20,
+        ));
+        assert_eq!(egress, egress_guess);
+        // Partition 0 serves: one packet, 6 hops of budget.
+        if rank == 0 {
+            let pkt = Packet::new(FlowId(1), bouncer, bouncer, 1000, 6u64);
+            sim.core().send_on(egress, pkt);
+        }
+        sim
+    }
+
+    fn run_pingpong(threads: usize) -> (Vec<Vec<(u64, u64)>>, ShardRun<()>) {
+        let log: Mutex<Vec<Vec<(u64, u64)>>> = Mutex::new(vec![Vec::new(), Vec::new()]);
+        let run = run_sharded(
+            2,
+            threads,
+            None,
+            build_pingpong,
+            |rank, sim: &mut Simulator<u64>| {
+                let b = sim.node_as::<Bouncer>(NodeId(0)).unwrap();
+                log.lock().unwrap()[rank] = b.arrivals.clone();
+            },
+        );
+        (log.into_inner().unwrap(), run)
+    }
+
+    #[test]
+    fn pingpong_crosses_shards_on_schedule() {
+        let (log, run) = run_pingpong(1);
+        // 6 hops of budget -> 7 arrivals total, alternating partitions:
+        // hop k arrives at k * (serialization + 5 ms). 1000 B at 1 Gbps
+        // = 8 us serialization on the egress link.
+        let hop_ns = 8_000 + 5_000_000;
+        assert_eq!(log[1].len(), 4); // odd hops 1, 3, 5, 7 land on partition 1
+        assert_eq!(log[0].len(), 3); // even hops 2, 4, 6 on partition 0
+        for (i, &(t, budget)) in log[1].iter().enumerate() {
+            let hop = (2 * i + 1) as u64;
+            assert_eq!(t, hop * hop_ns, "hop {hop} arrival time");
+            assert_eq!(budget, 7 - hop);
+        }
+        for (i, &(t, budget)) in log[0].iter().enumerate() {
+            let hop = (2 * i + 2) as u64;
+            assert_eq!(t, hop * hop_ns, "hop {hop} arrival time");
+            assert_eq!(budget, 7 - hop);
+        }
+        assert_eq!(run.cross_messages, 7);
+        let live: usize = run.hygiene.iter().map(|h| h.live_packets).sum();
+        assert_eq!(live, 0, "cross-shard run must drain its arenas");
+    }
+
+    #[test]
+    fn thread_count_is_invisible() {
+        let (log1, run1) = run_pingpong(1);
+        let (log2, run2) = run_pingpong(2);
+        assert_eq!(log1, log2);
+        assert_eq!(run1.rounds, run2.rounds);
+        assert_eq!(run1.cross_messages, run2.cross_messages);
+    }
+
+    #[test]
+    fn horizon_cuts_the_run_short() {
+        // 5 ms per hop: a 12 ms horizon admits hops 1 and 2 only.
+        let log: Mutex<Vec<Vec<(u64, u64)>>> = Mutex::new(vec![Vec::new(), Vec::new()]);
+        let run = run_sharded(
+            2,
+            2,
+            Some(SimTime::from_nanos(12_000_000)),
+            build_pingpong,
+            |rank, sim: &mut Simulator<u64>| {
+                let b = sim.node_as::<Bouncer>(NodeId(0)).unwrap();
+                log.lock().unwrap()[rank] = b.arrivals.clone();
+            },
+        );
+        let log = log.into_inner().unwrap();
+        assert_eq!(log[1].len(), 1);
+        assert_eq!(log[0].len(), 1);
+        // Hop 3 was cut off mid-flight: its packet sits in an arena.
+        let live: usize = run.hygiene.iter().map(|h| h.live_packets).sum();
+        assert!(live > 0, "horizon cut must strand the in-flight hop");
+    }
+
+    #[test]
+    // The assert fires on a worker; `thread::scope` re-raises it under its
+    // own message.
+    #[should_panic(expected = "scoped thread panicked")]
+    fn zero_lookahead_is_rejected() {
+        run_sharded(
+            2,
+            1,
+            None,
+            |rank, handle: &mut ShardHandle<u64>| {
+                let mut sim: Simulator<u64> = Simulator::new(rank as u64);
+                let n = sim.add_node(Box::new(Bouncer {
+                    egress: LinkId(0),
+                    arrivals: Vec::new(),
+                }));
+                handle.add_portal(&mut sim, 1 - rank, n, LinkId(0), SimDuration::ZERO);
+                sim
+            },
+            |_, _| (),
+        );
+    }
+
+    #[test]
+    fn portal_free_partitions_run_independently() {
+        // No portals: lookahead is None, each partition drains in one
+        // unbounded window.
+        let run = run_sharded(
+            3,
+            2,
+            None,
+            |rank, _handle: &mut ShardHandle<u64>| {
+                let mut sim: Simulator<u64> = Simulator::new(rank as u64);
+                let n = sim.add_node(Box::new(Bouncer {
+                    egress: LinkId(0),
+                    arrivals: Vec::new(),
+                }));
+                let l = sim.add_link(LinkSpec::drop_tail(
+                    n,
+                    n,
+                    Rate::from_gbps(1),
+                    SimDuration::from_micros(10),
+                    1 << 20,
+                ));
+                sim.core()
+                    .send_on(l, Packet::new(FlowId(0), n, n, 500, 0u64));
+                sim
+            },
+            |_, sim: &mut Simulator<u64>| sim.node_as::<Bouncer>(NodeId(0)).unwrap().arrivals.len(),
+        );
+        assert_eq!(run.results, vec![1, 1, 1]);
+        assert_eq!(run.cross_messages, 0);
+    }
+}

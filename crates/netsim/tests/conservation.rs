@@ -304,6 +304,139 @@ fn trace_events_and_stats_move_in_lockstep() {
     assert!(delivered > 0 && stats.wire_lost > 0, "corpus too tame");
 }
 
+/// Cross-shard conservation: when a topology is split across partitions
+/// (see `netsim::shard`), the wire-side equation must close exactly at the
+/// boundary — every packet delivered to a portal by the source egress link
+/// reappears as exactly one injected arrival on the destination's ingress
+/// stub — and the per-partition arenas must all be empty at drain.
+#[test]
+fn wire_equation_closes_across_shard_boundaries() {
+    use netsim::link::LinkStats;
+    use netsim::shard::{run_sharded, ShardHandle};
+    use netsim::{LinkId, NodeId};
+
+    /// Paced source: sends `remaining` packets with seeded random gaps.
+    struct Gen {
+        egress: LinkId,
+        remaining: u64,
+        rng: SimRng,
+        sent: u64,
+    }
+    impl Node<u32> for Gen {
+        fn on_packet(&mut self, _p: Packet<u32>, _c: &mut Ctx<'_, u32>) {}
+        fn on_timer(&mut self, _i: TimerId, _t: u64, ctx: &mut Ctx<'_, u32>) {
+            self.remaining -= 1;
+            self.sent += 1;
+            let me = ctx.node_id();
+            ctx.send(
+                self.egress,
+                Packet::new(FlowId(self.sent), me, me, 1200, 0u32),
+            );
+            if self.remaining > 0 {
+                let gap = SimDuration::from_micros(50 + self.rng.index(3000) as u64);
+                ctx.set_timer(gap, 0);
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    const N: u64 = 300;
+
+    // Two symmetric partitions: node 0 receives (Count), node 1 generates,
+    // link 0 is the ingress stub, link 1 the lossy egress into the portal.
+    let build = |rank: usize, handle: &mut ShardHandle<u32>| {
+        let mut sim: Simulator<u32> = Simulator::new(0x5AD + rank as u64);
+        let sink = sim.add_node(Box::new(Count(0)));
+        let gen = sim.add_node(Box::new(Gen {
+            egress: LinkId(1),
+            remaining: N,
+            rng: SimRng::new(100 + rank as u64),
+            sent: 0,
+        }));
+        let ingress = sim.add_link(LinkSpec::drop_tail(
+            sink,
+            sink,
+            Rate::from_mbps(100),
+            SimDuration::ZERO,
+            1 << 22,
+        ));
+        let portal = handle.add_portal(
+            &mut sim,
+            1 - rank,
+            NodeId(0),
+            ingress,
+            SimDuration::from_millis(5),
+        );
+        let egress = sim.add_link(LinkSpec {
+            src: gen,
+            dst: portal,
+            rate: Rate::from_mbps(10),
+            delay: SimDuration::from_millis(1),
+            queue: Box::new(DropTail::new(1 << 22)),
+            loss: LossModel::Bernoulli { p: 0.15 },
+        });
+        assert_eq!(egress, LinkId(1));
+        sim.core().set_timer(gen, SimDuration::from_micros(10), 0);
+        sim
+    };
+    let finish = |_rank: usize, sim: &mut Simulator<u32>| {
+        let received = sim.node_as::<Count>(NodeId(0)).unwrap().0;
+        let sent = sim.node_as::<Gen>(NodeId(1)).unwrap().sent;
+        (
+            received,
+            sent,
+            sim.link_stats(LinkId(0)),
+            sim.link_stats(LinkId(1)),
+        )
+    };
+
+    for threads in [1usize, 2] {
+        let run = run_sharded(2, threads, None, build, finish);
+        let sides: Vec<(u64, u64, LinkStats, LinkStats)> = run.results;
+        let mut crossings = 0;
+        for p in 0..2 {
+            let (received, sent, ref ingress, ref egress) = sides[p];
+            let (_, _, _, ref peer_egress) = sides[1 - p];
+            assert_eq!(sent, N, "partition {p} offered everything");
+            // Boundary equation: packets the peer's egress delivered into
+            // its portal == arrivals injected on our ingress stub ==
+            // packets our sink saw.
+            assert_eq!(
+                ingress.delivered, peer_egress.delivered,
+                "partition {p}: boundary books don't close (threads {threads})"
+            );
+            assert_eq!(received, ingress.delivered, "partition {p}: sink count");
+            // Egress-side equation: everything serialized was either lost
+            // on the wire or handed to the portal.
+            assert_eq!(
+                egress.tx_packets,
+                egress.delivered + egress.wire_lost,
+                "partition {p}: egress wire books"
+            );
+            assert_eq!(egress.offered, N, "partition {p}: no queue losses expected");
+            assert!(egress.wire_lost > 0, "corpus too tame to test loss");
+            crossings += egress.delivered;
+        }
+        assert_eq!(
+            run.cross_messages, crossings,
+            "crossing tally (threads {threads})"
+        );
+        // Arena hygiene: packets crossed by value, so at drain no shard
+        // arena may hold a live slot.
+        let live: usize = run.hygiene.iter().map(|h| h.live_packets).sum();
+        assert_eq!(live, 0, "live packets stranded across shard arenas");
+        assert!(
+            run.hygiene.iter().all(|h| h.is_clean()),
+            "shard hygiene unclean at drain"
+        );
+    }
+}
+
 /// A faulted run is fully determined by `(seed, spec)`: identical seeds give
 /// identical delivery schedules, and the fault stream is independent of the
 /// engine RNG (installing a noop-ish fault spec doesn't shift wire loss).

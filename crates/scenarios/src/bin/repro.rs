@@ -1,7 +1,7 @@
 //! `repro` — regenerate any table or figure of the Halfback paper.
 //!
 //! ```text
-//! repro <experiment>... [--quick | --scale quick|full] [--jobs N] [--out DIR]
+//! repro <experiment>... [--quick | --scale quick|full] [--jobs N] [--shards N] [--out DIR]
 //! repro all [--quick] [--out DIR]
 //! repro trace [--figure F] [--protocol P] [--seed S] [--flow N] [--bytes B] [--out DIR]
 //! repro simcheck [--seed S] [--cases N] [--jobs N] [--out DIR]
@@ -18,6 +18,11 @@
 //! Results are byte-identical for every N: jobs carry stable keys and are
 //! collected in submission order, so `out/*.csv` never depends on thread
 //! interleaving.
+//!
+//! `--shards N` sets the worker-thread count for sharded scenarios
+//! (`planetlab100k`), which parallelize *inside* one simulation. The
+//! partition count is fixed by the scenario, so output is byte-identical
+//! for every N here too.
 
 use scenarios::figures::{distinct_experiment_ids, run_experiment};
 use scenarios::simcheck;
@@ -338,6 +343,13 @@ fn main() -> ExitCode {
                 Some(n) if n >= 1 => harness::set_workers(n),
                 _ => {
                     eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--shards" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => harness::set_shards(n),
+                _ => {
+                    eprintln!("--shards needs a positive integer");
                     return ExitCode::FAILURE;
                 }
             },

@@ -14,6 +14,7 @@ pub mod home;
 pub mod long_short;
 pub mod multihop;
 pub mod planetlab;
+pub mod planetlab_sharded;
 pub mod ratio;
 pub mod sensitivity;
 pub mod table1;
@@ -57,6 +58,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<Vec<Figure>> {
         "fig17" => Some(ablation::figures(scale)),
         "aqm" => Some(aqm::figures(scale)),
         "chaos" => Some(chaos::figures(scale)),
+        "planetlab100k" => Some(planetlab_sharded::figures(scale)),
         "ratio" => Some(ratio::figures(scale)),
         "multihop" => Some(multihop::figures(scale)),
         "sensitivity" => Some(sensitivity::figures(scale)),
@@ -85,6 +87,7 @@ pub fn distinct_experiment_ids() -> Vec<&'static str> {
         "table1",
         "aqm",
         "chaos",
+        "planetlab100k",
         "ratio",
         "multihop",
         "sensitivity",

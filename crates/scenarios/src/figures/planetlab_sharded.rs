@@ -1,0 +1,291 @@
+//! The scaled PlanetLab scenario: the §4.2 global-Internet evaluation
+//! grown past 100 K concurrent flows and run on the sharded engine.
+//!
+//! Eight *sites* (one partition each — the partition count is part of the
+//! scenario, never of the machine) hold a router plus `H` hosts behind
+//! access links; every ordered site pair is connected by a WAN leg whose
+//! propagation delay doubles as the conservative-barrier lookahead (see
+//! `netsim::shard`). Every host opens `F` Halfback flows of 100 KB at
+//! `t = 0` to hosts in other sites — at full scale that is
+//! 8 × 2048 × 7 = 114,688 concurrent short flows, the incast-heavy
+//! "internet weather" regime the ROADMAP points at.
+//!
+//! `--shards N` maps the eight partitions onto N worker threads; the
+//! figure output is byte-identical for every N (pinned by
+//! `harness_determinism.rs` and `ci/check_shards.sh`).
+//!
+//! ## Addressing
+//!
+//! Hosts are wired with **global** ids (`site * 1e6`-strided), which is
+//! what flows, packets, and route tables speak; engine-local ids stay a
+//! per-partition detail. Cross-site packets leave through a zero-delay
+//! egress link into a portal, cross by value, and are injected on the
+//! destination router with the pair's ingress stub link as the
+//! conservation anchor.
+
+use crate::metrics::fct_ecdf;
+use crate::report::Figure;
+use crate::{Protocol, Scale};
+use baselines::path_cache;
+use netsim::link::LinkSpec;
+use netsim::router::Router;
+use netsim::shard::{run_sharded, ShardHandle};
+use netsim::{FlowId, LinkId, NodeId, Rate, SimDuration, SimTime};
+use transport::sender::FlowRecord;
+use transport::{Header, Host, TransportSim};
+
+/// Number of sites (= partitions). Fixed: changing it changes the
+/// scenario, not the execution.
+pub const SITES: usize = 8;
+
+/// Flow size, as in §4.2 (100 KB).
+pub const FLOW_BYTES: u64 = 100_000;
+
+/// Hosts per site.
+pub fn hosts_per_site(scale: Scale) -> usize {
+    scale.pick(2048, 32)
+}
+
+/// Flows opened by each host at `t = 0`.
+pub fn flows_per_host(scale: Scale) -> usize {
+    scale.pick(7, 2)
+}
+
+/// Virtual-time cap: stragglers still live at this point are censored.
+const HORIZON: SimDuration = SimDuration::from_secs(180);
+
+/// Global id of host `h` of site `s` — the id space packets and route
+/// tables use. Strided so it can never collide with any partition-local
+/// id (those stay below ~5 K even at full scale).
+fn global_id(site: usize, host: usize) -> NodeId {
+    NodeId((site as u32 + 1) * 1_000_000 + host as u32)
+}
+
+/// One-way WAN propagation delay for the ordered site pair `(src, dst)`:
+/// 20–79 ms, deterministic in the pair. The minimum over all pairs is the
+/// sharded engine's lookahead window.
+fn wan_delay(src: usize, dst: usize) -> SimDuration {
+    SimDuration::from_millis(20 + ((src * 7 + dst * 13) % 60) as u64)
+}
+
+/// Ingress stub link id for packets arriving at site `dst` from site
+/// `src`. Link layout per partition: `2H` access links first, then an
+/// (ingress, egress) pair per remote site in ascending order.
+fn ingress_link_id(dst: usize, src: usize, hosts: usize) -> LinkId {
+    let pos = if src < dst { src } else { src - 1 };
+    LinkId((2 * hosts + 2 * pos) as u32)
+}
+
+/// Build one site: router (local id 0), `H` hosts with up/down access
+/// links, and a portal + egress/ingress link pair per remote site. All
+/// `F` flows per host start at `t = 0` before the engine runs.
+fn build_site(s: usize, handle: &mut ShardHandle<Header>, scale: Scale) -> TransportSim {
+    let hosts = hosts_per_site(scale);
+    let flows = flows_per_host(scale);
+    let access_rate = Rate::from_mbps(200);
+    let wan_rate = Rate::from_gbps(40);
+
+    let mut sim = TransportSim::new(9_000 + s as u64);
+    let router = sim.add_node(Box::new(Router::new()));
+    debug_assert_eq!(router, NodeId(0));
+
+    let mut host_nodes = Vec::with_capacity(hosts);
+    for h in 0..hosts {
+        let node = sim.add_node(Box::new(Host::new()));
+        let up = sim.add_link(LinkSpec::drop_tail(
+            node,
+            router,
+            access_rate,
+            SimDuration::from_micros(10),
+            10_000_000,
+        ));
+        let down = sim.add_link(LinkSpec::drop_tail(
+            router,
+            node,
+            access_rate,
+            SimDuration::from_micros(10),
+            10_000_000,
+        ));
+        sim.with_node_mut::<Host, _>(node, |host, _| host.wire(global_id(s, h), up));
+        sim.node_as_mut::<Router>(router)
+            .unwrap()
+            .add_route(global_id(s, h), down);
+        host_nodes.push(node);
+    }
+
+    // Portals: the egress link serializes at WAN rate with zero local
+    // delay; the portal adds the pair's propagation delay at handoff, so
+    // the delay is all lookahead.
+    let mut egress_of = [None; SITES];
+    for t in (0..SITES).filter(|&t| t != s) {
+        let ingress = sim.add_link(LinkSpec::drop_tail(
+            router,
+            router,
+            wan_rate,
+            SimDuration::ZERO,
+            64_000_000,
+        ));
+        debug_assert_eq!(ingress, ingress_link_id(s, t, hosts));
+        let portal = handle.add_portal(
+            &mut sim,
+            t,
+            NodeId(0), // the remote router is always local id 0
+            ingress_link_id(t, s, hosts),
+            wan_delay(s, t),
+        );
+        let egress = sim.add_link(LinkSpec::drop_tail(
+            router,
+            portal,
+            wan_rate,
+            SimDuration::ZERO,
+            64_000_000,
+        ));
+        egress_of[t] = Some(egress);
+    }
+    for t in (0..SITES).filter(|&t| t != s) {
+        let egress = egress_of[t].unwrap();
+        let r = sim.node_as_mut::<Router>(router).unwrap();
+        for j in 0..hosts {
+            r.add_route(global_id(t, j), egress);
+        }
+    }
+
+    // Flow fan-out: host (s, h) opens flow f to a deterministic host in a
+    // deterministic *other* site. Flow ids are globally unique.
+    let cache = path_cache();
+    for (h, &node) in host_nodes.iter().enumerate() {
+        for f in 0..flows {
+            let t = (s + 1 + (h + f) % (SITES - 1)) % SITES;
+            let j = (h * 31 + f * 17 + s) % hosts;
+            let flow = FlowId(((s * hosts + h) * flows + f + 1) as u64);
+            let (src_g, dst_g) = (global_id(s, h), global_id(t, j));
+            let strategy = Protocol::Halfback.make(&cache, (src_g, dst_g));
+            sim.with_node_mut::<Host, _>(node, |host, core| {
+                host.start_flow(core, flow, dst_g, FLOW_BYTES, strategy)
+            });
+        }
+    }
+    sim
+}
+
+/// Per-partition tally extracted after the run.
+struct SiteTally {
+    completed: Vec<FlowRecord>,
+    aborted: usize,
+    unroutable: u64,
+    events: u64,
+    now_ns: u64,
+}
+
+fn finish_site(_s: usize, sim: &mut TransportSim, scale: Scale) -> SiteTally {
+    let hosts = hosts_per_site(scale);
+    let mut completed = Vec::new();
+    let mut aborted = 0usize;
+    for h in 0..hosts {
+        let host = sim.node_as::<Host>(NodeId(1 + h as u32)).unwrap();
+        for r in host.completed() {
+            if r.outcome.is_completed() {
+                completed.push(r.clone());
+            } else {
+                aborted += 1;
+            }
+        }
+    }
+    SiteTally {
+        completed,
+        aborted,
+        unroutable: sim.node_as::<Router>(NodeId(0)).unwrap().unroutable(),
+        events: sim.events_processed(),
+        now_ns: sim.now().as_nanos(),
+    }
+}
+
+/// Merged outcome of one sharded run.
+pub struct ShardedOutcome {
+    /// Completed flows, sorted by flow id (canonical order).
+    pub records: Vec<FlowRecord>,
+    /// Flows that gave up.
+    pub aborted: usize,
+    /// Flows still live at the horizon.
+    pub censored: usize,
+    /// Flows started.
+    pub started: usize,
+    /// Conservative windows executed.
+    pub rounds: u64,
+    /// Cross-site packets injected at barriers.
+    pub cross_messages: u64,
+}
+
+/// Run the scenario on `threads` shard workers. Output is independent of
+/// `threads` — that is the whole point.
+pub fn run(scale: Scale, threads: usize) -> ShardedOutcome {
+    let started = SITES * hosts_per_site(scale) * flows_per_host(scale);
+    let run = run_sharded(
+        SITES,
+        threads,
+        Some(SimTime::ZERO + HORIZON),
+        |s, handle: &mut ShardHandle<Header>| build_site(s, handle, scale),
+        |s, sim: &mut TransportSim| finish_site(s, sim, scale),
+    );
+    let mut records = Vec::new();
+    let mut aborted = 0;
+    let (mut events, mut now_ns) = (0u64, 0u64);
+    for tally in run.results {
+        assert_eq!(tally.unroutable, 0, "site router dropped routable traffic");
+        records.extend(tally.completed);
+        aborted += tally.aborted;
+        events += tally.events;
+        now_ns = now_ns.max(tally.now_ns);
+    }
+    records.sort_by_key(|r| r.flow);
+    crate::harness::meter_add(now_ns, events);
+    ShardedOutcome {
+        censored: started - records.len() - aborted,
+        aborted,
+        started,
+        records,
+        rounds: run.rounds,
+        cross_messages: run.cross_messages,
+    }
+}
+
+/// Render the `planetlab100k` figure: Halfback's FCT distribution at
+/// 100 K+ concurrent flows, plus run-shape notes. Everything here is a
+/// function of the scenario alone — shard-thread count never leaks in.
+pub fn figures(scale: Scale) -> Vec<Figure> {
+    let out = run(scale, crate::harness::shards());
+    let mut fig = Figure::new(
+        "planetlab100k",
+        "Scaled PlanetLab: Halfback FCT at 100K+ concurrent short flows (CDF)",
+        "latency (ms)",
+        "percent of flows",
+    );
+    let mut e = fct_ecdf(&out.records);
+    fig.push_series("Halfback", e.cdf_series());
+    fig.note(format!(
+        "{} flows started: {} sites x {} hosts x {} flows/host, {} B each, all at t=0",
+        out.started,
+        SITES,
+        hosts_per_site(scale),
+        flows_per_host(scale),
+        FLOW_BYTES,
+    ));
+    fig.note(format!(
+        "completed {}, aborted {}, censored {} (horizon {}s)",
+        out.records.len(),
+        out.aborted,
+        out.censored,
+        HORIZON.as_secs_f64(),
+    ));
+    fig.note(format!(
+        "mean FCT {:.0} ms, median {:.0} ms, 99th pct {:.0} ms",
+        e.mean().unwrap_or(f64::NAN),
+        e.median().unwrap_or(f64::NAN),
+        e.percentile(99.0).unwrap_or(f64::NAN),
+    ));
+    fig.note(format!(
+        "sharded engine: {} partitions, {} conservative windows, {} cross-site packet crossings",
+        SITES, out.rounds, out.cross_messages,
+    ));
+    vec![fig]
+}

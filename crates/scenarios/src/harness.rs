@@ -94,6 +94,28 @@ pub fn set_workers(n: usize) {
     WORKERS.store(n, Ordering::Relaxed);
 }
 
+/// Shard-thread count for intra-scenario parallelism: 0 = unset, resolve
+/// to available parallelism on use (the `--shards N` flag).
+static SHARDS: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the shard-thread count used by sharded scenarios (`--shards N`).
+/// Like `--jobs`, this only changes how partitions map onto threads; the
+/// partition count — and therefore the output — is fixed by the scenario.
+pub fn set_shards(n: usize) {
+    SHARDS.store(n, Ordering::Relaxed);
+}
+
+/// The effective shard-thread count: the value set via [`set_shards`], or
+/// the machine's available parallelism.
+pub fn shards() -> usize {
+    match SHARDS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        n => n,
+    }
+}
+
 /// The effective worker count: the value set via [`set_workers`], or the
 /// machine's available parallelism.
 pub fn workers() -> usize {

@@ -126,6 +126,66 @@ fn chaos_runs_are_byte_identical_across_worker_counts() {
     let _ = fs::remove_dir_all(&d4);
 }
 
+/// Render `experiment` at quick scale with `n` shard threads (intra-
+/// scenario parallelism) and write its CSV/summary files under `dir`.
+fn render_shards_to(experiment: &str, n_shards: usize, dir: &Path) {
+    harness::set_shards(n_shards);
+    let figs = run_experiment(experiment, Scale::Quick).expect("known experiment");
+    for fig in figs {
+        fig.write_csv(dir).unwrap();
+    }
+}
+
+/// The sharded engine's contract, mirroring the `--jobs` batteries above:
+/// the shard-thread count maps partitions onto workers but never shapes
+/// the simulation, so `--shards 1`, `2`, and `4` must write byte-identical
+/// files for the sharded scaled-PlanetLab scenario.
+#[test]
+fn sharded_scenario_is_byte_identical_across_shard_counts() {
+    let _guard = HARNESS_LOCK.lock().unwrap();
+    let d1 = scratch("shards1");
+    let d2 = scratch("shards2");
+    let d4 = scratch("shards4");
+    render_shards_to("planetlab100k", 1, &d1);
+    render_shards_to("planetlab100k", 2, &d2);
+    render_shards_to("planetlab100k", 4, &d4);
+    harness::set_shards(0); // restore the default for other tests
+    harness::take_metrics();
+
+    let a = snapshot(&d1);
+    let b = snapshot(&d2);
+    let c = snapshot(&d4);
+    assert!(!a.is_empty(), "no sharded output files written");
+    assert_eq!(a, b, "output differs between --shards 1 and --shards 2");
+    assert_eq!(a, c, "output differs between --shards 1 and --shards 4");
+    let _ = fs::remove_dir_all(&d1);
+    let _ = fs::remove_dir_all(&d2);
+    let _ = fs::remove_dir_all(&d4);
+}
+
+/// `--shards` must be inert for cell-parallel experiments: fig6 and chaos
+/// fan out over the jobs pool and never consult the shard setting, and
+/// this pins that — a future scenario quietly branching on
+/// `harness::shards()` outside a sharded engine run would break here.
+#[test]
+fn shard_setting_does_not_leak_into_job_parallel_experiments() {
+    let _guard = HARNESS_LOCK.lock().unwrap();
+    for experiment in ["fig6", "chaos"] {
+        let d1 = scratch(&format!("{experiment}-shardflag1"));
+        let d4 = scratch(&format!("{experiment}-shardflag4"));
+        render_shards_to(experiment, 1, &d1);
+        render_shards_to(experiment, 4, &d4);
+        let a = snapshot(&d1);
+        let b = snapshot(&d4);
+        assert!(!a.is_empty(), "no {experiment} output files written");
+        assert_eq!(a, b, "{experiment} output changed with the shard setting");
+        let _ = fs::remove_dir_all(&d1);
+        let _ = fs::remove_dir_all(&d4);
+    }
+    harness::set_shards(0);
+    harness::take_metrics();
+}
+
 /// The flight-recorder export is a pure function of `(scenario, seed)`:
 /// running the same trace specs as harness jobs on 1 worker and on 4 must
 /// produce byte-identical JSONL and time–sequence CSV, and repeating the

@@ -35,11 +35,14 @@ root=$(cd "$(dirname "$0")/.." && pwd)
 # more). far_schedule exercises the L2 wheel + overflow heap path;
 # packet_arena pins the pooled-packet alloc/free cycle. shard_barrier
 # pins the sharded engine's per-window coordination cost (barriers +
-# mailbox sweeps) with one hop of real work per window.
+# mailbox sweeps) with one hop of real work per window — both with the
+# per-window telemetry records off (the free default) and on.
+# quantile_sketch pins the log-histogram insert/merge path the large
+# scenarios aggregate FCTs through.
 cargo bench --bench engine -- \
     schedule_fire_1e5 schedule_cancel_fire_1e6 event_queue_hold \
     far_schedule_fire_1e6 packet_arena \
-    link_pipeline shard_barrier \
+    link_pipeline shard_barrier quantile_sketch \
     --check "$root/BENCH_netsim.json"
 
 cargo bench --bench e2e -- --check "$root/BENCH_e2e.json"

@@ -16,8 +16,18 @@ trap 'rm -rf "$out1" "$out4"' EXIT
 cargo run --release --bin repro -- planetlab100k --scale quick --shards 1 --out "$out1"
 cargo run --release --bin repro -- planetlab100k --scale quick --shards 4 --out "$out4"
 
-if ! diff -r "$out1" "$out4"; then
+# The run manifest carries wall-clock and machine-shape fields by design;
+# compare it separately with those lines stripped (each sits on its own
+# line — see crates/scenarios/src/manifest.rs).
+if ! diff -r -x manifest.json "$out1" "$out4"; then
     echo "FAIL: planetlab100k output differs between --shards 1 and --shards 4" >&2
+    exit 1
+fi
+
+grep -vE '"wall_|"machine"' "$out1/manifest.json" > "$out1/manifest.det"
+grep -vE '"wall_|"machine"' "$out4/manifest.json" > "$out4/manifest.det"
+if ! diff "$out1/manifest.det" "$out4/manifest.det"; then
+    echo "FAIL: manifest deterministic fields differ between --shards 1 and --shards 4" >&2
     exit 1
 fi
 

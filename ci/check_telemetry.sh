@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Telemetry-determinism smoke: `--telemetry` emits one JSONL record per
+# (conservative window, partition). The virtual-time fields are part of
+# the sharded engine's determinism contract — byte-identical across
+# `--shards N` — while wall-clock measurements live in a nested
+# `"wall":{...}` object precisely so this check can strip them with one
+# sed expression (see crates/scenarios/src/telemetry.rs).
+#
+# Usage: ci/check_telemetry.sh  (from the repo root)
+set -eu
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+cargo run --release --bin repro -- planetlab100k --scale quick \
+    --shards 1 --telemetry "$dir/t1.jsonl" --out "$dir/out1"
+cargo run --release --bin repro -- planetlab100k --scale quick \
+    --shards 4 --telemetry "$dir/t4.jsonl" --out "$dir/out4"
+
+# Shape: a schema-tagged header, then only window records.
+for f in "$dir/t1.jsonl" "$dir/t4.jsonl"; do
+    head -1 "$f" | grep -q '"schema":"halfback-telemetry-v1"' || {
+        echo "FAIL: $f missing schema header" >&2
+        exit 1
+    }
+    body=$(tail -n +2 "$f" | grep -cv '^{"kind":"window",' || true)
+    if [ "$body" != "0" ]; then
+        echo "FAIL: $f has $body non-window body lines" >&2
+        exit 1
+    fi
+    # Every record carries the full field set, wall object last.
+    bad=$(tail -n +2 "$f" | grep -cv \
+        '"window":.*"part":.*"w_end_ns":.*"events":.*"deposited":.*"injected":.*"mailbox_max":.*"wheel_depth":.*"arena_live":.*"arena_hiwater":.*"wall":{"barrier_ns":[0-9]*,"window_ns":[0-9]*}}$' || true)
+    if [ "$bad" != "0" ]; then
+        echo "FAIL: $f has $bad records missing fields" >&2
+        exit 1
+    fi
+done
+
+# Determinism: identical after stripping the quarantined wall object.
+sed 's/,"wall":{[^}]*}//' "$dir/t1.jsonl" > "$dir/t1.det"
+sed 's/,"wall":{[^}]*}//' "$dir/t4.jsonl" > "$dir/t4.det"
+if ! diff "$dir/t1.det" "$dir/t4.det"; then
+    echo "FAIL: telemetry virtual-time fields differ between --shards 1 and --shards 4" >&2
+    exit 1
+fi
+
+records=$(tail -n +2 "$dir/t1.jsonl" | wc -l)
+echo "OK: $records telemetry records, virtual-time fields byte-identical across shard counts"

@@ -44,7 +44,7 @@ fn planetlab_shards1(c: &mut Bench) {
     let mut g = c.benchmark_group("e2e");
     g.sample_size(10);
     g.bench_function("planetlab_shards1", || {
-        black_box(planetlab_sharded::run(Scale::Quick, 1).records.len());
+        black_box(planetlab_sharded::run(Scale::Quick, 1).completed);
         let _ = harness::take_metrics();
     });
     g.finish();
@@ -58,7 +58,7 @@ fn planetlab_shards4(c: &mut Bench) {
     let mut g = c.benchmark_group("e2e");
     g.sample_size(10);
     g.bench_function("planetlab_shards4", || {
-        black_box(planetlab_sharded::run(Scale::Quick, 4).records.len());
+        black_box(planetlab_sharded::run(Scale::Quick, 4).completed);
         let _ = harness::take_metrics();
     });
     g.finish();

@@ -271,7 +271,7 @@ fn packet_arena(c: &mut Bench) {
 /// arithmetic, no simulation work. Run on one thread so the number is the
 /// coordination cost itself, not contention.
 fn shard_barrier(c: &mut Bench) {
-    use netsim::shard::{run_sharded, ShardHandle};
+    use netsim::shard::{run_sharded_with, ShardHandle, ShardHooks};
     use netsim::{LinkId, NodeId};
 
     /// Forwards the token to the next partition until its budget is spent.
@@ -300,14 +300,20 @@ fn shard_barrier(c: &mut Bench) {
 
     const PARTS: usize = 4;
     const HOPS: u64 = 2_000;
-    let mut g = c.benchmark_group("shard_barrier");
-    g.sample_size(10);
-    g.throughput_elements(HOPS);
-    g.bench_function("ring_hop_2e3", || {
-        let run = run_sharded(
+
+    // One ring circuit; `telemetry` toggles the per-window record path so
+    // the gate can pin "telemetry off costs nothing" while the on-variant
+    // documents what a record per (window, partition) adds.
+    fn ring(telemetry: bool) {
+        let hooks = ShardHooks {
+            telemetry,
+            ..ShardHooks::default()
+        };
+        let run = run_sharded_with(
             PARTS,
             1,
             None,
+            hooks,
             |rank, handle: &mut ShardHandle<u64>| {
                 let mut sim: Simulator<u64> = Simulator::new(rank as u64);
                 let node = sim.add_node(Box::new(Ring {
@@ -344,7 +350,68 @@ fn shard_barrier(c: &mut Bench) {
             },
             |_, sim: &mut Simulator<u64>| sim.node_as::<Ring>(NodeId(0)).unwrap().seen,
         );
-        black_box(run.results.iter().sum::<u64>());
+        black_box((
+            run.results.iter().sum::<u64>(),
+            run.telemetry.map(|t| t.len()),
+        ));
+    }
+
+    let mut g = c.benchmark_group("shard_barrier");
+    g.sample_size(10);
+    g.throughput_elements(HOPS);
+    g.bench_function("ring_hop_2e3", || ring(false));
+    g.bench_function("ring_hop_2e3_telemetry", || ring(true));
+    g.finish();
+}
+
+/// The quantile sketch on the metrics hot path: insert cost for 1e6
+/// samples (one bucket-key computation + BTreeMap bump each) and the cost
+/// of merging 64 shard-local sketches into one aggregate — the two
+/// operations large scenarios lean on instead of per-flow Ecdf samples.
+fn quantile_sketch(c: &mut Bench) {
+    use netsim::stats::LogHistogram;
+
+    /// Deterministic positive samples spanning several octaves (the LCG
+    /// keeps the distribution identical run to run).
+    fn sample(lcg: &mut u64) -> f64 {
+        *lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((*lcg >> 33) % 1_000_000 + 1) as f64 / 1_000.0
+    }
+
+    let n = 1_000_000u64;
+    let mut g = c.benchmark_group("quantile_sketch");
+    g.sample_size(10);
+    g.throughput_elements(n);
+    g.bench_function("insert_1e6", || {
+        let mut h = LogHistogram::new();
+        let mut lcg: u64 = 0x9e3779b97f4a7c15;
+        for _ in 0..n {
+            h.add(sample(&mut lcg));
+        }
+        black_box((h.count(), h.quantile(99.0)));
+    });
+
+    // Merge: 64 pre-built 10k-sample sketches folded into a fresh one per
+    // iteration — the per-window/per-shard aggregation step.
+    let parts: Vec<LogHistogram> = (0..64)
+        .map(|i| {
+            let mut h = LogHistogram::new();
+            let mut lcg: u64 = 0x9e3779b97f4a7c15 ^ (i as u64).wrapping_mul(0xff51afd7ed558ccd);
+            for _ in 0..10_000 {
+                h.add(sample(&mut lcg));
+            }
+            h
+        })
+        .collect();
+    g.throughput_elements(64);
+    g.bench_function("merge_64x10k", || {
+        let mut agg = LogHistogram::new();
+        for p in &parts {
+            agg.merge(p);
+        }
+        black_box((agg.count(), agg.quantile(50.0)));
     });
     g.finish();
 }
@@ -405,6 +472,7 @@ fn main() {
         ("link_pipeline", link_pipeline),
         ("queue_ops", queue_ops),
         ("packet_arena", packet_arena),
+        ("quantile_sketch", quantile_sketch),
         ("shard_barrier", shard_barrier),
         ("transport_flow", transport_flow),
         ("workload_generation", workload_generation),

@@ -767,6 +767,24 @@ impl<P: Payload> Simulator<P> {
         self.core.events_processed
     }
 
+    /// Events currently pending in the wheel (live and stale) — the
+    /// "wheel depth" a shard telemetry window reports. Immutable twin of
+    /// [`EngineCore::pending_events`] for observers that only hold `&self`.
+    pub fn pending_events(&self) -> usize {
+        self.core.pending_events()
+    }
+
+    /// Packets currently parked in the arena (on the wire or queued).
+    pub fn live_packets(&self) -> usize {
+        self.core.live_packets()
+    }
+
+    /// High-water mark of simultaneously parked packets — the arena's
+    /// capacity never shrinks, so this is also its allocated footprint.
+    pub fn arena_high_water(&self) -> usize {
+        self.core.packet_arena_capacity()
+    }
+
     /// Snapshot of everything that should be empty once a simulation has
     /// drained: live timers, busy links, queued packets. Stale cancelled
     /// timer entries still sitting in the queue are *not* leaks and do not

@@ -160,6 +160,97 @@ impl<P: Payload> ShardHandle<P> {
     }
 }
 
+/// One per-partition, per-window telemetry record — the runtime data the
+/// barrier loop was blind to before: load balance, mailbox pressure,
+/// wheel depth, arena footprint, and where wall time actually goes.
+///
+/// **Determinism contract:** every field except the two `wall_*` fields
+/// is a function of `(parts, seeds, horizon)` alone — byte-identical for
+/// any `--shards N` — and is safe to golden. The `wall_*` fields are
+/// wall-clock measurements, vary run to run and thread count to thread
+/// count, and must be excluded from byte-identity checks (the JSONL
+/// emitter groups them under a separate `"wall"` object so checkers can
+/// strip them syntactically).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowTelemetry {
+    /// Conservative window index (0-based round counter).
+    pub window: u64,
+    /// Partition rank this record describes.
+    pub part: usize,
+    /// Window end in virtual nanoseconds (`u64::MAX` for the single
+    /// unbounded window of a portal-free run).
+    pub w_end_ns: u64,
+    /// Events this partition fired inside the window.
+    pub events: u64,
+    /// Cross-partition messages this partition deposited at the window's
+    /// Phase A barrier (generated during the *previous* window).
+    pub deposited: u64,
+    /// Cross-partition messages injected into this partition at Phase B.
+    pub injected: u64,
+    /// Deepest single-source mailbox batch seen at injection — the
+    /// per-pair burst size, the number finer partitioning must tame.
+    pub mailbox_max: u64,
+    /// Events still pending in the wheel after the window (live + stale).
+    pub wheel_depth: u64,
+    /// Packets parked in the arena after the window.
+    pub arena_live: u64,
+    /// Arena high-water mark (allocated slots; never shrinks).
+    pub arena_hiwater: u64,
+    /// Wall time this partition's *thread* spent blocked on the window's
+    /// two barriers (thread-attributed: partitions sharing a thread
+    /// report the same value). Nondeterministic.
+    pub wall_barrier_ns: u64,
+    /// Wall time spent advancing this partition through the window.
+    /// Nondeterministic.
+    pub wall_window_ns: u64,
+}
+
+/// Aggregate progress snapshot handed to the heartbeat hook once per
+/// window (by exactly one thread, after all partitions finished the
+/// previous window).
+#[derive(Debug, Clone, Copy)]
+pub struct Heartbeat {
+    /// Windows completed so far.
+    pub round: u64,
+    /// Virtual end of the last completed window, in nanoseconds.
+    pub now_ns: u64,
+    /// Sum of the progress-probe results across all partitions (e.g.
+    /// flows completed), or 0 when no probe is installed.
+    pub done: u64,
+    /// Partition count, for rate math in the sink.
+    pub parts: usize,
+}
+
+/// A [`ShardHooks::progress`] probe: `(partition rank, partition sim) ->
+/// cumulative units done`.
+pub type ProgressProbe<'a, P> = &'a (dyn Fn(usize, &mut Simulator<P>) -> u64 + Sync);
+
+/// Optional observers for a sharded run. Everything defaults to off, and
+/// the off path costs one branch per partition per window — the same
+/// cold-`None` contract as the engine's flight recorder.
+pub struct ShardHooks<'a, P: Payload> {
+    /// Collect a [`WindowTelemetry`] record per partition per window.
+    pub telemetry: bool,
+    /// Per-partition progress probe, run after each window on the thread
+    /// owning the partition: returns cumulative "units done" (scenario
+    /// defined — e.g. completed flows). Sums feed the heartbeat.
+    pub progress: Option<ProgressProbe<'a, P>>,
+    /// Called once per window with the aggregate [`Heartbeat`]. Intended
+    /// for stderr progress lines; never write run output here (it fires
+    /// on an arbitrary worker thread).
+    pub heartbeat: Option<&'a (dyn Fn(&Heartbeat) + Sync)>,
+}
+
+impl<P: Payload> Default for ShardHooks<'_, P> {
+    fn default() -> Self {
+        ShardHooks {
+            telemetry: false,
+            progress: None,
+            heartbeat: None,
+        }
+    }
+}
+
 /// What [`run_sharded`] returns: per-partition results and hygiene, in
 /// partition order, plus run-shape counters.
 pub struct ShardRun<T> {
@@ -173,6 +264,10 @@ pub struct ShardRun<T> {
     pub rounds: u64,
     /// Total cross-partition messages injected.
     pub cross_messages: u64,
+    /// Per-window, per-partition runtime records in canonical
+    /// `(window, part)` order — `Some` iff [`ShardHooks::telemetry`] was
+    /// set. Virtual-time fields are byte-identical for any thread count.
+    pub telemetry: Option<Vec<WindowTelemetry>>,
 }
 
 /// Shared coordination state for one sharded run.
@@ -188,6 +283,12 @@ struct Coord<P: Payload> {
     barrier: Barrier,
     rounds: AtomicU64,
     cross_messages: AtomicU64,
+    /// Per-partition cumulative progress units (probe results), read by
+    /// the heartbeat leader one barrier later.
+    progress: Vec<AtomicU64>,
+    /// Telemetry records parked by each worker at run end; `run_sharded`
+    /// sorts them into canonical `(window, part)` order.
+    telemetry: Mutex<Vec<WindowTelemetry>>,
 }
 
 /// Run a partitioned scenario to completion (or `horizon`) on up to
@@ -215,6 +316,33 @@ where
     B: Fn(usize, &mut ShardHandle<P>) -> Simulator<P> + Sync,
     F: Fn(usize, &mut Simulator<P>) -> T + Sync,
 {
+    run_sharded_with(
+        parts,
+        threads,
+        horizon,
+        ShardHooks::default(),
+        build,
+        finish,
+    )
+}
+
+/// [`run_sharded`] with observers attached — window telemetry, progress
+/// probe, heartbeat (see [`ShardHooks`]). With default hooks this is
+/// exactly `run_sharded`.
+pub fn run_sharded_with<P, T, B, F>(
+    parts: usize,
+    threads: usize,
+    horizon: Option<SimTime>,
+    hooks: ShardHooks<'_, P>,
+    build: B,
+    finish: F,
+) -> ShardRun<T>
+where
+    P: Payload + Send,
+    T: Send,
+    B: Fn(usize, &mut ShardHandle<P>) -> Simulator<P> + Sync,
+    F: Fn(usize, &mut Simulator<P>) -> T + Sync,
+{
     assert!(parts >= 1, "need at least one partition");
     let threads = threads.clamp(1, parts);
 
@@ -227,6 +355,8 @@ where
         barrier: Barrier::new(threads),
         rounds: AtomicU64::new(0),
         cross_messages: AtomicU64::new(0),
+        progress: (0..parts).map(|_| AtomicU64::new(0)).collect(),
+        telemetry: Mutex::new(Vec::new()),
     };
     let slots: Mutex<Vec<Option<(T, HygieneReport)>>> =
         Mutex::new((0..parts).map(|_| None).collect());
@@ -237,8 +367,11 @@ where
             let slots = &slots;
             let build = &build;
             let finish = &finish;
+            let hooks = &hooks;
             scope.spawn(move || {
-                shard_worker(tid, threads, parts, horizon, coord, slots, build, finish);
+                shard_worker(
+                    tid, threads, parts, horizon, hooks, coord, slots, build, finish,
+                );
             });
         }
     });
@@ -250,11 +383,17 @@ where
         results.push(r);
         hygiene.push(h);
     }
+    let telemetry = hooks.telemetry.then(|| {
+        let mut t = coord.telemetry.into_inner().unwrap();
+        t.sort_by_key(|r| (r.window, r.part));
+        t
+    });
     ShardRun {
         results,
         hygiene,
         rounds: coord.rounds.load(Ordering::Relaxed),
         cross_messages: coord.cross_messages.load(Ordering::Relaxed),
+        telemetry,
     }
 }
 
@@ -268,6 +407,7 @@ fn shard_worker<P, T, B, F>(
     threads: usize,
     parts: usize,
     horizon: Option<SimTime>,
+    hooks: &ShardHooks<'_, P>,
     coord: &Coord<P>,
     slots: &Mutex<Vec<Option<(T, HygieneReport)>>>,
     build: &B,
@@ -304,36 +444,81 @@ fn shard_worker<P, T, B, F>(
         .min();
     let horizon_ns = horizon.map_or(u64::MAX, |h| h.as_nanos());
     let mut local_cross: u64 = 0;
+    // Telemetry state, all dormant unless the hook is armed: records for
+    // the partitions this thread owns, plus per-partition scratch for the
+    // phases of the window currently in flight.
+    let mut tele: Vec<WindowTelemetry> = Vec::new();
+    let mut scratch: Vec<(u64, u64, u64)> = vec![(0, 0, 0); owned.len()]; // (deposited, injected, mailbox_max)
+    let mut round: u64 = 0;
+    let mut last_w_end: u64 = 0;
 
     loop {
         // Phase A: deposit this round's outboxes into the mailboxes.
-        for (rank, _, outbox) in &owned {
+        for (i, (rank, _, outbox)) in owned.iter().enumerate() {
+            let mut deposited = 0u64;
             for msg in outbox.borrow_mut().drain(..) {
                 coord.mail[msg.dst_part][*rank].lock().unwrap().push(msg);
+                deposited += 1;
+            }
+            if hooks.telemetry {
+                scratch[i] = (deposited, 0, 0);
             }
         }
-        coord.barrier.wait();
+        let mut wall_barrier = std::time::Duration::ZERO;
+        let t0 = hooks.telemetry.then(std::time::Instant::now);
+        let a_leader = coord.barrier.wait().is_leader();
+        if let Some(t0) = t0 {
+            wall_barrier += t0.elapsed();
+        }
+        // Heartbeat: the Phase A barrier orders every probe store from the
+        // previous window before this read, so one thread reports an exact
+        // global snapshot (round 0 has nothing to report).
+        if a_leader && round > 0 {
+            if let Some(beat) = hooks.heartbeat {
+                let done = coord
+                    .progress
+                    .iter()
+                    .map(|p| p.load(Ordering::Relaxed))
+                    .sum();
+                beat(&Heartbeat {
+                    round,
+                    now_ns: last_w_end,
+                    done,
+                    parts,
+                });
+            }
+        }
 
         // Phase B: inject inbound messages in canonical order, publish the
         // partition's next-event time.
-        for (rank, sim, _) in &mut owned {
+        for (i, (rank, sim, _)) in owned.iter_mut().enumerate() {
             let mut inbound: Vec<(u64, usize, usize, OutMsg<P>)> = Vec::new();
+            let mut mailbox_max = 0u64;
             for src in 0..parts {
                 let batch = std::mem::take(&mut *coord.mail[*rank][src].lock().unwrap());
+                mailbox_max = mailbox_max.max(batch.len() as u64);
                 for (idx, msg) in batch.into_iter().enumerate() {
                     inbound.push((msg.at.as_nanos(), src, idx, msg));
                 }
             }
             inbound.sort_by_key(|&(at, src, idx, _)| (at, src, idx));
             local_cross += inbound.len() as u64;
+            if hooks.telemetry {
+                scratch[i].1 = inbound.len() as u64;
+                scratch[i].2 = mailbox_max;
+            }
             for (_, _, _, msg) in inbound {
                 sim.core()
                     .inject_arrival(msg.at, msg.dst_node, msg.dst_link, msg.pkt);
             }
             *coord.mins[*rank].lock().unwrap() = sim.next_event_time().map(SimTime::as_nanos);
         }
+        let t0 = hooks.telemetry.then(std::time::Instant::now);
         if coord.barrier.wait().is_leader() {
             coord.rounds.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(t0) = t0 {
+            wall_barrier += t0.elapsed();
         }
 
         // Phase C: every thread computes the same window from the published
@@ -353,9 +538,38 @@ fn shard_worker<P, T, B, F>(
         // is inclusive, and any message generated at t <= w_end has
         // at >= M + L = w_end, so nothing injected next round lands in a
         // partition's past.
-        for (_, sim, _) in &mut owned {
+        for (i, (rank, sim, _)) in owned.iter_mut().enumerate() {
+            let before = if hooks.telemetry {
+                sim.events_processed()
+            } else {
+                0
+            };
+            let t0 = hooks.telemetry.then(std::time::Instant::now);
             sim.run_until(SimTime::from_nanos(w_end));
+            if hooks.telemetry {
+                let (deposited, injected, mailbox_max) = scratch[i];
+                tele.push(WindowTelemetry {
+                    window: round,
+                    part: *rank,
+                    w_end_ns: w_end,
+                    events: sim.events_processed() - before,
+                    deposited,
+                    injected,
+                    mailbox_max,
+                    wheel_depth: sim.pending_events() as u64,
+                    arena_live: sim.live_packets() as u64,
+                    arena_hiwater: sim.arena_high_water() as u64,
+                    wall_barrier_ns: wall_barrier.as_nanos() as u64,
+                    wall_window_ns: t0.map_or(0, |t| t.elapsed().as_nanos() as u64),
+                });
+            }
+            if let Some(probe) = hooks.progress {
+                let done = probe(*rank, sim);
+                coord.progress[*rank].store(done, Ordering::Relaxed);
+            }
         }
+        round += 1;
+        last_w_end = w_end;
     }
 
     // Align clocks at the horizon (processes nothing: remaining events, if
@@ -371,6 +585,9 @@ fn shard_worker<P, T, B, F>(
     coord
         .cross_messages
         .fetch_add(local_cross, Ordering::Relaxed);
+    if hooks.telemetry {
+        coord.telemetry.lock().unwrap().extend(tele);
+    }
     let mut slots = slots.lock().unwrap();
     for (rank, result, hygiene) in out {
         slots[rank] = Some((result, hygiene));
@@ -542,6 +759,96 @@ mod tests {
             },
             |_, _| (),
         );
+    }
+
+    /// Virtual-time view of a telemetry record — everything that must be
+    /// byte-identical across thread counts (wall_* fields excluded).
+    fn virtual_fields(t: &WindowTelemetry) -> (u64, usize, u64, u64, u64, u64, u64, u64, u64, u64) {
+        (
+            t.window,
+            t.part,
+            t.w_end_ns,
+            t.events,
+            t.deposited,
+            t.injected,
+            t.mailbox_max,
+            t.wheel_depth,
+            t.arena_live,
+            t.arena_hiwater,
+        )
+    }
+
+    #[test]
+    fn telemetry_virtual_fields_are_thread_invariant() {
+        let run_with = |threads: usize| {
+            run_sharded_with(
+                2,
+                threads,
+                None,
+                ShardHooks {
+                    telemetry: true,
+                    ..ShardHooks::default()
+                },
+                build_pingpong,
+                |_, _: &mut Simulator<u64>| (),
+            )
+        };
+        let t1 = run_with(1).telemetry.expect("telemetry armed");
+        let t2 = run_with(2).telemetry.expect("telemetry armed");
+        assert!(!t1.is_empty());
+        // Canonical order, one record per (window, part) that executed.
+        for w in t1.windows(2) {
+            assert!((w[0].window, w[0].part) < (w[1].window, w[1].part));
+        }
+        let v1: Vec<_> = t1.iter().map(virtual_fields).collect();
+        let v2: Vec<_> = t2.iter().map(virtual_fields).collect();
+        assert_eq!(v1, v2, "virtual telemetry must not see the thread count");
+        // Sanity on content: windows fire events and the cross totals
+        // reconcile with the run counters.
+        let events: u64 = t1.iter().map(|t| t.events).sum();
+        assert!(events > 0);
+        let injected: u64 = t1.iter().map(|t| t.injected).sum();
+        assert_eq!(injected, 7, "each hop crosses once");
+    }
+
+    #[test]
+    fn telemetry_off_returns_none() {
+        let (_, run) = run_pingpong(2);
+        assert!(run.telemetry.is_none());
+    }
+
+    #[test]
+    fn progress_probe_feeds_heartbeat() {
+        let beats: Mutex<Vec<(u64, u64, u64)>> = Mutex::new(Vec::new());
+        let beat_sink = |b: &Heartbeat| {
+            beats.lock().unwrap().push((b.round, b.now_ns, b.done));
+        };
+        let probe = |_rank: usize, sim: &mut Simulator<u64>| {
+            sim.node_as::<Bouncer>(NodeId(0)).unwrap().arrivals.len() as u64
+        };
+        let run = run_sharded_with(
+            2,
+            2,
+            None,
+            ShardHooks {
+                telemetry: false,
+                progress: Some(&probe),
+                heartbeat: Some(&beat_sink),
+            },
+            build_pingpong,
+            |_, _: &mut Simulator<u64>| (),
+        );
+        let beats = beats.into_inner().unwrap();
+        // One beat per round after the first; rounds strictly increase and
+        // done (total arrivals) is monotone, ending at the full 7.
+        assert!(!beats.is_empty());
+        for w in beats.windows(2) {
+            assert!(w[0].0 < w[1].0, "rounds increase");
+            assert!(w[0].1 <= w[1].1, "virtual time advances");
+            assert!(w[0].2 <= w[1].2, "progress is monotone");
+        }
+        assert_eq!(beats.last().unwrap().2, 7);
+        assert!(run.rounds as usize >= beats.len());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! `repro` — regenerate any table or figure of the Halfback paper.
 //!
 //! ```text
-//! repro <experiment>... [--quick | --scale quick|full] [--jobs N] [--shards N] [--out DIR]
+//! repro <experiment>... [--quick | --scale quick|full] [--jobs N] [--shards N]
+//!                       [--telemetry FILE] [--out DIR]
 //! repro all [--quick] [--out DIR]
 //! repro trace [--figure F] [--protocol P] [--seed S] [--flow N] [--bytes B] [--out DIR]
 //! repro simcheck [--seed S] [--cases N] [--jobs N] [--out DIR]
@@ -23,8 +24,21 @@
 //! (`planetlab100k`), which parallelize *inside* one simulation. The
 //! partition count is fixed by the scenario, so output is byte-identical
 //! for every N here too.
+//!
+//! `--telemetry FILE` makes sharded scenarios emit per-window runtime
+//! stats as JSONL (schema `halfback-telemetry-v1`). Virtual-time fields
+//! are byte-identical across `--shards N`; wall-clock fields live in a
+//! nested `"wall"` object that checkers strip.
+//!
+//! With `--out DIR`, a machine-readable `manifest.json` (schema
+//! `halfback-manifest-v1`) is written next to the figures: scale, scheme
+//! set, per-experiment event totals, virtual time, sketch memory, and
+//! wall time. Machine-varying fields sit on their own lines so
+//! `grep -vE '"wall_|"machine"'` leaves a deterministic document.
 
 use scenarios::figures::{distinct_experiment_ids, run_experiment};
+use scenarios::harness::JobMetrics;
+use scenarios::manifest::{ExperimentEntry, Manifest};
 use scenarios::simcheck;
 use scenarios::trace::{run_trace, TraceSpec};
 use scenarios::{harness, Protocol, Scale};
@@ -39,9 +53,9 @@ fn rss_mb() -> Option<f64> {
 }
 
 /// Per-experiment job accounting, printed to stderr only so the files in
-/// `--out` stay byte-identical across `--jobs` settings.
-fn report_jobs(id: &str, wall_s: f64) {
-    let metrics = harness::take_metrics();
+/// `--out` stay byte-identical across `--jobs` settings. The caller drains
+/// `harness::take_metrics()` once and shares the slice with the manifest.
+fn report_jobs(id: &str, wall_s: f64, metrics: &[JobMetrics]) {
     if metrics.is_empty() {
         return;
     }
@@ -300,7 +314,11 @@ fn simcheck_main(args: Vec<String>) -> ExitCode {
             }
         }
     }
-    report_jobs("simcheck", started.elapsed().as_secs_f64());
+    report_jobs(
+        "simcheck",
+        started.elapsed().as_secs_f64(),
+        &harness::take_metrics(),
+    );
     if battery.failures() > 0 {
         ExitCode::FAILURE
     } else {
@@ -318,7 +336,7 @@ fn main() -> ExitCode {
     }
     if args.is_empty() {
         eprintln!(
-            "usage: repro <experiment>... [--quick] [--scale quick|full] [--jobs N] [--chart] [--out DIR] | repro all | repro list"
+            "usage: repro <experiment>... [--quick] [--scale quick|full] [--jobs N] [--shards N] [--telemetry FILE] [--chart] [--out DIR] | repro all | repro list"
         );
         return ExitCode::FAILURE;
     }
@@ -353,6 +371,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--telemetry" => match it.next() {
+                Some(path) => harness::set_telemetry_path(Some(PathBuf::from(path))),
+                None => {
+                    eprintln!("--telemetry needs a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--chart" | "-c" => chart = true,
             "--out" | "-o" => match it.next() {
                 Some(dir) => out_dir = Some(PathBuf::from(dir)),
@@ -381,15 +406,18 @@ fn main() -> ExitCode {
 
     harness::set_progress(true);
     let started = std::time::Instant::now();
+    let mut entries: Vec<ExperimentEntry> = Vec::new();
     for id in &experiments {
         eprintln!(
             ">> running {id} ({scale:?} scale, {} workers)...",
             harness::workers()
         );
         let exp_started = std::time::Instant::now();
+        let mut figure_ids: Vec<String> = Vec::new();
         match run_experiment(id, scale) {
             Some(figs) => {
                 for fig in figs {
+                    figure_ids.push(fig.id.to_string());
                     println!("{}", fig.render_text());
                     if chart {
                         println!("{}", fig.render_ascii_chart());
@@ -408,11 +436,39 @@ fn main() -> ExitCode {
             }
         }
         let wall_s = exp_started.elapsed().as_secs_f64();
-        report_jobs(id, wall_s);
+        let metrics = harness::take_metrics();
+        report_jobs(id, wall_s, &metrics);
+        entries.push(ExperimentEntry {
+            id: id.clone(),
+            figures: figure_ids,
+            jobs_run: metrics.len(),
+            events: metrics.iter().map(|m| m.events).sum(),
+            virtual_ns: metrics.iter().map(|m| m.virtual_ns).sum(),
+            sketch_mem_bytes: harness::take_sketch_mem(),
+            wall_s,
+        });
         eprintln!(
             ">> {id} done in {wall_s:.1}s (rss {:.0} MB)",
             rss_mb().unwrap_or(0.0)
         );
+    }
+    if let Some(dir) = &out_dir {
+        let manifest = Manifest {
+            scale: format!("{scale:?}").to_lowercase(),
+            schemes: Protocol::ALL.iter().map(|p| p.name().to_string()).collect(),
+            experiments: entries,
+            jobs: harness::workers(),
+            shards: harness::shards(),
+            rss_mb: rss_mb().unwrap_or(0.0) as u64,
+        };
+        let path = dir.join("manifest.json");
+        if let Err(e) = std::fs::create_dir_all(dir)
+            .and_then(|()| std::fs::write(&path, manifest.render_json()))
+        {
+            eprintln!("failed to write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!(">> manifest written to {}", path.display());
     }
     eprintln!(">> done in {:.1}s", started.elapsed().as_secs_f64());
     ExitCode::SUCCESS

@@ -23,15 +23,17 @@
 //! destination router with the pair's ingress stub link as the
 //! conservation anchor.
 
-use crate::metrics::fct_ecdf;
+use crate::metrics::MetricsRegistry;
 use crate::report::Figure;
 use crate::{Protocol, Scale};
 use baselines::path_cache;
 use netsim::link::LinkSpec;
 use netsim::router::Router;
-use netsim::shard::{run_sharded, ShardHandle};
+use netsim::shard::{run_sharded_with, Heartbeat, ShardHandle, ShardHooks, WindowTelemetry};
+use netsim::stats::WindowedSketch;
 use netsim::{FlowId, LinkId, NodeId, Rate, SimDuration, SimTime};
-use transport::sender::FlowRecord;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 use transport::{Header, Host, TransportSim};
 
 /// Number of sites (= partitions). Fixed: changing it changes the
@@ -168,9 +170,22 @@ fn build_site(s: usize, handle: &mut ShardHandle<Header>, scale: Scale) -> Trans
     sim
 }
 
-/// Per-partition tally extracted after the run.
+/// FCT sketch window width: 10 s of virtual time, so the 180 s horizon
+/// yields at most 18 per-window snapshots.
+const FCT_WINDOW_NS: u64 = 10_000_000_000;
+
+/// Warm-up trim for the FCT sketch. Zero here — every flow starts at
+/// `t = 0`, so there is no ramp-up to discard — but the plumbing is the
+/// same one open-loop scenarios will set to a real value.
+const FCT_WARMUP_NS: u64 = 0;
+
+/// Per-partition tally extracted after the run. Flow completion times are
+/// aggregated into a windowed log-histogram sketch at extraction — no
+/// per-flow record is ever retained, which is what drops the scenario's
+/// memory ceiling from O(flows) to O(buckets).
 struct SiteTally {
-    completed: Vec<FlowRecord>,
+    fct: WindowedSketch,
+    completed: usize,
     aborted: usize,
     unroutable: u64,
     events: u64,
@@ -179,19 +194,22 @@ struct SiteTally {
 
 fn finish_site(_s: usize, sim: &mut TransportSim, scale: Scale) -> SiteTally {
     let hosts = hosts_per_site(scale);
-    let mut completed = Vec::new();
+    let mut fct = WindowedSketch::new(FCT_WINDOW_NS, FCT_WARMUP_NS);
+    let mut completed = 0usize;
     let mut aborted = 0usize;
     for h in 0..hosts {
         let host = sim.node_as::<Host>(NodeId(1 + h as u32)).unwrap();
         for r in host.completed() {
             if r.outcome.is_completed() {
-                completed.push(r.clone());
+                fct.add(r.done_at.as_nanos(), r.fct.as_millis_f64());
+                completed += 1;
             } else {
                 aborted += 1;
             }
         }
     }
     SiteTally {
+        fct,
         completed,
         aborted,
         unroutable: sim.node_as::<Router>(NodeId(0)).unwrap().unroutable(),
@@ -200,10 +218,26 @@ fn finish_site(_s: usize, sim: &mut TransportSim, scale: Scale) -> SiteTally {
     }
 }
 
+/// Count of flows a partition has finished (completed or aborted) — the
+/// heartbeat's "flows done" probe, run after each window.
+fn flows_done(sim: &TransportSim, scale: Scale) -> u64 {
+    let hosts = hosts_per_site(scale);
+    let mut done = 0u64;
+    for h in 0..hosts {
+        let host = sim.node_as::<Host>(NodeId(1 + h as u32)).unwrap();
+        done += host.completed().len() as u64;
+    }
+    done
+}
+
 /// Merged outcome of one sharded run.
 pub struct ShardedOutcome {
-    /// Completed flows, sorted by flow id (canonical order).
-    pub records: Vec<FlowRecord>,
+    /// Flow completion times (ms) in 10 s virtual-time windows, merged
+    /// across sites in rank order — exact integer-bucket merges, so the
+    /// aggregate is byte-identical for any `--shards N`.
+    pub fct: WindowedSketch,
+    /// Flows that completed.
+    pub completed: usize,
     /// Flows that gave up.
     pub aborted: usize,
     /// Flows still live at the horizon.
@@ -214,54 +248,134 @@ pub struct ShardedOutcome {
     pub rounds: u64,
     /// Cross-site packets injected at barriers.
     pub cross_messages: u64,
+    /// Discrete events processed, summed over sites.
+    pub events: u64,
+    /// Virtual time reached (max over sites), nanoseconds.
+    pub virtual_ns: u64,
 }
 
 /// Run the scenario on `threads` shard workers. Output is independent of
 /// `threads` — that is the whole point.
 pub fn run(scale: Scale, threads: usize) -> ShardedOutcome {
+    run_with(scale, threads, false).0
+}
+
+/// [`run`] with observers: when `telemetry` is set the per-window shard
+/// runtime records come back alongside the outcome; a stderr heartbeat
+/// fires every few seconds while `harness::progress_on()` (never touching
+/// `out/` — byte-identity across `--jobs`/`--shards` is preserved).
+pub fn run_with(
+    scale: Scale,
+    threads: usize,
+    telemetry: bool,
+) -> (ShardedOutcome, Option<Vec<WindowTelemetry>>) {
     let started = SITES * hosts_per_site(scale) * flows_per_host(scale);
-    let run = run_sharded(
+    let last_beat: Mutex<Instant> = Mutex::new(Instant::now());
+    let heartbeat = move |b: &Heartbeat| {
+        if !crate::harness::progress_on() {
+            return;
+        }
+        let mut last = last_beat.lock().unwrap();
+        if last.elapsed() < Duration::from_secs(2) {
+            return;
+        }
+        *last = Instant::now();
+        eprintln!(
+            ":: planetlab100k: window {}, virtual {:.1}s, {}/{} flows done across {} sites",
+            b.round,
+            b.now_ns as f64 / 1e9,
+            b.done,
+            started,
+            b.parts,
+        );
+    };
+    let progress = move |_rank: usize, sim: &mut TransportSim| flows_done(sim, scale);
+    let hooks = ShardHooks {
+        telemetry,
+        progress: Some(&progress),
+        heartbeat: Some(&heartbeat),
+    };
+    let run = run_sharded_with(
         SITES,
         threads,
         Some(SimTime::ZERO + HORIZON),
+        hooks,
         |s, handle: &mut ShardHandle<Header>| build_site(s, handle, scale),
         |s, sim: &mut TransportSim| finish_site(s, sim, scale),
     );
-    let mut records = Vec::new();
+    let mut fct = WindowedSketch::new(FCT_WINDOW_NS, FCT_WARMUP_NS);
+    let mut completed = 0;
     let mut aborted = 0;
     let (mut events, mut now_ns) = (0u64, 0u64);
+    // Merge in rank order: bucket counts make the merge exact, and the
+    // fixed order makes the float mean deterministic too.
     for tally in run.results {
         assert_eq!(tally.unroutable, 0, "site router dropped routable traffic");
-        records.extend(tally.completed);
+        fct.merge(&tally.fct);
+        completed += tally.completed;
         aborted += tally.aborted;
         events += tally.events;
         now_ns = now_ns.max(tally.now_ns);
     }
-    records.sort_by_key(|r| r.flow);
     crate::harness::meter_add(now_ns, events);
-    ShardedOutcome {
-        censored: started - records.len() - aborted,
-        aborted,
-        started,
-        records,
-        rounds: run.rounds,
-        cross_messages: run.cross_messages,
-    }
+    (
+        ShardedOutcome {
+            censored: started - completed - aborted,
+            completed,
+            aborted,
+            started,
+            fct,
+            rounds: run.rounds,
+            cross_messages: run.cross_messages,
+            events,
+            virtual_ns: now_ns,
+        },
+        run.telemetry,
+    )
 }
 
 /// Render the `planetlab100k` figure: Halfback's FCT distribution at
 /// 100 K+ concurrent flows, plus run-shape notes. Everything here is a
-/// function of the scenario alone — shard-thread count never leaks in.
+/// function of the scenario alone — shard-thread count never leaks in
+/// (the telemetry JSONL quarantines its wall-clock fields separately).
 pub fn figures(scale: Scale) -> Vec<Figure> {
-    let out = run(scale, crate::harness::shards());
+    let tele_path = crate::harness::telemetry_path();
+    let run_started = Instant::now();
+    let (out, tele) = run_with(scale, crate::harness::shards(), tele_path.is_some());
+    // This scenario parallelizes inside one simulation rather than through
+    // the job pool, so it files its own metrics entry for the per-job
+    // report and the run manifest.
+    crate::harness::push_metrics(crate::harness::JobMetrics {
+        key: "planetlab100k".into(),
+        wall: run_started.elapsed(),
+        virtual_ns: out.virtual_ns,
+        events: out.events,
+        ok: true,
+    });
+    if let (Some(path), Some(records)) = (&tele_path, &tele) {
+        if let Err(e) = crate::telemetry::write_jsonl(path, "planetlab100k", SITES, records) {
+            eprintln!("warning: telemetry write to {} failed: {e}", path.display());
+        }
+    }
+
+    // The registry is the aggregation surface: counters plus the FCT
+    // quantile sketch, merged exactly — no per-flow state anywhere.
+    let agg = out.fct.aggregate();
+    let mut reg = MetricsRegistry::new();
+    reg.inc("flows_started", out.started as u64);
+    reg.inc("flows_completed", out.completed as u64);
+    reg.inc("flows_aborted", out.aborted as u64);
+    reg.inc("flows_censored", out.censored as u64);
+    reg.merge_sketch("fct_ms", &agg);
+    crate::harness::note_sketch_mem(reg.sketch_memory_bytes() + out.fct.memory_bytes());
+
     let mut fig = Figure::new(
         "planetlab100k",
         "Scaled PlanetLab: Halfback FCT at 100K+ concurrent short flows (CDF)",
         "latency (ms)",
         "percent of flows",
     );
-    let mut e = fct_ecdf(&out.records);
-    fig.push_series("Halfback", e.cdf_series());
+    fig.push_series("Halfback", agg.cdf_series());
     fig.note(format!(
         "{} flows started: {} sites x {} hosts x {} flows/host, {} B each, all at t=0",
         out.started,
@@ -272,16 +386,24 @@ pub fn figures(scale: Scale) -> Vec<Figure> {
     ));
     fig.note(format!(
         "completed {}, aborted {}, censored {} (horizon {}s)",
-        out.records.len(),
+        out.completed,
         out.aborted,
         out.censored,
         HORIZON.as_secs_f64(),
     ));
+    for line in reg.render_lines() {
+        fig.note(line);
+    }
+    let per_window: Vec<String> = out
+        .fct
+        .windows()
+        .iter()
+        .map(|w| w.count().to_string())
+        .collect();
     fig.note(format!(
-        "mean FCT {:.0} ms, median {:.0} ms, 99th pct {:.0} ms",
-        e.mean().unwrap_or(f64::NAN),
-        e.median().unwrap_or(f64::NAN),
-        e.percentile(99.0).unwrap_or(f64::NAN),
+        "completions per {}s window: {}",
+        FCT_WINDOW_NS / 1_000_000_000,
+        per_window.join("/"),
     ));
     fig.note(format!(
         "sharded engine: {} partitions, {} conservative windows, {} cross-site packet crossings",

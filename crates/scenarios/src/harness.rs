@@ -132,6 +132,42 @@ pub fn set_progress(on: bool) {
     PROGRESS.store(on, Ordering::Relaxed);
 }
 
+/// Whether progress reporting is on — long-running scenarios gate their
+/// stderr heartbeat on this so tests stay quiet.
+pub fn progress_on() -> bool {
+    PROGRESS.load(Ordering::Relaxed)
+}
+
+/// Shard-telemetry JSONL destination (the `--telemetry <path>` flag).
+/// `None` keeps every telemetry branch on its cold path.
+static TELEMETRY_PATH: Mutex<Option<std::path::PathBuf>> = Mutex::new(None);
+
+/// Set (or clear) the shard-telemetry output path.
+pub fn set_telemetry_path(path: Option<std::path::PathBuf>) {
+    *TELEMETRY_PATH.lock().unwrap() = path;
+}
+
+/// The shard-telemetry output path, if `--telemetry` was given.
+pub fn telemetry_path() -> Option<std::path::PathBuf> {
+    TELEMETRY_PATH.lock().unwrap().clone()
+}
+
+/// High-water mark of sketch memory noted since the last drain — fed by
+/// scenarios that aggregate through `LogHistogram`s, reported per
+/// experiment in the run manifest. Deterministic (bucket counts, not
+/// allocator state).
+static SKETCH_MEM_HIWATER: AtomicU64 = AtomicU64::new(0);
+
+/// Note a scenario's sketch footprint; keeps the maximum.
+pub fn note_sketch_mem(bytes: usize) {
+    SKETCH_MEM_HIWATER.fetch_max(bytes as u64, Ordering::Relaxed);
+}
+
+/// Drain the sketch-memory high-water mark (resets to zero).
+pub fn take_sketch_mem() -> u64 {
+    SKETCH_MEM_HIWATER.swap(0, Ordering::Relaxed)
+}
+
 /// Credit the currently running job with simulated time and events.
 /// Called by the runners after each simulation; a no-op outside a job.
 pub fn meter_add(virtual_ns: u64, events: u64) {
@@ -145,6 +181,14 @@ pub fn meter_add(virtual_ns: u64, events: u64) {
 /// submission order (independent of the worker count).
 pub fn take_metrics() -> Vec<JobMetrics> {
     std::mem::take(&mut METRICS.lock().unwrap())
+}
+
+/// Record a metrics entry directly — used by sharded scenarios that
+/// parallelize inside one simulation instead of fanning out through
+/// [`run_jobs`], so their event totals still reach `repro`'s per-job
+/// report and the run manifest.
+pub fn push_metrics(m: JobMetrics) {
+    METRICS.lock().unwrap().push(m);
 }
 
 /// Set the per-job watchdog caps (0 disables a cap). A job whose

@@ -15,11 +15,13 @@
 
 pub mod figures;
 pub mod harness;
+pub mod manifest;
 pub mod metrics;
 pub mod protocols;
 pub mod report;
 pub mod runner;
 pub mod simcheck;
+pub mod telemetry;
 pub mod trace;
 
 pub use protocols::Protocol;

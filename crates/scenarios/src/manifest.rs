@@ -1,0 +1,183 @@
+//! The per-run `manifest.json`: a machine-readable record of what a
+//! `repro` invocation ran and what it cost, written next to the figures
+//! when `--out` is given — schema `halfback-manifest-v1`.
+//!
+//! The manifest is the diffable perf trajectory: seeds and scheme set pin
+//! *what* was simulated, per-experiment event totals and virtual time pin
+//! *how much*, and wall time + machine shape record *how fast*. Fields
+//! fall into two classes:
+//!
+//! * **Deterministic** — everything except the exceptions below: a pure
+//!   function of `(experiments, scale)`, byte-identical run-to-run and
+//!   across `--jobs`/`--shards`. Safe to diff or golden.
+//! * **Machine-varying** — wall-clock seconds (keys prefixed `wall_`) and
+//!   the single `"machine"` line (jobs/shards settings, RSS). Checkers
+//!   strip these with `grep -vE '"wall_|"machine"'` — each such field is
+//!   emitted on its own line, nothing deterministic shares a line with
+//!   one (`ci/check_shards.sh` relies on this).
+
+use std::fmt::Write as _;
+
+/// Schema tag stamped into the manifest.
+pub const MANIFEST_SCHEMA: &str = "halfback-manifest-v1";
+
+/// Per-experiment entry.
+#[derive(Debug, Clone)]
+pub struct ExperimentEntry {
+    /// Experiment id (`fig6`, `planetlab100k`, ...).
+    pub id: String,
+    /// Figure ids the experiment produced.
+    pub figures: Vec<String>,
+    /// Harness jobs the experiment fanned out.
+    pub jobs_run: usize,
+    /// Total discrete events processed.
+    pub events: u64,
+    /// Total simulated virtual time, nanoseconds.
+    pub virtual_ns: u64,
+    /// Sketch memory high-water mark (bytes; 0 when the experiment does
+    /// not aggregate through sketches). Deterministic.
+    pub sketch_mem_bytes: u64,
+    /// Wall-clock seconds (machine-varying).
+    pub wall_s: f64,
+}
+
+/// The whole manifest.
+#[derive(Debug, Clone)]
+pub struct Manifest {
+    /// `full` or `quick`.
+    pub scale: String,
+    /// Scheme registry active for this build, in registry order.
+    pub schemes: Vec<String>,
+    /// One entry per experiment run, in invocation order.
+    pub experiments: Vec<ExperimentEntry>,
+    /// `--jobs` effective value (machine-varying).
+    pub jobs: usize,
+    /// `--shards` effective value (machine-varying).
+    pub shards: usize,
+    /// Resident set size at the end of the run, MB (machine-varying; 0 if
+    /// unavailable).
+    pub rss_mb: u64,
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_str_list(items: &[String]) -> String {
+    let quoted: Vec<String> = items.iter().map(|s| json_str(s)).collect();
+    format!("[{}]", quoted.join(","))
+}
+
+impl Manifest {
+    /// Render as pretty-printed JSON with the machine-varying fields each
+    /// on their own, syntactically strippable line.
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_str(MANIFEST_SCHEMA));
+        let _ = writeln!(out, "  \"scale\": {},", json_str(&self.scale));
+        let _ = writeln!(out, "  \"schemes\": {},", json_str_list(&self.schemes));
+        out.push_str("  \"experiments\": [\n");
+        for (i, e) in self.experiments.iter().enumerate() {
+            out.push_str("    {\n");
+            let _ = writeln!(out, "      \"id\": {},", json_str(&e.id));
+            let _ = writeln!(out, "      \"figures\": {},", json_str_list(&e.figures));
+            let _ = writeln!(out, "      \"jobs_run\": {},", e.jobs_run);
+            let _ = writeln!(out, "      \"events\": {},", e.events);
+            let _ = writeln!(out, "      \"virtual_ns\": {},", e.virtual_ns);
+            let _ = writeln!(out, "      \"sketch_mem_bytes\": {},", e.sketch_mem_bytes);
+            let _ = writeln!(out, "      \"wall_s\": {:.3}", e.wall_s);
+            out.push_str(if i + 1 < self.experiments.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ],\n");
+        let _ = writeln!(
+            out,
+            "  \"machine\": {{\"jobs\": {}, \"shards\": {}, \"rss_mb\": {}}}",
+            self.jobs, self.shards, self.rss_mb
+        );
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        Manifest {
+            scale: "quick".into(),
+            schemes: vec!["Halfback".into(), "TcpReno".into()],
+            experiments: vec![
+                ExperimentEntry {
+                    id: "fig6".into(),
+                    figures: vec!["fig6".into()],
+                    jobs_run: 8,
+                    events: 123_456,
+                    virtual_ns: 9_000_000_000,
+                    sketch_mem_bytes: 0,
+                    wall_s: 1.25,
+                },
+                ExperimentEntry {
+                    id: "planetlab100k".into(),
+                    figures: vec!["planetlab100k".into()],
+                    jobs_run: 1,
+                    events: 777,
+                    virtual_ns: 180_000_000_000,
+                    sketch_mem_bytes: 14_000,
+                    wall_s: 300.0,
+                },
+            ],
+            jobs: 4,
+            shards: 4,
+            rss_mb: 29,
+        }
+    }
+
+    #[test]
+    fn machine_varying_fields_are_line_strippable() {
+        let json = sample().render_json();
+        let deterministic: Vec<&str> = json
+            .lines()
+            .filter(|l| !l.contains("\"wall_") && !l.contains("\"machine\""))
+            .collect();
+        let det = deterministic.join("\n");
+        // Nothing machine-varying survives the strip...
+        assert!(!det.contains("wall_s"));
+        assert!(!det.contains("rss_mb"));
+        assert!(!det.contains("\"jobs\":"));
+        // ...and everything deterministic does.
+        assert!(det.contains("\"schema\": \"halfback-manifest-v1\""));
+        assert!(det.contains("\"events\": 123456"));
+        assert!(det.contains("\"sketch_mem_bytes\": 14000"));
+        assert!(det.contains("\"schemes\": [\"Halfback\",\"TcpReno\"]"));
+    }
+
+    #[test]
+    fn render_is_deterministic_given_fields() {
+        assert_eq!(sample().render_json(), sample().render_json());
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -2,20 +2,27 @@
 //! feasible-capacity knee detector used for Figs. 1, 12 and 17, and the
 //! [`MetricsRegistry`] harness jobs aggregate in submission order.
 
-use netsim::stats::{Ecdf, TimeBinned};
+use netsim::stats::{Ecdf, LogHistogram, TimeBinned};
 use std::collections::BTreeMap;
 use transport::sender::FlowRecord;
 
-/// A named bag of counters, histograms, and timelines.
+/// A named bag of counters, histograms, sketches, and timelines.
 ///
 /// Each harness job fills a registry of its own; the parent merges the
 /// per-job registries *in submission order* (the harness already returns
 /// results that way), so the aggregate is independent of `--jobs N` and of
 /// worker scheduling. `BTreeMap` keys give a deterministic render order.
+///
+/// Two histogram flavors coexist: exact [`Ecdf`]s (every sample retained;
+/// budget-capped) for the small per-figure distributions, and
+/// [`LogHistogram`] sketches — O(1) memory, exact integer-count merges —
+/// which are the default aggregation for flow-scaled scenarios like
+/// `planetlab100k`.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     hists: BTreeMap<String, Ecdf>,
+    sketches: BTreeMap<String, LogHistogram>,
     timelines: BTreeMap<String, TimeBinned>,
 }
 
@@ -33,6 +40,36 @@ impl MetricsRegistry {
     /// Record a sample into histogram `name`.
     pub fn observe(&mut self, name: &str, sample: f64) {
         self.hists.entry(name.to_string()).or_default().add(sample);
+    }
+
+    /// Record a sample into the quantile sketch `name` — the bounded-memory
+    /// path for flow-scaled scenarios.
+    pub fn observe_sketch(&mut self, name: &str, sample: f64) {
+        self.sketches
+            .entry(name.to_string())
+            .or_default()
+            .add(sample);
+    }
+
+    /// Merge a pre-built sketch into sketch `name` (exact: integer bucket
+    /// counts).
+    pub fn merge_sketch(&mut self, name: &str, sketch: &LogHistogram) {
+        self.sketches
+            .entry(name.to_string())
+            .or_default()
+            .merge(sketch);
+    }
+
+    /// Sketch `name`, if any samples were recorded.
+    pub fn sketch(&self, name: &str) -> Option<&LogHistogram> {
+        self.sketches.get(name)
+    }
+
+    /// Total estimated footprint of all sketches — the number the run
+    /// manifest reports as `sketch_mem_bytes`. Deterministic (a function
+    /// of bucket counts, not of allocator behavior).
+    pub fn sketch_memory_bytes(&self) -> usize {
+        self.sketches.values().map(LogHistogram::memory_bytes).sum()
     }
 
     /// Record `value` at `t_ns` into timeline `name` (bins of `bin_ns`; the
@@ -66,6 +103,9 @@ impl MetricsRegistry {
                 mine.add(s);
             }
         }
+        for (k, s) in other.sketches {
+            self.sketches.entry(k).or_default().merge(&s);
+        }
         for (k, t) in other.timelines {
             match self.timelines.get_mut(&k) {
                 Some(mine) => mine.merge(&t),
@@ -94,12 +134,27 @@ impl MetricsRegistry {
                 _ => out.push(format!("{k}: n=0")),
             }
         }
+        for (k, s) in &self.sketches {
+            match (s.quantile(50.0), s.mean()) {
+                (Some(med), Some(mean)) => out.push(format!(
+                    "{k}: n={} mean={mean:.2} p50={med:.2} p99={:.2} p99.9={:.2} (sketch, {} buckets)",
+                    s.count(),
+                    s.quantile(99.0).unwrap_or(f64::NAN),
+                    s.quantile(99.9).unwrap_or(f64::NAN),
+                    s.buckets_len(),
+                )),
+                _ => out.push(format!("{k}: n=0 (sketch)")),
+            }
+        }
         out
     }
 
     /// Is anything recorded?
     pub fn is_empty(&self) -> bool {
-        self.counters.is_empty() && self.hists.is_empty() && self.timelines.is_empty()
+        self.counters.is_empty()
+            && self.hists.is_empty()
+            && self.sketches.is_empty()
+            && self.timelines.is_empty()
     }
 }
 
@@ -264,6 +319,37 @@ mod tests {
             min_rtt: Some(SimDuration::from_millis(min_rtt_ms)),
             outcome: transport::FlowOutcome::Completed,
         }
+    }
+
+    #[test]
+    fn registry_sketches_merge_exactly_and_render() {
+        // Samples split across three "jobs" must render identically to the
+        // all-in-one registry, whatever the merge grouping — the property
+        // the --jobs/--shards byte-identity contract leans on.
+        let samples: Vec<f64> = (0..3000)
+            .map(|i| 0.5 + ((i * 7919) % 7000) as f64)
+            .collect();
+        let mut whole = MetricsRegistry::new();
+        for &x in &samples {
+            whole.observe_sketch("fct_ms", x);
+        }
+        let part = |range: std::ops::Range<usize>| {
+            let mut r = MetricsRegistry::new();
+            for &x in &samples[range] {
+                r.observe_sketch("fct_ms", x);
+            }
+            r
+        };
+        let mut merged = part(0..1000);
+        merged.merge(part(1000..2000));
+        merged.merge(part(2000..3000));
+        assert_eq!(whole.render_lines(), merged.render_lines());
+        assert!(whole.sketch("fct_ms").is_some());
+        assert!(whole.sketch_memory_bytes() > 0);
+        assert!(
+            whole.sketch_memory_bytes() < 32 * 1024,
+            "sketch memory must stay bucket-bounded"
+        );
     }
 
     #[test]

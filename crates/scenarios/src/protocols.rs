@@ -95,6 +95,25 @@ impl Protocol {
         }
     }
 
+    /// Every scheme in registry order — the "scheme set" the run manifest
+    /// records so perf trajectories stay comparable across builds.
+    pub const ALL: [Protocol; 14] = [
+        Protocol::Tcp,
+        Protocol::Tcp10,
+        Protocol::TcpCache,
+        Protocol::Reactive,
+        Protocol::Proactive,
+        Protocol::JumpStart,
+        Protocol::Pcp,
+        Protocol::Halfback,
+        Protocol::HalfbackForward,
+        Protocol::HalfbackBurst,
+        Protocol::HalfbackNoRopr,
+        Protocol::HalfbackBurstFirst,
+        Protocol::HalfbackRatio23,
+        Protocol::HalfbackRatio12,
+    ];
+
     /// Parse a name (case-insensitive, hyphens optional).
     pub fn parse(s: &str) -> Option<Protocol> {
         let norm: String = s
@@ -102,23 +121,7 @@ impl Protocol {
             .filter(|c| c.is_ascii_alphanumeric())
             .collect::<String>()
             .to_lowercase();
-        let all = [
-            Protocol::Tcp,
-            Protocol::Tcp10,
-            Protocol::TcpCache,
-            Protocol::Reactive,
-            Protocol::Proactive,
-            Protocol::JumpStart,
-            Protocol::Pcp,
-            Protocol::Halfback,
-            Protocol::HalfbackForward,
-            Protocol::HalfbackBurst,
-            Protocol::HalfbackNoRopr,
-            Protocol::HalfbackBurstFirst,
-            Protocol::HalfbackRatio23,
-            Protocol::HalfbackRatio12,
-        ];
-        all.into_iter().find(|p| {
+        Protocol::ALL.into_iter().find(|p| {
             p.name()
                 .chars()
                 .filter(|c| c.is_ascii_alphanumeric())

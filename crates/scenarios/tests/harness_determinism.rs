@@ -158,9 +158,67 @@ fn sharded_scenario_is_byte_identical_across_shard_counts() {
     assert!(!a.is_empty(), "no sharded output files written");
     assert_eq!(a, b, "output differs between --shards 1 and --shards 2");
     assert_eq!(a, c, "output differs between --shards 1 and --shards 4");
+    // The scenario aggregates FCTs through the quantile sketch now; make
+    // sure the byte-identity above is actually exercising that path.
+    let summary = a
+        .iter()
+        .find(|(n, _)| n.ends_with("summary.txt"))
+        .expect("sharded summary written");
+    let text = String::from_utf8(summary.1.clone()).unwrap();
+    assert!(
+        text.contains("(sketch"),
+        "sharded summary is not sketch-backed:\n{text}"
+    );
     let _ = fs::remove_dir_all(&d1);
     let _ = fs::remove_dir_all(&d2);
     let _ = fs::remove_dir_all(&d4);
+}
+
+/// Sketch-backed summaries across the *jobs* axis: shard-local sketches
+/// merged in submission order must render byte-identical lines whether
+/// the partial sketches were built on 1 worker or 4. Bucket counts are
+/// integers, so the merge is exact — this is the property that lets the
+/// registry drop per-flow samples without giving up `--jobs` invariance.
+#[test]
+fn sketch_summaries_are_byte_identical_across_worker_counts() {
+    let _guard = HARNESS_LOCK.lock().unwrap();
+    use scenarios::harness::{run_jobs_on, Job};
+    use scenarios::metrics::MetricsRegistry;
+
+    let render = |n_workers: usize| -> Vec<String> {
+        let jobs: Vec<Job<'_, MetricsRegistry>> = (0..8u64)
+            .map(|part| {
+                Job::new(format!("part{part}"), move || {
+                    let mut reg = MetricsRegistry::new();
+                    let mut lcg = 0x9e3779b97f4a7c15u64 ^ part.wrapping_mul(0xff51afd7ed558ccd);
+                    for _ in 0..5_000 {
+                        lcg = lcg
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        reg.observe_sketch("fct_ms", ((lcg >> 33) % 1_000_000 + 1) as f64 / 1e3);
+                    }
+                    reg
+                })
+            })
+            .collect();
+        let mut merged = MetricsRegistry::new();
+        for reg in run_jobs_on(jobs, n_workers) {
+            merged.merge(reg.expect("sketch job panicked"));
+        }
+        merged.render_lines()
+    };
+
+    let serial = render(1);
+    let parallel = render(4);
+    harness::take_metrics();
+    assert_eq!(
+        serial, parallel,
+        "sketch summary differs between 1 and 4 workers"
+    );
+    assert!(
+        serial.iter().any(|l| l.contains("(sketch")),
+        "summary lines are not sketch-backed: {serial:?}"
+    );
 }
 
 /// `--shards` must be inert for cell-parallel experiments: fig6 and chaos

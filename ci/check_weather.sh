@@ -1,0 +1,99 @@
+#!/usr/bin/env sh
+# Weather-service smoke: run the open-loop "internet weather" mode for 10
+# simulated minutes, then enforce the three contracts the mode ships with
+# (see crates/scenarios/src/weather.rs and DESIGN.md "Open-loop service
+# mode"):
+#
+#   1. Output shape — windows.csv carries the halfback-weather-v1 header
+#      and one well-formed row per window; weather.json parses and the
+#      run sustained a service-scale arrival rate (>= 1M flows per
+#      simulated hour at default utilization) with every flow accounted
+#      for (started = completed + aborted + censored).
+#   2. Bounded memory — the run's RSS (reported in weather.json's
+#      quarantined "machine" line) stays under a generous ceiling, and
+#      receivers were actually reaped; an unbounded per-flow structure
+#      shows up here long before the 24 h run OOMs.
+#   3. Kill/restore byte-identity — a second run killed at its first
+#      checkpoint and resumed must reproduce windows.csv, weather.json
+#      (minus the machine line), and the final checkpoint byte-for-byte.
+#
+# Usage: ci/check_weather.sh  (from the repo root)
+set -eu
+
+dir=$(mktemp -d)
+trap 'rm -rf "$dir"' EXIT
+
+run="cargo run --release --bin repro -- weather --minutes 10 --checkpoint-every 3"
+
+# --- 1. Uninterrupted reference run -----------------------------------
+$run --out "$dir/a"
+
+head -1 "$dir/a/windows.csv" | grep -q \
+    '^window,t_end_s,started,completed,aborted,fct_ms_mean,fct_ms_p50,fct_ms_p99,retx_mean,active_flows,live_receivers,reaped$' || {
+    echo "FAIL: windows.csv header is not halfback-weather-v1" >&2
+    exit 1
+}
+rows=$(tail -n +2 "$dir/a/windows.csv" | wc -l)
+if [ "$rows" != "10" ]; then
+    echo "FAIL: expected 10 window rows for 10 minutes of 60s windows, got $rows" >&2
+    exit 1
+fi
+bad=$(tail -n +2 "$dir/a/windows.csv" | grep -cv \
+    '^[0-9]*,[0-9.]*,[0-9]*,[0-9]*,[0-9]*,[0-9.]*,[0-9.]*,[0-9.]*,[0-9.]*,[0-9]*,[0-9]*,[0-9]*$' || true)
+if [ "$bad" != "0" ]; then
+    echo "FAIL: $bad malformed windows.csv rows" >&2
+    exit 1
+fi
+
+grep -q '"schema": "halfback-weather-v1"' "$dir/a/weather.json" || {
+    echo "FAIL: weather.json missing schema tag" >&2
+    exit 1
+}
+field() { grep "\"$2\":" "$1" | head -1 | tr -dc '0-9.'; }
+fph=$(field "$dir/a/weather.json" flows_per_hour | cut -d. -f1)
+if [ "$fph" -lt 1000000 ]; then
+    echo "FAIL: sustained only $fph flows/simulated-hour (service target: 1M+)" >&2
+    exit 1
+fi
+started=$(field "$dir/a/weather.json" flows_started)
+completed=$(field "$dir/a/weather.json" flows_completed)
+aborted=$(field "$dir/a/weather.json" flows_aborted)
+censored=$(field "$dir/a/weather.json" flows_censored)
+if [ "$started" != "$((completed + aborted + censored))" ]; then
+    echo "FAIL: flow accounting broken: $started != $completed + $aborted + $censored" >&2
+    exit 1
+fi
+
+# --- 2. Bounded memory ------------------------------------------------
+rss=$(field "$dir/a/weather.json" rss_mb)
+if [ "$rss" -gt 512 ]; then
+    echo "FAIL: weather run used ${rss} MB RSS (bound: 512 MB)" >&2
+    exit 1
+fi
+reaped=$(field "$dir/a/weather.json" receivers_reaped)
+if [ "$reaped" -le 0 ]; then
+    echo "FAIL: no receivers reaped in 10 simulated minutes" >&2
+    exit 1
+fi
+
+# --- 3. Kill at first checkpoint, resume, compare ---------------------
+$run --out "$dir/b" --stop-after-checkpoints 1
+$run --out "$dir/b" --resume
+
+if ! cmp -s "$dir/a/windows.csv" "$dir/b/windows.csv"; then
+    echo "FAIL: windows.csv differs between uninterrupted and kill+resume runs" >&2
+    diff "$dir/a/windows.csv" "$dir/b/windows.csv" >&2 || true
+    exit 1
+fi
+grep -v '"machine"' "$dir/a/weather.json" > "$dir/a.json.det"
+grep -v '"machine"' "$dir/b/weather.json" > "$dir/b.json.det"
+if ! diff "$dir/a.json.det" "$dir/b.json.det"; then
+    echo "FAIL: weather.json differs between uninterrupted and kill+resume runs" >&2
+    exit 1
+fi
+if ! cmp -s "$dir/a/weather.ckpt" "$dir/b/weather.ckpt"; then
+    echo "FAIL: final checkpoints differ between uninterrupted and kill+resume runs" >&2
+    exit 1
+fi
+
+echo "OK: $started flows ($fph/simulated-hour, ${rss} MB RSS), kill+resume byte-identical"

@@ -84,4 +84,16 @@ impl Strategy for Tcp {
     fn on_rto(&mut self, ops: &mut Ops<'_, '_>) {
         self.reno.on_rto(ops);
     }
+
+    fn save_state(&self, w: &mut netsim::snap::SnapWriter) {
+        self.reno.save(w);
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut netsim::snap::SnapReader<'_>,
+    ) -> Result<(), netsim::snap::SnapError> {
+        self.reno = RenoEngine::load(r)?;
+        Ok(())
+    }
 }

@@ -27,6 +27,37 @@ pub fn rate_cache() -> RateCache {
     Rc::new(RefCell::new(HashMap::new()))
 }
 
+/// Serialize a rate cache into the checkpoint codec. Like TCP-Cache's path
+/// cache, this is scenario-level state shared across flows and must be
+/// checkpointed by the driver, not by any one sender.
+pub fn save_rate_cache(cache: &RateCache, w: &mut netsim::snap::SnapWriter) {
+    let cache = cache.borrow();
+    let mut keys: Vec<(NodeId, NodeId)> = cache.keys().copied().collect();
+    keys.sort_unstable_by_key(|(a, b)| (a.0, b.0));
+    w.usize(keys.len());
+    for k in keys {
+        w.u32(k.0 .0);
+        w.u32(k.1 .0);
+        w.u64(cache[&k].as_bps());
+    }
+}
+
+/// Rebuild a rate cache saved by [`save_rate_cache`] into `cache`
+/// (replacing its contents).
+pub fn load_rate_cache(
+    cache: &RateCache,
+    r: &mut netsim::snap::SnapReader<'_>,
+) -> Result<(), netsim::snap::SnapError> {
+    let mut map = HashMap::new();
+    let n = r.usize()?;
+    for _ in 0..n {
+        let key = (NodeId(r.u32()?), NodeId(r.u32()?));
+        map.insert(key, Rate::from_bps(r.u64()?));
+    }
+    *cache.borrow_mut() = map;
+    Ok(())
+}
+
 /// Halfback with the observed-throughput Pacing Threshold.
 pub struct AdaptiveHalfback {
     inner: Option<Halfback>,
@@ -121,6 +152,29 @@ impl Strategy for AdaptiveHalfback {
                 *entry = Rate::from_bps((entry.as_bps() / 4) * 3 + rate.as_bps() / 4);
             }
         }
+    }
+
+    fn save_state(&self, w: &mut netsim::snap::SnapWriter) {
+        // The shared rate cache is checkpointed by the driver via
+        // [`save_rate_cache`]; here only the wrapped sender's state.
+        w.bool(self.inner.is_some());
+        if let Some(inner) = &self.inner {
+            inner.save_state(w);
+        }
+    }
+
+    fn load_state(
+        &mut self,
+        r: &mut netsim::snap::SnapReader<'_>,
+    ) -> Result<(), netsim::snap::SnapError> {
+        self.inner = if r.bool()? {
+            let mut inner = Halfback::with_config(self.cfg.clone());
+            inner.load_state(r)?;
+            Some(inner)
+        } else {
+            None
+        };
+        Ok(())
     }
 }
 

@@ -21,8 +21,9 @@ use crate::node::{Node, TimerId};
 use crate::packet::{
     LinkId, NodeId, Packet, PacketArena, PacketHandle, PacketId, PacketMeta, Payload,
 };
-use crate::queue::{QueueStats, Verdict};
+use crate::queue::{QueueDiscipline, QueueStats, Verdict};
 use crate::rng::SimRng;
+use crate::snap::{SnapError, SnapPayload, SnapReader, SnapWriter, SNAP_MAGIC, SNAP_VERSION};
 use crate::time::{SimDuration, SimTime};
 
 /// What happened on the wire — delivered to an optional trace hook.
@@ -354,6 +355,307 @@ impl<P: Payload> EngineCore<P> {
     }
 }
 
+/// Section magic for the engine-scalar portion of a snapshot.
+const SEC_ENGINE: u32 = 0x4842_0001;
+/// Section magic for the per-link portion of a snapshot.
+const SEC_LINKS: u32 = 0x4842_0002;
+
+impl<P: Payload + SnapPayload> EngineCore<P> {
+    fn write_packet(w: &mut SnapWriter, pkt: &Packet<P>) {
+        w.u64(pkt.id.0);
+        w.u64(pkt.flow.0);
+        w.u32(pkt.src.0);
+        w.u32(pkt.dst.0);
+        w.u32(pkt.size);
+        w.u64(pkt.sent_at.as_nanos());
+        w.bool(pkt.corrupted);
+        pkt.payload.encode(w);
+    }
+
+    fn read_packet(r: &mut SnapReader<'_>) -> Result<Packet<P>, SnapError> {
+        let id = PacketId(r.u64()?);
+        let flow = crate::packet::FlowId(r.u64()?);
+        let src = NodeId(r.u32()?);
+        let dst = NodeId(r.u32()?);
+        let size = r.u32()?;
+        let sent_at = SimTime::from_nanos(r.u64()?);
+        let corrupted = r.bool()?;
+        let payload = P::decode(r)?;
+        let mut pkt = Packet::new(flow, src, dst, size, payload);
+        pkt.id = id;
+        pkt.sent_at = sent_at;
+        pkt.corrupted = corrupted;
+        Ok(pkt)
+    }
+
+    fn write_link_stats(w: &mut SnapWriter, s: &LinkStats) {
+        w.u64(s.offered);
+        w.u64(s.tx_packets);
+        w.u64(s.tx_bytes);
+        w.u64(s.wire_lost);
+        w.u64(s.down_dropped);
+        w.u64(s.blackholed);
+        w.u64(s.corrupt_marked);
+        w.u64(s.duplicated);
+        w.u64(s.delivered);
+        w.u64(s.corrupt_dropped);
+    }
+
+    fn read_link_stats(r: &mut SnapReader<'_>) -> Result<LinkStats, SnapError> {
+        Ok(LinkStats {
+            offered: r.u64()?,
+            tx_packets: r.u64()?,
+            tx_bytes: r.u64()?,
+            wire_lost: r.u64()?,
+            down_dropped: r.u64()?,
+            blackholed: r.u64()?,
+            corrupt_marked: r.u64()?,
+            duplicated: r.u64()?,
+            delivered: r.u64()?,
+            corrupt_dropped: r.u64()?,
+        })
+    }
+
+    fn write_queue_stats(w: &mut SnapWriter, s: &QueueStats) {
+        w.u64(s.enqueued);
+        w.u64(s.dequeued);
+        w.u64(s.dropped);
+        w.u64(s.dropped_bytes);
+        w.u64(s.max_backlog_bytes);
+        w.u64(s.oversized_admitted);
+    }
+
+    fn read_queue_stats(r: &mut SnapReader<'_>) -> Result<QueueStats, SnapError> {
+        Ok(QueueStats {
+            enqueued: r.u64()?,
+            dequeued: r.u64()?,
+            dropped: r.u64()?,
+            dropped_bytes: r.u64()?,
+            max_backlog_bytes: r.u64()?,
+            oversized_admitted: r.u64()?,
+        })
+    }
+
+    /// Serialize the engine's full dynamic state: clock, sequence counter,
+    /// RNG stream position, timer slot table (bit-exact, including free-list
+    /// order), the pending event multiset (with in-flight packet bodies
+    /// inlined), and per-link busy/stats/loss/queue state.
+    ///
+    /// Snapshot v1 refuses links with fault specs or non-drop-tail queues —
+    /// the open-loop service mode runs on clean drop-tail paths, and
+    /// refusing is safer than silently dropping the extra state.
+    ///
+    /// Takes `&mut self` because the event queue is drained to its canonical
+    /// `(at, seq)`-sorted form and rebuilt; the rebuild is observationally
+    /// invisible (pop order depends only on `(at, seq)`), so saving does not
+    /// perturb the run.
+    pub fn save_snapshot(&mut self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        for (i, l) in self.links.iter().enumerate() {
+            if l.faults.is_some() {
+                return Err(SnapError::Unsupported(format!(
+                    "link l{i} has fault injection installed (snapshot v1 carries clean links only)"
+                )));
+            }
+            if l.queue.as_drop_tail().is_none() {
+                return Err(SnapError::Unsupported(format!(
+                    "link l{i} uses a non-drop-tail queue (snapshot v1 carries DropTail only)"
+                )));
+            }
+        }
+        w.magic(SNAP_MAGIC);
+        w.u32(SNAP_VERSION);
+        w.magic(SEC_ENGINE);
+        w.u64(self.now.as_nanos());
+        w.u64(self.seq);
+        w.u64(self.cancelled_pending);
+        w.u64(self.next_packet_id);
+        w.u64(self.corrupt_dropped);
+        w.u64(self.events_processed);
+        let (seed, state) = self.rng.state_parts();
+        w.u64(seed);
+        for word in state {
+            w.u64(word);
+        }
+        {
+            let (gens, free, live) = self.timers.snapshot_parts();
+            w.usize(gens.len());
+            for g in gens {
+                w.u32(*g);
+            }
+            w.usize(free.len());
+            for f in free {
+                w.u32(*f);
+            }
+            w.usize(live);
+        }
+        let entries = self.events.drain_sorted();
+        w.usize(entries.len());
+        for e in &entries {
+            w.u64(e.at.as_nanos());
+            w.u64(e.seq);
+            match e.kind {
+                EventKind::LinkTxDone { link, pkt } => {
+                    w.u8(0);
+                    w.u32(link.0);
+                    Self::write_packet(w, self.packets.get(pkt));
+                }
+                EventKind::Deliver { node, link, pkt } => {
+                    w.u8(1);
+                    w.u32(node.0);
+                    w.u32(link.0);
+                    Self::write_packet(w, self.packets.get(pkt));
+                }
+                EventKind::Timer { node, id, token } => {
+                    w.u8(2);
+                    w.u32(node.0);
+                    w.u64(id.0);
+                    w.u64(token);
+                }
+            }
+        }
+        // Put the entries back; a rebuilt queue pops in the same order.
+        let mut q = EventQueue::new();
+        for e in entries {
+            q.push(e);
+        }
+        self.events = q;
+        w.magic(SEC_LINKS);
+        w.usize(self.links.len());
+        for l in &self.links {
+            w.bool(l.busy);
+            Self::write_link_stats(w, &l.stats);
+            let (in_bad, seen) = l.loss.snapshot_parts();
+            w.bool(in_bad);
+            w.u64(seen);
+            let dt = l.queue.as_drop_tail().expect("checked above");
+            w.usize(dt.len());
+            for m in dt.queued() {
+                Self::write_packet(w, self.packets.get(m.handle));
+            }
+            Self::write_queue_stats(w, &dt.stats());
+        }
+        Ok(())
+    }
+
+    /// Restore dynamic state saved by [`EngineCore::save_snapshot`] into a
+    /// *freshly built* engine whose static topology (nodes, links, queue
+    /// capacities, loss models) was rebuilt by the same code path that
+    /// built the original. In-flight packet bodies get fresh arena slots in
+    /// canonical order — event order, then link queues front-to-back — and
+    /// every handle is rewritten, so arena layout may differ from the
+    /// uninterrupted run (layout is unobservable; handles never leak into
+    /// output).
+    pub fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        if self.packets.live() != 0 || self.events.len() != 0 || self.now != SimTime::ZERO {
+            return Err(SnapError::Unsupported(
+                "restore target must be a freshly built, never-run simulator".into(),
+            ));
+        }
+        r.expect_magic(SNAP_MAGIC)?;
+        let v = r.u32()?;
+        if v != SNAP_VERSION {
+            return Err(SnapError::Version { got: v });
+        }
+        r.expect_magic(SEC_ENGINE)?;
+        self.now = SimTime::from_nanos(r.u64()?);
+        self.seq = r.u64()?;
+        self.cancelled_pending = r.u64()?;
+        self.next_packet_id = r.u64()?;
+        self.corrupt_dropped = r.u64()?;
+        self.events_processed = r.u64()?;
+        let seed = r.u64()?;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.u64()?;
+        }
+        self.rng = SimRng::from_parts(seed, state);
+        let n_gens = r.usize()?;
+        let mut gens = Vec::with_capacity(n_gens);
+        for _ in 0..n_gens {
+            gens.push(r.u32()?);
+        }
+        let n_free = r.usize()?;
+        let mut free = Vec::with_capacity(n_free);
+        for _ in 0..n_free {
+            free.push(r.u32()?);
+        }
+        let live = r.usize()?;
+        self.timers.restore_parts(gens, free, live);
+        let n_events = r.usize()?;
+        let mut q = EventQueue::new();
+        for _ in 0..n_events {
+            let at = SimTime::from_nanos(r.u64()?);
+            let seq = r.u64()?;
+            let kind = match r.u8()? {
+                0 => {
+                    let link = LinkId(r.u32()?);
+                    let pkt = self.packets.alloc(Self::read_packet(r)?);
+                    EventKind::LinkTxDone { link, pkt }
+                }
+                1 => {
+                    let node = NodeId(r.u32()?);
+                    let link = LinkId(r.u32()?);
+                    let pkt = self.packets.alloc(Self::read_packet(r)?);
+                    EventKind::Deliver { node, link, pkt }
+                }
+                2 => {
+                    let node = NodeId(r.u32()?);
+                    let id = TimerId(r.u64()?);
+                    let token = r.u64()?;
+                    EventKind::Timer { node, id, token }
+                }
+                tag => {
+                    return Err(SnapError::Tag {
+                        ty: "EventKind",
+                        tag,
+                    })
+                }
+            };
+            q.push(crate::eventq::EventEntry { at, seq, kind });
+        }
+        self.events = q;
+        r.expect_magic(SEC_LINKS)?;
+        let n_links = r.usize()?;
+        if n_links != self.links.len() {
+            return Err(SnapError::Unsupported(format!(
+                "snapshot has {n_links} links, rebuilt topology has {} (config drift?)",
+                self.links.len()
+            )));
+        }
+        for i in 0..n_links {
+            let busy = r.bool()?;
+            let stats = Self::read_link_stats(r)?;
+            let in_bad = r.bool()?;
+            let seen = r.u64()?;
+            let n_queued = r.usize()?;
+            let mut items = Vec::with_capacity(n_queued);
+            for _ in 0..n_queued {
+                let body = Self::read_packet(r)?;
+                let (id, flow, size) = (body.id, body.flow, body.size);
+                let handle = self.packets.alloc(body);
+                items.push(PacketMeta {
+                    handle,
+                    id,
+                    flow,
+                    size,
+                });
+            }
+            let qstats = Self::read_queue_stats(r)?;
+            let l = &mut self.links[i];
+            l.busy = busy;
+            l.stats = stats;
+            l.loss.restore_parts(in_bad, seen);
+            l.queue
+                .as_drop_tail_mut()
+                .ok_or_else(|| {
+                    SnapError::Unsupported(format!("rebuilt link l{i} uses a non-drop-tail queue"))
+                })?
+                .restore(items, qstats);
+        }
+        Ok(())
+    }
+}
+
 /// Execution context handed to a node during dispatch.
 pub struct Ctx<'a, P: Payload> {
     core: &'a mut EngineCore<P>,
@@ -411,6 +713,23 @@ impl<'a, P: Payload> Ctx<'a, P> {
 pub struct Simulator<P: Payload> {
     core: EngineCore<P>,
     nodes: Vec<Option<Box<dyn Node<P>>>>,
+}
+
+impl<P: Payload + SnapPayload> Simulator<P> {
+    /// Serialize engine dynamic state into `w`. Node state is *not*
+    /// included — hosts save themselves through their own codecs; see
+    /// [`EngineCore::save_snapshot`] for what is carried and what is
+    /// refused.
+    pub fn save_snapshot(&mut self, w: &mut SnapWriter) -> Result<(), SnapError> {
+        self.core.save_snapshot(w)
+    }
+
+    /// Restore engine dynamic state saved by [`Simulator::save_snapshot`]
+    /// into a freshly built simulator with the same static topology. Node
+    /// state must be restored separately by the caller.
+    pub fn restore_snapshot(&mut self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        self.core.restore_snapshot(r)
+    }
 }
 
 impl<P: Payload> Simulator<P> {

@@ -511,6 +511,23 @@ impl EventQueue {
         }
     }
 
+    /// Remove and return every pending entry in `(at, seq)` order, leaving
+    /// the queue empty. The engine snapshot codec uses this to serialize
+    /// the queue as a canonical sorted multiset — internal layout (sparse
+    /// vs. dense, cursor position, inbox contents) is never persisted,
+    /// because pop order depends only on `(at, seq)` and rebuilding by
+    /// re-pushing the sorted entries is observationally identical.
+    pub(crate) fn drain_sorted(&mut self) -> Vec<EventEntry> {
+        let mut out = Vec::with_capacity(self.len);
+        while let Some(e) = self.pop() {
+            out.push(e);
+        }
+        debug_assert!(out
+            .windows(2)
+            .all(|w| (w[0].at, w[0].seq) <= (w[1].at, w[1].seq)));
+        out
+    }
+
     /// Keep only entries satisfying `pred` (used to shed stale cancelled
     /// timers when they dominate the queue). Order is preserved.
     pub(crate) fn retain(&mut self, mut pred: impl FnMut(&EventEntry) -> bool) {
@@ -664,6 +681,23 @@ impl TimerSlots {
         let idx = (id.0 & 0xFFFF_FFFF) as usize;
         let gen = (id.0 >> 32) as u32;
         idx < self.gens.len() && self.gens[idx] == gen
+    }
+
+    /// The slot table's full state for the engine snapshot codec. The
+    /// free list's LIFO order matters: recycled slots must come back in
+    /// the same order after a restore, or re-armed [`TimerId`]s diverge
+    /// from the uninterrupted run.
+    pub(crate) fn snapshot_parts(&self) -> (&[u32], &[u32], usize) {
+        (&self.gens, &self.free, self.live)
+    }
+
+    /// Restore the slot table bit-exactly from [`TimerSlots::snapshot_parts`]
+    /// output — generations (ABA safety for ids still referenced by queue
+    /// entries and host state), free-list order, and live count.
+    pub(crate) fn restore_parts(&mut self, gens: Vec<u32>, free: Vec<u32>, live: usize) {
+        self.gens = gens;
+        self.free = free;
+        self.live = live;
     }
 
     /// Disarm `id` (cancel or fire). Returns `true` if it was armed; a

@@ -55,6 +55,7 @@ pub mod queue;
 pub mod rng;
 pub mod router;
 pub mod shard;
+pub mod snap;
 pub mod stats;
 pub mod time;
 pub mod topology;
@@ -65,4 +66,5 @@ pub use node::{Node, TimerId};
 pub use packet::{
     FlowId, LinkId, NodeId, Packet, PacketArena, PacketHandle, PacketId, PacketMeta, Payload,
 };
+pub use snap::{SnapError, SnapPayload, SnapReader, SnapWriter};
 pub use time::{Rate, SimDuration, SimTime};

@@ -65,6 +65,18 @@ pub trait QueueDiscipline: std::fmt::Debug {
     }
     /// Statistics snapshot.
     fn stats(&self) -> QueueStats;
+    /// Drop-tail view for the engine snapshot codec. Snapshot v1 only
+    /// carries [`DropTail`] queues; disciplines with extra control state
+    /// (CoDel) keep the default `None` and make a checkpoint attempt fail
+    /// with a clear error instead of silently losing state.
+    fn as_drop_tail(&self) -> Option<&DropTail> {
+        None
+    }
+    /// Mutable drop-tail view for restore (see
+    /// [`QueueDiscipline::as_drop_tail`]).
+    fn as_drop_tail_mut(&mut self) -> Option<&mut DropTail> {
+        None
+    }
 }
 
 /// Byte-limited drop-tail FIFO.
@@ -91,6 +103,23 @@ impl DropTail {
     /// Configured capacity in bytes.
     pub fn capacity_bytes(&self) -> u64 {
         self.capacity_bytes
+    }
+
+    /// Queued records front-to-back, for the engine snapshot codec (the
+    /// packet bodies live in the arena; the codec serializes them inline).
+    pub(crate) fn queued(&self) -> impl Iterator<Item = &PacketMeta> {
+        self.queue.iter()
+    }
+
+    /// Restore queue contents and statistics from a snapshot. `items` must
+    /// be in front-to-back order and carry *current* arena handles (the
+    /// codec re-parks bodies and rewrites handles before calling this).
+    /// Backlog is recomputed from the items; capacity stays whatever the
+    /// topology rebuild configured.
+    pub(crate) fn restore(&mut self, items: Vec<PacketMeta>, stats: QueueStats) {
+        self.backlog_bytes = items.iter().map(|m| m.size as u64).sum();
+        self.queue = items.into();
+        self.stats = stats;
     }
 }
 
@@ -133,6 +162,14 @@ impl QueueDiscipline for DropTail {
 
     fn stats(&self) -> QueueStats {
         self.stats
+    }
+
+    fn as_drop_tail(&self) -> Option<&DropTail> {
+        Some(self)
+    }
+
+    fn as_drop_tail_mut(&mut self) -> Option<&mut DropTail> {
+        Some(self)
     }
 }
 

@@ -118,6 +118,19 @@ impl SimRng {
         x_min / (1.0 - self.uniform()).powf(1.0 / alpha)
     }
 
+    /// The generator's full state, for engine checkpointing: the original
+    /// seed plus the current xoshiro256++ state words. Restoring with
+    /// [`SimRng::from_parts`] resumes the stream exactly where it was —
+    /// including the fork labels, which derive from the seed alone.
+    pub fn state_parts(&self) -> (u64, [u64; 4]) {
+        (self.seed, self.state)
+    }
+
+    /// Rebuild a generator from [`SimRng::state_parts`] output.
+    pub fn from_parts(seed: u64, state: [u64; 4]) -> Self {
+        SimRng { seed, state }
+    }
+
     /// Raw `u64` draw (for seeding nested structures).
     pub fn next_u64(&mut self) -> u64 {
         // xoshiro256++ step.

@@ -1,0 +1,336 @@
+//! Versioned binary snapshot codec for engine checkpoint/restore.
+//!
+//! The open-loop service mode (`repro weather`) periodically serializes the
+//! full dynamic state of a simulation — wheel, arena, links, hosts, RNG —
+//! so a 24-hour run can be killed at an arbitrary checkpoint and resumed
+//! with *byte-identical* output. The codec here is deliberately dumb:
+//! little-endian fixed-width integers, length-prefixed sequences, `f64` as
+//! IEEE-754 bits, and explicit section magics so a reader that drifts out
+//! of phase with its writer fails loudly at the next section boundary
+//! instead of silently misreading state.
+//!
+//! Versioning rules (see DESIGN.md "Open-loop service mode"):
+//!
+//! * The file-level header is `(magic, version)`. A reader refuses any
+//!   version it does not know — snapshots are *not* forward-compatible.
+//! * Any change to the byte layout of any section bumps
+//!   [`SNAP_VERSION`]. There is no per-section versioning: snapshots are
+//!   short-lived artifacts of one binary, not an archival format.
+//! * Restoring validates the topology-independent scalars it can check
+//!   (link counts, payload tags) and panics/errors on mismatch rather
+//!   than limping on.
+
+use std::fmt;
+
+/// Snapshot format version. Bump on ANY layout change.
+pub const SNAP_VERSION: u32 = 1;
+
+/// File-level magic: "HBSN" (Halfback SNapshot).
+pub const SNAP_MAGIC: u32 = 0x4842_534E;
+
+/// Decode-side failure: truncated input, wrong magic, unknown tag, or a
+/// snapshot that does not match the rebuilt topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapError {
+    /// Input ended before the expected field.
+    Eof {
+        /// Byte offset at which the read was attempted.
+        at: usize,
+        /// How many bytes the field needed.
+        wanted: usize,
+    },
+    /// A section or file magic did not match.
+    Magic {
+        /// The magic the reader expected.
+        expected: u32,
+        /// The magic actually read.
+        got: u32,
+    },
+    /// An enum tag byte was out of range for the type named.
+    Tag {
+        /// Type being decoded.
+        ty: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// The snapshot's format version is not supported by this binary.
+    Version {
+        /// Version found in the header.
+        got: u32,
+    },
+    /// The snapshot describes state this codec version cannot carry (e.g.
+    /// faulted links, non-drop-tail queues) or that contradicts the
+    /// rebuilt topology.
+    Unsupported(String),
+}
+
+impl fmt::Display for SnapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapError::Eof { at, wanted } => {
+                write!(
+                    f,
+                    "snapshot truncated: {wanted} bytes wanted at offset {at}"
+                )
+            }
+            SnapError::Magic { expected, got } => write!(
+                f,
+                "snapshot section magic mismatch: expected {expected:#010x}, got {got:#010x}"
+            ),
+            SnapError::Tag { ty, tag } => write!(f, "invalid {ty} tag {tag} in snapshot"),
+            SnapError::Version { got } => write!(
+                f,
+                "unsupported snapshot version {got} (this binary reads {SNAP_VERSION})"
+            ),
+            SnapError::Unsupported(what) => write!(f, "snapshot cannot carry this state: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+/// Append-only snapshot writer over an owned byte buffer.
+#[derive(Debug, Default)]
+pub struct SnapWriter {
+    buf: Vec<u8>,
+}
+
+impl SnapWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        SnapWriter::default()
+    }
+
+    /// Consume the writer and return the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write a section magic (little-endian `u32`).
+    pub fn magic(&mut self, m: u32) {
+        self.u32(m);
+    }
+
+    /// Write one byte.
+    pub fn u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    /// Write a bool as one byte.
+    pub fn bool(&mut self, x: bool) {
+        self.buf.push(x as u8);
+    }
+
+    /// Write a little-endian `u32`.
+    pub fn u32(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Write a little-endian `u64`.
+    pub fn u64(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    /// Write a `usize` as a `u64`.
+    pub fn usize(&mut self, x: usize) {
+        self.u64(x as u64);
+    }
+
+    /// Write an `f64` as its IEEE-754 bit pattern (exact round-trip).
+    pub fn f64(&mut self, x: f64) {
+        self.u64(x.to_bits());
+    }
+
+    /// Write a length-prefixed byte slice.
+    pub fn bytes(&mut self, xs: &[u8]) {
+        self.usize(xs.len());
+        self.buf.extend_from_slice(xs);
+    }
+
+    /// Write a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Sequential snapshot reader over a borrowed byte slice.
+#[derive(Debug)]
+pub struct SnapReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> SnapReader<'a> {
+    /// A reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        SnapReader { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapError> {
+        if self.remaining() < n {
+            return Err(SnapError::Eof {
+                at: self.pos,
+                wanted: n,
+            });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self) -> Result<u8, SnapError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Read a bool (one byte; any nonzero is `true`).
+    pub fn bool(&mut self) -> Result<bool, SnapError> {
+        Ok(self.u8()? != 0)
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, SnapError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, SnapError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read a `usize` written by [`SnapWriter::usize`].
+    pub fn usize(&mut self) -> Result<usize, SnapError> {
+        Ok(self.u64()? as usize)
+    }
+
+    /// Read an `f64` from its bit pattern.
+    pub fn f64(&mut self) -> Result<f64, SnapError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length-prefixed byte slice.
+    pub fn bytes(&mut self) -> Result<&'a [u8], SnapError> {
+        let n = self.usize()?;
+        self.take(n)
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, SnapError> {
+        let b = self.bytes()?;
+        String::from_utf8(b.to_vec())
+            .map_err(|_| SnapError::Unsupported("non-UTF-8 string in snapshot".into()))
+    }
+
+    /// Read a `u32` and require it to equal `expected`.
+    pub fn expect_magic(&mut self, expected: u32) -> Result<(), SnapError> {
+        let got = self.u32()?;
+        if got != expected {
+            return Err(SnapError::Magic { expected, got });
+        }
+        Ok(())
+    }
+}
+
+/// Payload types that can ride through an engine snapshot. The `transport`
+/// crate implements this for its wire `Header`; unit payloads get a no-op
+/// impl so engine-level tests can snapshot too.
+pub trait SnapPayload: Sized {
+    /// Append this payload's encoding to `w`.
+    fn encode(&self, w: &mut SnapWriter);
+    /// Decode a payload previously written by [`SnapPayload::encode`].
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError>;
+}
+
+impl SnapPayload for () {
+    fn encode(&self, _w: &mut SnapWriter) {}
+    fn decode(_r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(())
+    }
+}
+
+impl SnapPayload for u64 {
+    fn encode(&self, w: &mut SnapWriter) {
+        w.u64(*self);
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        r.u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = SnapWriter::new();
+        w.magic(SNAP_MAGIC);
+        w.u8(7);
+        w.bool(true);
+        w.u32(0xDEAD_BEEF);
+        w.u64(u64::MAX - 3);
+        w.usize(12345);
+        w.f64(-0.0);
+        w.f64(f64::INFINITY);
+        w.bytes(b"hello");
+        w.str("weather");
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        r.expect_magic(SNAP_MAGIC).unwrap();
+        assert_eq!(r.u8().unwrap(), 7);
+        assert!(r.bool().unwrap());
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 3);
+        assert_eq!(r.usize().unwrap(), 12345);
+        assert_eq!(r.f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64().unwrap(), f64::INFINITY);
+        assert_eq!(r.bytes().unwrap(), b"hello");
+        assert_eq!(r.str().unwrap(), "weather");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = SnapWriter::new();
+        w.u64(1);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes[..4]);
+        assert!(matches!(r.u64(), Err(SnapError::Eof { .. })));
+    }
+
+    #[test]
+    fn magic_mismatch_is_detected() {
+        let mut w = SnapWriter::new();
+        w.magic(0x1111_2222);
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        assert!(matches!(
+            r.expect_magic(0x3333_4444),
+            Err(SnapError::Magic { .. })
+        ));
+    }
+}

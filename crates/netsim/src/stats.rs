@@ -462,6 +462,44 @@ impl LogHistogram {
         std::mem::size_of::<Self>() + self.hiwater * SKETCH_BUCKET_COST
     }
 
+    /// Serialize into the engine checkpoint codec: bucket table in
+    /// ascending key order (BTreeMap iteration order, so the bytes are
+    /// deterministic), then the scalar accumulators. `hiwater` rides along
+    /// so a resumed run's memory accounting matches the uninterrupted one.
+    pub fn save(&self, w: &mut crate::snap::SnapWriter) {
+        w.usize(self.buckets.len());
+        for (&k, &n) in &self.buckets {
+            w.u32(k);
+            w.u64(n);
+        }
+        w.u64(self.zeros);
+        w.u64(self.count);
+        w.f64(self.sum);
+        w.f64(self.min);
+        w.f64(self.max);
+        w.usize(self.hiwater);
+    }
+
+    /// Rebuild a sketch saved by [`LogHistogram::save`].
+    pub fn load(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        let n_buckets = r.usize()?;
+        let mut buckets = std::collections::BTreeMap::new();
+        for _ in 0..n_buckets {
+            let k = r.u32()?;
+            let n = r.u64()?;
+            buckets.insert(k, n);
+        }
+        Ok(LogHistogram {
+            buckets,
+            zeros: r.u64()?,
+            count: r.u64()?,
+            sum: r.f64()?,
+            min: r.f64()?,
+            max: r.f64()?,
+            hiwater: r.usize()?,
+        })
+    }
+
     /// `(bucket upper edge, percent of samples <= edge)` series for
     /// plotting a CDF: one point per non-empty bucket instead of one per
     /// sample, so a 10^5-flow CDF is a few hundred points. The final
@@ -578,6 +616,36 @@ impl WindowedSketch {
                 .map(LogHistogram::memory_bytes)
                 .sum::<usize>()
     }
+
+    /// Serialize into the engine checkpoint codec (configuration plus
+    /// every window sketch).
+    pub fn save(&self, w: &mut crate::snap::SnapWriter) {
+        w.u64(self.window_ns);
+        w.u64(self.warmup_ns);
+        w.u64(self.trimmed);
+        w.usize(self.windows.len());
+        for win in &self.windows {
+            win.save(w);
+        }
+    }
+
+    /// Rebuild a windowed sketch saved by [`WindowedSketch::save`].
+    pub fn load(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        let window_ns = r.u64()?;
+        let warmup_ns = r.u64()?;
+        let trimmed = r.u64()?;
+        let n = r.usize()?;
+        let mut windows = Vec::with_capacity(n);
+        for _ in 0..n {
+            windows.push(LogHistogram::load(r)?);
+        }
+        Ok(WindowedSketch {
+            window_ns,
+            warmup_ns,
+            windows,
+            trimmed,
+        })
+    }
 }
 
 /// Bins event counts into fixed-width time buckets — used for the Fig. 15
@@ -689,6 +757,44 @@ impl TimeBinned {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sketch_snapshot_roundtrip_is_exact() {
+        let mut ws = WindowedSketch::new(1_000, 500);
+        let mut h = LogHistogram::new();
+        for i in 0..5_000u64 {
+            let x = (i as f64 * 0.37).sin().abs() * 1e6 + (i % 7) as f64;
+            ws.add(i * 3, x);
+            h.add(x);
+        }
+        h.add(0.0); // exercise the zero bucket
+
+        let mut w = crate::snap::SnapWriter::new();
+        h.save(&mut w);
+        ws.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = crate::snap::SnapReader::new(&bytes);
+        let h2 = LogHistogram::load(&mut r).unwrap();
+        let ws2 = WindowedSketch::load(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+
+        assert_eq!(h.count(), h2.count());
+        assert_eq!(h.mean(), h2.mean());
+        assert_eq!(h.quantile(99.0), h2.quantile(99.0));
+        assert_eq!(h.memory_bytes(), h2.memory_bytes());
+        assert_eq!(ws.trimmed(), ws2.trimmed());
+        assert_eq!(ws.windows().len(), ws2.windows().len());
+        assert_eq!(
+            ws.aggregate().quantile(50.0),
+            ws2.aggregate().quantile(50.0)
+        );
+
+        // A second save of the restored sketches is byte-identical.
+        let mut w2 = crate::snap::SnapWriter::new();
+        h2.save(&mut w2);
+        ws2.save(&mut w2);
+        assert_eq!(bytes, w2.into_bytes());
+    }
 
     #[test]
     fn summary_tracks_mean_min_max() {

@@ -7,8 +7,19 @@
 //! repro trace [--figure F] [--protocol P] [--seed S] [--flow N] [--bytes B] [--out DIR]
 //! repro simcheck [--seed S] [--cases N] [--jobs N] [--out DIR]
 //! repro simcheck --case ID [--seed S] [--keep-flows L] [--keep-faults L] [--keep-hops K]
+//! repro weather [--scheme P] [--utilization F] [--hours H | --minutes M] [--window S]
+//!               [--warmup S] [--checkpoint-every N] [--amplitude F] [--period-hours H]
+//!               [--pairs N] [--seed S] [--out DIR] [--resume] [--stop-after-checkpoints K]
 //! repro list
 //! ```
+//!
+//! `weather` is the open-loop "internet weather" service mode: a streaming
+//! Poisson(+diurnal) arrival driver injects short flows forever, reports
+//! steady-state per-window stats to `out/windows.csv`, and checkpoints the
+//! complete engine/host/arrival state to `out/weather.ckpt` so a killed run
+//! resumes byte-identically (`--resume`). `--stop-after-checkpoints K`
+//! exits right after the Kth checkpoint — the deterministic kill the CI
+//! restore battery uses.
 //!
 //! Experiments: fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 //! fig13 fig14 fig15 fig16 fig17 table1. `--quick` runs the reduced-scale
@@ -36,11 +47,13 @@
 //! wall time. Machine-varying fields sit on their own lines so
 //! `grep -vE '"wall_|"machine"'` leaves a deterministic document.
 
+use netsim::SimDuration;
 use scenarios::figures::{distinct_experiment_ids, run_experiment};
 use scenarios::harness::JobMetrics;
 use scenarios::manifest::{ExperimentEntry, Manifest};
 use scenarios::simcheck;
 use scenarios::trace::{run_trace, TraceSpec};
+use scenarios::weather::{self, WeatherConfig, WeatherRunOptions};
 use scenarios::{harness, Protocol, Scale};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -326,6 +339,171 @@ fn simcheck_main(args: Vec<String>) -> ExitCode {
     }
 }
 
+/// `repro weather`: run (or resume) the open-loop service mode. Output
+/// files (`windows.csv`, `weather.json`) are byte-identical across
+/// kill/resume; progress and machine-varying stats go to stderr.
+fn weather_main(args: Vec<String>) -> ExitCode {
+    let mut cfg = WeatherConfig::default();
+    let mut opts = WeatherRunOptions::default();
+    let mut out_dir = PathBuf::from("out/weather");
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scheme" | "-p" => match it.next().as_deref().and_then(Protocol::parse) {
+                Some(p) => cfg.protocol = p,
+                None => {
+                    eprintln!("--scheme needs a scheme name (e.g. Halfback, TCP, JumpStart)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--utilization" | "-u" => match it.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(u) if u > 0.0 => cfg.utilization = u,
+                _ => {
+                    eprintln!("--utilization needs a positive fraction");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--hours" => match it.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(h) if h > 0.0 => cfg.duration = SimDuration::from_secs_f64(h * 3600.0),
+                _ => {
+                    eprintln!("--hours needs a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--minutes" => match it.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(m) if m > 0.0 => cfg.duration = SimDuration::from_secs_f64(m * 60.0),
+                _ => {
+                    eprintln!("--minutes needs a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--window" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(s) if s >= 1 => cfg.window = SimDuration::from_secs(s),
+                _ => {
+                    eprintln!("--window needs a positive number of seconds");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--warmup" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(s) => cfg.warmup = SimDuration::from_secs(s),
+                None => {
+                    eprintln!("--warmup needs a number of seconds");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--checkpoint-every" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(n) if n >= 1 => cfg.checkpoint_every = n,
+                _ => {
+                    eprintln!("--checkpoint-every needs a positive window count");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--amplitude" => match it.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(a) if (0.0..1.0).contains(&a) => cfg.amplitude = a,
+                _ => {
+                    eprintln!("--amplitude needs a fraction in [0, 1)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--period-hours" => match it.next().and_then(|n| n.parse::<f64>().ok()) {
+                Some(h) if h > 0.0 => cfg.period = SimDuration::from_secs_f64(h * 3600.0),
+                _ => {
+                    eprintln!("--period-hours needs a positive number");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--pairs" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => cfg.host_pairs = n,
+                _ => {
+                    eprintln!("--pairs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--seed" | "-s" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(s) => cfg.seed = s,
+                None => {
+                    eprintln!("--seed needs an integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--jobs" | "-j" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                // Weather runs one simulation inline; the flag is accepted
+                // so callers can pass a uniform command line, and output is
+                // byte-identical for every N by construction.
+                Some(n) if n >= 1 => harness::set_workers(n),
+                _ => {
+                    eprintln!("--jobs needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--out" | "-o" => match it.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--resume" => opts.resume = true,
+            "--stop-after-checkpoints" => match it.next().and_then(|n| n.parse::<u64>().ok()) {
+                Some(k) if k >= 1 => opts.stop_after_checkpoints = Some(k),
+                _ => {
+                    eprintln!("--stop-after-checkpoints needs a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("unknown weather flag '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!(
+        ">> weather: {} at {:.0}% payload utilization (amplitude {:.0}%), {:.2} simulated hours, \
+         {}s windows, checkpoint every {} windows{}...",
+        cfg.protocol.name(),
+        cfg.utilization * 100.0,
+        cfg.amplitude * 100.0,
+        cfg.duration.as_secs_f64() / 3600.0,
+        cfg.window.as_secs_f64(),
+        cfg.checkpoint_every,
+        if opts.resume { " (resuming)" } else { "" }
+    );
+    let started = std::time::Instant::now();
+    let out = match weather::run_weather(&cfg, &out_dir, &opts) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("weather run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if out.stopped_early {
+        eprintln!(
+            ">> stopped after checkpoint as requested: {} windows emitted, {} flows started; \
+             resume with --resume",
+            out.windows, out.started
+        );
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "weather: {} started, {} completed, {} aborted, {} censored over {} windows \
+         ({:.0} flows/hour)",
+        out.started, out.completed, out.aborted, out.censored, out.windows, out.flows_per_hour
+    );
+    println!(
+        "steady-state FCT: mean {:.1} ms, p50 {:.1} ms, p99 {:.1} ms ({} receivers reaped, \
+         sketch {} bytes)",
+        out.fct_ms.0, out.fct_ms.1, out.fct_ms.2, out.reaped, out.sketch_mem_bytes
+    );
+    eprintln!(
+        ">> done in {:.1}s wall (rss {:.0} MB); outputs in {}",
+        started.elapsed().as_secs_f64(),
+        rss_mb().unwrap_or(0.0),
+        out_dir.display()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("trace") {
@@ -334,9 +512,12 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("simcheck") {
         return simcheck_main(args.split_off(1));
     }
+    if args.first().map(String::as_str) == Some("weather") {
+        return weather_main(args.split_off(1));
+    }
     if args.is_empty() {
         eprintln!(
-            "usage: repro <experiment>... [--quick] [--scale quick|full] [--jobs N] [--shards N] [--telemetry FILE] [--chart] [--out DIR] | repro all | repro list"
+            "usage: repro <experiment>... [--quick] [--scale quick|full] [--jobs N] [--shards N] [--telemetry FILE] [--chart] [--out DIR] | repro all | repro list | repro weather [...]"
         );
         return ExitCode::FAILURE;
     }

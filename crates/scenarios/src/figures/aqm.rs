@@ -32,7 +32,7 @@ pub fn cell(protocol: Protocol, codel: bool, scale: Scale) -> FctStats {
         SimTime::ZERO + SimDuration::from_secs(3),
         SimRng::new(83).fork("aqm"),
     );
-    for t in arrivals.take_until(SimTime::ZERO + horizon) {
+    for t in arrivals.until(SimTime::ZERO + horizon) {
         plans.push(FlowPlan {
             at: t,
             bytes: 100_000,

@@ -46,7 +46,7 @@ pub fn cell(protocol: Protocol, buffer: u64, scale: Scale) -> FctStats {
         SimTime::ZERO + SimDuration::from_secs(3),
         SimRng::new(29).fork("bufferbloat"),
     );
-    for t in arrivals.take_until(SimTime::ZERO + horizon) {
+    for t in arrivals.until(SimTime::ZERO + horizon) {
         plans.push(FlowPlan {
             at: t,
             bytes: 100_000,

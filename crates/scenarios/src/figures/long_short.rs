@@ -39,10 +39,9 @@ fn schedule(utilization: f64, scale: Scale, horizon: SimTime) -> Vec<(SimTime, u
     let mut shorts = PoissonArrivals::new(short_mean, SimTime::ZERO, seed.fork("short"));
     let mut longs = PoissonArrivals::new(long_mean, SimTime::ZERO, seed.fork("long"));
     let mut flows: Vec<(SimTime, u64)> = shorts
-        .take_until(horizon)
-        .into_iter()
+        .until(horizon)
         .map(|t| (t, 100_000))
-        .chain(longs.take_until(horizon).into_iter().map(|t| (t, lb)))
+        .chain(longs.until(horizon).map(|t| (t, lb)))
         .collect();
     // At least one long flow so the normalization denominator exists.
     if !flows.iter().any(|&(_, b)| b == lb) {
@@ -95,8 +94,14 @@ pub fn cell(protocol: Protocol, utilization: f64, scale: Scale) -> (FctStats, Fc
     let short_started = plans.iter().filter(|p| p.bytes == 100_000).count();
     let long_started = plans.len() - short_started;
     (
-        FctStats::from_records(&shorts, short_started - shorts.len()),
-        FctStats::from_records(&longs, long_started.saturating_sub(longs.len())),
+        FctStats::from_records(
+            &shorts,
+            crate::metrics::censored_count(short_started, shorts.len(), "long_short/short"),
+        ),
+        FctStats::from_records(
+            &longs,
+            crate::metrics::censored_count(long_started, longs.len(), "long_short/long"),
+        ),
     )
 }
 

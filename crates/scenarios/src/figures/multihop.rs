@@ -57,12 +57,12 @@ pub fn run_through(protocol: Protocol, cross_util: f64, scale: Scale) -> FctStat
             SimTime::ZERO,
             root.fork_indexed("cross", h as u64),
         );
-        arrivals.extend(p.take_until(horizon).into_iter().map(|t| (t, Some(h))));
+        arrivals.extend(p.until(horizon).map(|t| (t, Some(h))));
     }
     // Through flows at a light 10% additional load.
     let through_gap = workload::interarrival_for_utilization(spec.hop_rate, 100_000.0, 0.10);
     let mut p = PoissonArrivals::new(through_gap, SimTime::ZERO, root.fork("through"));
-    arrivals.extend(p.take_until(horizon).into_iter().map(|t| (t, None)));
+    arrivals.extend(p.until(horizon).map(|t| (t, None)));
     arrivals.sort_by_key(|&(t, _)| t);
 
     let mut through_started = 0usize;
@@ -103,7 +103,10 @@ pub fn run_through(protocol: Protocol, cross_util: f64, scale: Scale) -> FctStat
     for &h in &net.through_senders {
         records.extend(sim.node_as::<Host>(h).unwrap().completed().iter().cloned());
     }
-    FctStats::from_records(&records, through_started.saturating_sub(records.len()))
+    FctStats::from_records(
+        &records,
+        crate::metrics::censored_count(through_started, records.len(), "multihop/through"),
+    )
 }
 
 /// Render the multihop extension figure.

@@ -23,6 +23,7 @@ pub mod runner;
 pub mod simcheck;
 pub mod telemetry;
 pub mod trace;
+pub mod weather;
 
 pub use protocols::Protocol;
 pub use report::Figure;

@@ -158,6 +158,29 @@ impl MetricsRegistry {
     }
 }
 
+/// The number of censored (started-but-unfinished) flows, computed as
+/// `started - completed` with the subtraction *checked*: more completions
+/// than starts is a counting bug (double-collected records, wrong filter),
+/// and the old `saturating_sub` silently reported it as "0 censored".
+/// Debug builds assert; release builds surface the discrepancy on stderr
+/// and report zero so a long figure run still renders.
+pub fn censored_count(started: usize, completed: usize, context: &str) -> usize {
+    match started.checked_sub(completed) {
+        Some(n) => n,
+        None => {
+            debug_assert!(
+                false,
+                "{context}: {completed} completed flows but only {started} started"
+            );
+            eprintln!(
+                "warning: {context}: collected {completed} completion records for \
+                 {started} started flows — flow accounting is broken; reporting 0 censored"
+            );
+            0
+        }
+    }
+}
+
 /// Summary statistics of a set of completed flows.
 #[derive(Debug, Clone)]
 pub struct FctStats {

@@ -1,0 +1,835 @@
+//! Open-loop "internet weather" service mode (`repro weather`).
+//!
+//! Every figure runner in this crate is *closed-loop at the harness level*:
+//! it materializes the full arrival schedule up front, runs the simulation
+//! to quiescence, and keeps a [`FlowRecord`] per flow. That shape cannot
+//! answer the paper's service question — does a scheme stay well-behaved
+//! when short flows arrive forever? — because memory grows with total flow
+//! count and the run has no notion of "still going".
+//!
+//! This module is the open-loop counterpart. A streaming arrival process
+//! ([`workload::DiurnalPoisson`] — Poisson with a sinusoidal daily rate
+//! envelope) injects flows lazily, one `run_until` at a time; hosts run
+//! with record retention off and publish completions to a bounded bus the
+//! driver drains every virtual window; receiver endpoints are reaped once
+//! their flows are safely beyond the sender's worst-case give-up time. The
+//! result: a 15 Mbps-class dumbbell sustains millions of flows per
+//! simulated hour for a simulated day in O(windows + active flows) memory,
+//! with steady-state FCT/abort/retransmit stats reported per window
+//! through a [`WindowedSketch`].
+//!
+//! The second half of the mode is *checkpoint/restore*: at window
+//! boundaries the driver serializes the full dynamic state — engine
+//! (clock, events, in-flight packets, RNG, timer slots, link queues),
+//! every host (senders, receivers, timer routes, per-scheme strategy
+//! state), the shared TCP-Cache path cache, the arrival process, and its
+//! own accounting — into a versioned snapshot, written atomically. A
+//! killed run resumes from the latest checkpoint and produces **byte
+//! identical** output files to an uninterrupted run: structure is rebuilt
+//! from configuration (validated against a fingerprint in the snapshot;
+//! drift is refused), dynamic state is overlaid, and `windows.csv` is
+//! truncated to the byte offset recorded in the checkpoint before
+//! appending continues.
+
+use crate::protocols::Protocol;
+use crate::runner::run_until_checked;
+use baselines::{load_path_cache, path_cache, save_path_cache, PathCache};
+use netsim::snap::{SnapError, SnapReader, SnapWriter};
+use netsim::stats::{LogHistogram, WindowedSketch};
+use netsim::topology::{build_dumbbell, Dumbbell, DumbbellSpec};
+use netsim::{FlowId, SimDuration, SimTime};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+use transport::{completion_bus, CompletionBus, Host, TransportSim};
+use workload::{interarrival_for_utilization, DiurnalPoisson};
+
+/// Checkpoint file magic: "HBWR" (HalfBack WeatheR).
+const WEATHER_MAGIC: u32 = 0x4842_5752;
+/// Bump on ANY layout change to the weather checkpoint (the engine and
+/// host codecs carry their own versions/magics underneath this one).
+const WEATHER_VERSION: u32 = 1;
+/// Section magic guarding the driver-state section.
+const SEC_DRIVER: u32 = 0x4842_0104;
+
+/// Receivers are reaped once their completion instant trails virtual now
+/// by this much. It comfortably exceeds the sender's worst-case give-up
+/// horizon (~63 s of SYN/RTO exponential backoff), so a straggling
+/// retransmit can never find its receiver missing.
+const REAP_GRACE: SimDuration = SimDuration::from_secs(180);
+
+/// Drain time after the last window: stragglers get this long to finish
+/// before being counted as censored.
+const FINAL_GRACE: SimDuration = SimDuration::from_secs(60);
+
+/// The short-flow size mix, as (payload bytes, weight per 1000). Skewed
+/// toward request/response-sized flows so a 15 Mbps bottleneck carries
+/// hundreds of arrivals per second — the "internet weather" regime the
+/// paper targets, where most flows fit in a handful of segments.
+const FLOW_MIX: [(u64, usize); 4] = [(600, 600), (2_000, 300), (6_000, 90), (40_000, 10)];
+
+/// Mean payload of [`FLOW_MIX`], in bytes.
+pub fn mean_flow_bytes() -> f64 {
+    let total: u64 = FLOW_MIX.iter().map(|&(b, w)| b * w as u64).sum();
+    total as f64 / 1000.0
+}
+
+/// Configuration of one weather run. Everything here is part of the
+/// checkpoint fingerprint: resuming under a different configuration is
+/// refused (the rebuilt structure would not match the saved state).
+#[derive(Debug, Clone)]
+pub struct WeatherConfig {
+    /// Scheme every injected flow uses (all eight of §4 are valid).
+    pub protocol: Protocol,
+    /// Mean offered *payload* utilization of the bottleneck, in (0, 1.5].
+    pub utilization: f64,
+    /// Total simulated duration.
+    pub duration: SimDuration,
+    /// Stats window width (the paper-style steady-state reporting grain).
+    pub window: SimDuration,
+    /// Samples before this mark are trimmed from the aggregate sketch.
+    pub warmup: SimDuration,
+    /// Checkpoint every this many windows.
+    pub checkpoint_every: u64,
+    /// Diurnal swing of the arrival rate, in `[0, 1)` (0 = flat Poisson).
+    pub amplitude: f64,
+    /// Length of one diurnal cycle.
+    pub period: SimDuration,
+    /// Dumbbell host pairs arrivals round-robin across.
+    pub host_pairs: usize,
+    /// Root seed (engine and arrival streams fork from it).
+    pub seed: u64,
+}
+
+impl Default for WeatherConfig {
+    fn default() -> Self {
+        WeatherConfig {
+            protocol: Protocol::Halfback,
+            utilization: 0.4,
+            duration: SimDuration::from_secs(24 * 3600),
+            window: SimDuration::from_secs(60),
+            warmup: SimDuration::from_secs(120),
+            checkpoint_every: 10,
+            amplitude: 0.3,
+            period: SimDuration::from_secs(24 * 3600),
+            host_pairs: 8,
+            seed: 4801,
+        }
+    }
+}
+
+impl WeatherConfig {
+    /// Number of stats windows the run spans (the last may be partial).
+    pub fn total_windows(&self) -> u64 {
+        let d = self.duration.as_nanos();
+        let w = self.window.as_nanos();
+        d.div_ceil(w)
+    }
+
+    fn save(&self, w: &mut SnapWriter) {
+        w.str(self.protocol.name());
+        w.f64(self.utilization);
+        w.u64(self.duration.as_nanos());
+        w.u64(self.window.as_nanos());
+        w.u64(self.warmup.as_nanos());
+        w.u64(self.checkpoint_every);
+        w.f64(self.amplitude);
+        w.u64(self.period.as_nanos());
+        w.usize(self.host_pairs);
+        w.u64(self.seed);
+    }
+
+    /// Validate that `self` matches the configuration a checkpoint was
+    /// taken under. Resuming under a drifted configuration would overlay
+    /// saved dynamic state onto a different structure, so it is refused.
+    fn check(&self, r: &mut SnapReader<'_>) -> Result<(), SnapError> {
+        fn drift<T: std::fmt::Debug>(what: &str, saved: T, now: T) -> Result<(), SnapError> {
+            Err(SnapError::Unsupported(format!(
+                "checkpoint was taken with {what} = {saved:?}, this run has {now:?} \
+                 (config drift?)"
+            )))
+        }
+        let name = r.str()?;
+        if name != self.protocol.name() {
+            return drift("scheme", name, self.protocol.name().to_string());
+        }
+        let ut = r.f64()?;
+        if ut != self.utilization {
+            return drift("utilization", ut, self.utilization);
+        }
+        let dur = r.u64()?;
+        if dur != self.duration.as_nanos() {
+            return drift("duration_ns", dur, self.duration.as_nanos());
+        }
+        let win = r.u64()?;
+        if win != self.window.as_nanos() {
+            return drift("window_ns", win, self.window.as_nanos());
+        }
+        let wu = r.u64()?;
+        if wu != self.warmup.as_nanos() {
+            return drift("warmup_ns", wu, self.warmup.as_nanos());
+        }
+        let ck = r.u64()?;
+        if ck != self.checkpoint_every {
+            return drift("checkpoint_every", ck, self.checkpoint_every);
+        }
+        let amp = r.f64()?;
+        if amp != self.amplitude {
+            return drift("amplitude", amp, self.amplitude);
+        }
+        let per = r.u64()?;
+        if per != self.period.as_nanos() {
+            return drift("period_ns", per, self.period.as_nanos());
+        }
+        let hp = r.usize()?;
+        if hp != self.host_pairs {
+            return drift("host_pairs", hp, self.host_pairs);
+        }
+        let seed = r.u64()?;
+        if seed != self.seed {
+            return drift("seed", seed, self.seed);
+        }
+        Ok(())
+    }
+}
+
+/// Accumulators for the window currently being filled. Reset at every
+/// window close (after its CSV row is written), so at checkpoint instants
+/// — which are always window boundaries — this is freshly empty; it is
+/// serialized anyway so the codec stays valid if that invariant shifts.
+struct CurWindow {
+    fct: LogHistogram,
+    started: u64,
+    completed: u64,
+    aborted: u64,
+    retx: u64,
+    reaped: u64,
+}
+
+impl CurWindow {
+    fn new() -> Self {
+        CurWindow {
+            fct: LogHistogram::new(),
+            started: 0,
+            completed: 0,
+            aborted: 0,
+            retx: 0,
+            reaped: 0,
+        }
+    }
+
+    fn save(&self, w: &mut SnapWriter) {
+        self.fct.save(w);
+        w.u64(self.started);
+        w.u64(self.completed);
+        w.u64(self.aborted);
+        w.u64(self.retx);
+        w.u64(self.reaped);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(CurWindow {
+            fct: LogHistogram::load(r)?,
+            started: r.u64()?,
+            completed: r.u64()?,
+            aborted: r.u64()?,
+            retx: r.u64()?,
+            reaped: r.u64()?,
+        })
+    }
+}
+
+/// The driver's own dynamic state — everything the loop mutates that is
+/// not inside the engine, the hosts, or the path cache.
+struct WeatherState {
+    arrivals: DiurnalPoisson,
+    size_rng: netsim::rng::SimRng,
+    next_flow: u64,
+    started: u64,
+    completed: u64,
+    aborted: u64,
+    retx_total: u64,
+    reaped_total: u64,
+    window_idx: u64,
+    checkpoints: u64,
+    /// Length of `windows.csv` at the last checkpoint (resume truncates to
+    /// this before appending).
+    csv_bytes: u64,
+    fct: WindowedSketch,
+    cur: CurWindow,
+}
+
+impl WeatherState {
+    fn fresh(cfg: &WeatherConfig) -> Self {
+        let root = netsim::rng::SimRng::new(cfg.seed).fork("weather");
+        let spec = DumbbellSpec::emulab(1);
+        let mean =
+            interarrival_for_utilization(spec.bottleneck_rate, mean_flow_bytes(), cfg.utilization);
+        WeatherState {
+            arrivals: DiurnalPoisson::new(
+                mean,
+                cfg.amplitude,
+                cfg.period,
+                SimTime::ZERO,
+                root.fork("arrivals"),
+            ),
+            size_rng: root.fork("sizes"),
+            next_flow: 1,
+            started: 0,
+            completed: 0,
+            aborted: 0,
+            retx_total: 0,
+            reaped_total: 0,
+            window_idx: 0,
+            checkpoints: 0,
+            csv_bytes: 0,
+            fct: WindowedSketch::new(cfg.window.as_nanos(), cfg.warmup.as_nanos()),
+            cur: CurWindow::new(),
+        }
+    }
+
+    fn save(&self, w: &mut SnapWriter) {
+        w.magic(SEC_DRIVER);
+        self.arrivals.save(w);
+        let (seed, state) = self.size_rng.state_parts();
+        w.u64(seed);
+        for word in state {
+            w.u64(word);
+        }
+        w.u64(self.next_flow);
+        w.u64(self.started);
+        w.u64(self.completed);
+        w.u64(self.aborted);
+        w.u64(self.retx_total);
+        w.u64(self.reaped_total);
+        w.u64(self.window_idx);
+        w.u64(self.checkpoints);
+        w.u64(self.csv_bytes);
+        self.fct.save(w);
+        self.cur.save(w);
+    }
+
+    fn load(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        r.expect_magic(SEC_DRIVER)?;
+        let arrivals = DiurnalPoisson::load(r)?;
+        let seed = r.u64()?;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.u64()?;
+        }
+        Ok(WeatherState {
+            arrivals,
+            size_rng: netsim::rng::SimRng::from_parts(seed, state),
+            next_flow: r.u64()?,
+            started: r.u64()?,
+            completed: r.u64()?,
+            aborted: r.u64()?,
+            retx_total: r.u64()?,
+            reaped_total: r.u64()?,
+            window_idx: r.u64()?,
+            checkpoints: r.u64()?,
+            csv_bytes: r.u64()?,
+            fct: WindowedSketch::load(r)?,
+            cur: CurWindow::load(r)?,
+        })
+    }
+
+    /// Draw a payload size from the weather mix.
+    fn sample_bytes(&mut self) -> u64 {
+        let roll = self.size_rng.index(1000);
+        let mut acc = 0;
+        for &(bytes, weight) in &FLOW_MIX {
+            acc += weight;
+            if roll < acc {
+                return bytes;
+            }
+        }
+        FLOW_MIX[FLOW_MIX.len() - 1].0
+    }
+
+    /// Move every record published since the last drain into the counters
+    /// and sketches. Must run before each checkpoint so the bus (which is
+    /// not serialized) is empty at save time.
+    fn drain_bus(&mut self, bus: &CompletionBus) {
+        let mut q = bus.borrow_mut();
+        while let Some(rec) = q.pop_front() {
+            if rec.outcome.is_completed() {
+                self.completed += 1;
+                self.cur.completed += 1;
+                let ms = rec.fct.as_millis_f64();
+                self.cur.fct.add(ms);
+                self.fct.add(rec.done_at.as_nanos(), ms);
+                self.retx_total += rec.counters.normal_retx;
+                self.cur.retx += rec.counters.normal_retx;
+            } else {
+                self.aborted += 1;
+                self.cur.aborted += 1;
+            }
+        }
+    }
+}
+
+/// Final report of a weather run.
+#[derive(Debug, Clone)]
+pub struct WeatherOutcome {
+    /// Flows injected.
+    pub started: u64,
+    /// Flows that delivered every byte.
+    pub completed: u64,
+    /// Flows that gave up (max retransmits / SYN timeout).
+    pub aborted: u64,
+    /// Flows still live at the end of the final grace period.
+    pub censored: u64,
+    /// Receiver endpoints reaped over the run.
+    pub reaped: u64,
+    /// Windows emitted to `windows.csv`.
+    pub windows: u64,
+    /// Checkpoints written.
+    pub checkpoints: u64,
+    /// Injection rate over the simulated span.
+    pub flows_per_hour: f64,
+    /// Aggregate post-warm-up FCT stats (ms): mean, p50, p99.
+    pub fct_ms: (f64, f64, f64),
+    /// Footprint of the windowed sketch.
+    pub sketch_mem_bytes: usize,
+    /// True when the run stopped at `stop_after_checkpoints` instead of
+    /// finishing (output files are in a resumable, not final, state).
+    pub stopped_early: bool,
+}
+
+/// How a weather run starts and when it stops — the knobs the kill/resume
+/// battery drives.
+#[derive(Debug, Clone, Default)]
+pub struct WeatherRunOptions {
+    /// Resume from `weather.ckpt` in the output directory instead of
+    /// starting fresh (refused if the checkpoint's configuration drifted).
+    pub resume: bool,
+    /// Exit right after writing the Nth checkpoint of *this invocation* —
+    /// a deterministic stand-in for `kill -9` in the restore battery.
+    pub stop_after_checkpoints: Option<u64>,
+}
+
+fn io_err(e: SnapError) -> std::io::Error {
+    std::io::Error::other(e.to_string())
+}
+
+/// Build the inert service rig: a dumbbell of wired hosts with record
+/// retention off and a shared completion bus on the sender side. Nothing
+/// is scheduled — the driver (or a checkpoint restore) supplies all
+/// dynamics, which is exactly what the engine's restore path requires.
+fn build_rig(cfg: &WeatherConfig) -> (TransportSim, Dumbbell, CompletionBus, PathCache) {
+    let mut spec = DumbbellSpec::emulab(1);
+    spec.n_left = cfg.host_pairs;
+    spec.n_right = cfg.host_pairs;
+    let mut sim = TransportSim::new(cfg.seed);
+    let net = build_dumbbell(&mut sim, &spec, |_, _| Box::new(Host::new()));
+    let bus = completion_bus();
+    for i in 0..cfg.host_pairs {
+        let (h, e) = (net.left_hosts[i], net.left_egress[i]);
+        let b = bus.clone();
+        sim.with_node_mut::<Host, _>(h, |host, _| {
+            host.wire(h, e);
+            host.set_retain_records(false);
+            host.set_bus(b);
+        });
+        let (h, e) = (net.right_hosts[i], net.right_egress[i]);
+        sim.with_node_mut::<Host, _>(h, |host, _| host.wire(h, e));
+    }
+    (sim, net, bus, path_cache())
+}
+
+/// Serialize the complete run state and atomically replace `path`.
+fn write_checkpoint(
+    path: &Path,
+    cfg: &WeatherConfig,
+    st: &WeatherState,
+    sim: &mut TransportSim,
+    net: &Dumbbell,
+    cache: &PathCache,
+) -> std::io::Result<()> {
+    let mut w = SnapWriter::new();
+    w.magic(WEATHER_MAGIC);
+    w.u32(WEATHER_VERSION);
+    cfg.save(&mut w);
+    st.save(&mut w);
+    sim.save_snapshot(&mut w).map_err(io_err)?;
+    for &h in net.left_hosts.iter().chain(&net.right_hosts) {
+        sim.node_as::<Host>(h)
+            .expect("weather rig hosts are Hosts")
+            .save(&mut w);
+    }
+    save_path_cache(cache, &mut w);
+    let tmp = path.with_extension("ckpt.tmp");
+    std::fs::write(&tmp, w.into_bytes())?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Rebuild the rig from `cfg` and overlay the dynamic state from the
+/// checkpoint at `path`.
+fn read_checkpoint(
+    path: &Path,
+    cfg: &WeatherConfig,
+) -> std::io::Result<(
+    WeatherState,
+    TransportSim,
+    Dumbbell,
+    CompletionBus,
+    PathCache,
+)> {
+    let data = std::fs::read(path)?;
+    let mut r = SnapReader::new(&data);
+    r.expect_magic(WEATHER_MAGIC).map_err(io_err)?;
+    let v = r.u32().map_err(io_err)?;
+    if v != WEATHER_VERSION {
+        return Err(std::io::Error::other(format!(
+            "weather checkpoint version {v}, this build reads {WEATHER_VERSION}"
+        )));
+    }
+    cfg.check(&mut r).map_err(io_err)?;
+    let st = WeatherState::load(&mut r).map_err(io_err)?;
+    let (mut sim, net, bus, cache) = build_rig(cfg);
+    sim.restore_snapshot(&mut r).map_err(io_err)?;
+    // Same order as the save loop in `write_checkpoint`: every left host,
+    // then every right host.
+    for (i, &h) in net.left_hosts.iter().chain(&net.right_hosts).enumerate() {
+        let pair = i % cfg.host_pairs;
+        let key = (net.left_hosts[pair], net.right_hosts[pair]);
+        let protocol = cfg.protocol;
+        let cache_ref = cache.clone();
+        sim.node_as_mut::<Host>(h)
+            .expect("weather rig hosts are Hosts")
+            .load(&mut r, &mut |_flow| protocol.make(&cache_ref, key))
+            .map_err(io_err)?;
+    }
+    load_path_cache(&cache, &mut r).map_err(io_err)?;
+    Ok((st, sim, net, bus, cache))
+}
+
+/// One window's CSV row. Kept in one place so the emit path and the
+/// resume-truncation contract stay in sync.
+fn csv_row(st: &CurWindow, idx: u64, t_end: SimTime, active: usize, live_recv: usize) -> String {
+    let mean = st.fct.mean().unwrap_or(0.0);
+    let p50 = st.fct.quantile(0.5).unwrap_or(0.0);
+    let p99 = st.fct.quantile(0.99).unwrap_or(0.0);
+    let retx_mean = if st.completed > 0 {
+        st.retx as f64 / st.completed as f64
+    } else {
+        0.0
+    };
+    format!(
+        "{},{:.1},{},{},{},{:.3},{:.3},{:.3},{:.4},{},{},{}\n",
+        idx,
+        t_end.as_secs_f64(),
+        st.started,
+        st.completed,
+        st.aborted,
+        mean,
+        p50,
+        p99,
+        retx_mean,
+        active,
+        live_recv,
+        st.reaped,
+    )
+}
+
+/// Header of `windows.csv` (schema `halfback-weather-v1`).
+pub const WINDOWS_CSV_HEADER: &str = "window,t_end_s,started,completed,aborted,\
+fct_ms_mean,fct_ms_p50,fct_ms_p99,retx_mean,active_flows,live_receivers,reaped\n";
+
+/// Run the open-loop weather service mode, writing `windows.csv`,
+/// `weather.ckpt`, and (on completion) `weather.json` under `out_dir`.
+///
+/// Determinism contract: for a fixed configuration the byte content of
+/// `windows.csv` and `weather.json` is identical whether the run executed
+/// uninterrupted or was killed at any checkpoint and resumed — the
+/// restore battery in CI enforces exactly that.
+pub fn run_weather(
+    cfg: &WeatherConfig,
+    out_dir: &Path,
+    opts: &WeatherRunOptions,
+) -> std::io::Result<WeatherOutcome> {
+    assert!(cfg.host_pairs > 0, "weather needs at least one host pair");
+    assert!(
+        cfg.checkpoint_every > 0,
+        "checkpoint cadence must be positive"
+    );
+    std::fs::create_dir_all(out_dir)?;
+    let ckpt_path = out_dir.join("weather.ckpt");
+    let csv_path = out_dir.join("windows.csv");
+
+    let (mut st, mut sim, net, bus, cache);
+    let mut csv: std::fs::File;
+    if opts.resume {
+        (st, sim, net, bus, cache) = read_checkpoint(&ckpt_path, cfg)?;
+        // Rows written after the checkpoint was taken (the "crash window")
+        // are discarded and will be regenerated identically.
+        csv = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&csv_path)?;
+        csv.set_len(st.csv_bytes)?;
+        csv.seek(SeekFrom::End(0))?;
+    } else {
+        st = WeatherState::fresh(cfg);
+        (sim, net, bus, cache) = build_rig(cfg);
+        csv = std::fs::File::create(&csv_path)?;
+        csv.write_all(WINDOWS_CSV_HEADER.as_bytes())?;
+        st.csv_bytes = WINDOWS_CSV_HEADER.len() as u64;
+    }
+
+    let end = SimTime::ZERO + cfg.duration;
+    let total_windows = cfg.total_windows();
+    let mut checkpoints_this_run = 0u64;
+
+    while st.window_idx < total_windows {
+        let wend = std::cmp::min(
+            SimTime::ZERO + SimDuration::from_nanos(cfg.window.as_nanos() * (st.window_idx + 1)),
+            end,
+        );
+        // Inject every arrival in this window, advancing the engine to each
+        // arrival instant first. No schedule is materialized: the process
+        // holds exactly one pending arrival at a time.
+        while st.arrivals.peek() <= wend {
+            let t = st.arrivals.pop();
+            run_until_checked(&mut sim, t);
+            let pair = (st.started as usize) % cfg.host_pairs;
+            let (src, dst) = (net.left_hosts[pair], net.right_hosts[pair]);
+            let bytes = st.sample_bytes();
+            let flow = FlowId(st.next_flow);
+            st.next_flow += 1;
+            st.started += 1;
+            st.cur.started += 1;
+            let strategy = cfg.protocol.make(&cache, (src, dst));
+            sim.with_node_mut::<Host, _>(src, |h, core| {
+                h.start_flow(core, flow, dst, bytes, strategy)
+            });
+        }
+        run_until_checked(&mut sim, wend);
+        st.drain_bus(&bus);
+
+        // Reap receivers whose flows are long past any possible retransmit.
+        if wend.as_nanos() > REAP_GRACE.as_nanos() {
+            let before =
+                SimTime::ZERO + SimDuration::from_nanos(wend.as_nanos() - REAP_GRACE.as_nanos());
+            for &h in net.left_hosts.iter().chain(&net.right_hosts) {
+                let n = sim
+                    .with_node_mut::<Host, _>(h, |host, _| host.reap_receivers(before))
+                    .unwrap_or(0);
+                st.cur.reaped += n as u64;
+                st.reaped_total += n as u64;
+            }
+        }
+
+        let active: usize = net
+            .left_hosts
+            .iter()
+            .map(|&h| sim.node_as::<Host>(h).map_or(0, Host::active_senders))
+            .sum();
+        let live_recv: usize = net
+            .right_hosts
+            .iter()
+            .map(|&h| {
+                sim.node_as::<Host>(h)
+                    .map_or(0, |host| host.receivers().count())
+            })
+            .sum();
+        let row = csv_row(&st.cur, st.window_idx, wend, active, live_recv);
+        csv.write_all(row.as_bytes())?;
+        st.csv_bytes += row.len() as u64;
+        st.cur = CurWindow::new();
+        st.window_idx += 1;
+
+        if st.window_idx % cfg.checkpoint_every == 0 && st.window_idx < total_windows {
+            csv.flush()?;
+            st.checkpoints += 1;
+            write_checkpoint(&ckpt_path, cfg, &st, &mut sim, &net, &cache)?;
+            checkpoints_this_run += 1;
+            if opts.stop_after_checkpoints == Some(checkpoints_this_run) {
+                return Ok(WeatherOutcome {
+                    started: st.started,
+                    completed: st.completed,
+                    aborted: st.aborted,
+                    censored: 0,
+                    reaped: st.reaped_total,
+                    windows: st.window_idx,
+                    checkpoints: st.checkpoints,
+                    flows_per_hour: 0.0,
+                    fct_ms: (0.0, 0.0, 0.0),
+                    sketch_mem_bytes: st.fct.memory_bytes(),
+                    stopped_early: true,
+                });
+            }
+        }
+    }
+
+    // Drain stragglers, then account them (they land in post-duration
+    // sketch windows, which the aggregate includes).
+    run_until_checked(&mut sim, end + FINAL_GRACE);
+    st.drain_bus(&bus);
+    csv.flush()?;
+
+    let censored = st.started - st.completed - st.aborted;
+    let agg = st.fct.aggregate();
+    let hours = cfg.duration.as_secs_f64() / 3600.0;
+    let outcome = WeatherOutcome {
+        started: st.started,
+        completed: st.completed,
+        aborted: st.aborted,
+        censored,
+        reaped: st.reaped_total,
+        windows: st.window_idx,
+        checkpoints: st.checkpoints,
+        flows_per_hour: st.started as f64 / hours,
+        fct_ms: (
+            agg.mean().unwrap_or(0.0),
+            agg.quantile(0.5).unwrap_or(0.0),
+            agg.quantile(0.99).unwrap_or(0.0),
+        ),
+        sketch_mem_bytes: st.fct.memory_bytes(),
+        stopped_early: false,
+    };
+    std::fs::write(out_dir.join("weather.json"), summary_json(cfg, &outcome))?;
+    Ok(outcome)
+}
+
+/// Render the run summary (schema `halfback-weather-v1`). Every field is a
+/// pure function of the virtual run except the `"machine"` object, which
+/// sits on its own line so determinism checkers can strip it with
+/// `grep -v '"machine"'`.
+pub fn summary_json(cfg: &WeatherConfig, out: &WeatherOutcome) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"halfback-weather-v1\",\n");
+    s.push_str(&format!("  \"scheme\": \"{}\",\n", cfg.protocol.name()));
+    s.push_str(&format!("  \"utilization\": {},\n", cfg.utilization));
+    s.push_str(&format!("  \"amplitude\": {},\n", cfg.amplitude));
+    s.push_str(&format!(
+        "  \"sim_hours\": {:.4},\n",
+        cfg.duration.as_secs_f64() / 3600.0
+    ));
+    s.push_str(&format!("  \"windows\": {},\n", out.windows));
+    s.push_str(&format!("  \"checkpoints\": {},\n", out.checkpoints));
+    s.push_str(&format!("  \"flows_started\": {},\n", out.started));
+    s.push_str(&format!("  \"flows_completed\": {},\n", out.completed));
+    s.push_str(&format!("  \"flows_aborted\": {},\n", out.aborted));
+    s.push_str(&format!("  \"flows_censored\": {},\n", out.censored));
+    s.push_str(&format!("  \"receivers_reaped\": {},\n", out.reaped));
+    s.push_str(&format!(
+        "  \"flows_per_hour\": {:.1},\n",
+        out.flows_per_hour
+    ));
+    s.push_str(&format!("  \"fct_ms_mean\": {:.3},\n", out.fct_ms.0));
+    s.push_str(&format!("  \"fct_ms_p50\": {:.3},\n", out.fct_ms.1));
+    s.push_str(&format!("  \"fct_ms_p99\": {:.3},\n", out.fct_ms.2));
+    s.push_str(&format!(
+        "  \"sketch_mem_bytes\": {},\n",
+        out.sketch_mem_bytes
+    ));
+    // Machine-varying; single line, strippable.
+    s.push_str(&format!(
+        "  \"machine\": {{ \"rss_mb\": {} }}\n",
+        rss_mb().unwrap_or(0.0) as u64
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Resident set size in MB (Linux; `None` elsewhere).
+pub fn rss_mb() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmRSS"))?;
+    Some(line.split_whitespace().nth(1)?.parse::<f64>().ok()? / 1024.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tiny_cfg() -> WeatherConfig {
+        WeatherConfig {
+            protocol: Protocol::Halfback,
+            utilization: 0.3,
+            duration: SimDuration::from_secs(60),
+            window: SimDuration::from_secs(10),
+            warmup: SimDuration::from_secs(10),
+            checkpoint_every: 2,
+            amplitude: 0.3,
+            period: SimDuration::from_secs(120),
+            host_pairs: 2,
+            seed: 7,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d =
+            std::env::temp_dir().join(format!("halfback-weather-{}-{}", std::process::id(), tag));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn weather_injects_and_completes_flows() {
+        let dir = tmp_dir("basic");
+        let out = run_weather(&tiny_cfg(), &dir, &WeatherRunOptions::default()).unwrap();
+        assert!(
+            out.started > 50,
+            "expected a stream of arrivals, got {}",
+            out.started
+        );
+        assert!(
+            out.completed as f64 >= out.started as f64 * 0.8,
+            "most flows complete at 30% load: {} of {}",
+            out.completed,
+            out.started
+        );
+        assert_eq!(out.windows, 6);
+        assert!(out.checkpoints >= 1);
+        let csv = std::fs::read_to_string(dir.join("windows.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 7, "header + 6 windows");
+        assert!(csv.starts_with("window,"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mix_mean_matches_declared_weights() {
+        let m = mean_flow_bytes();
+        assert!(
+            (1_800.0..2_100.0).contains(&m),
+            "weather mix mean drifted to {m}"
+        );
+    }
+
+    #[test]
+    fn config_drift_is_refused_on_resume() {
+        let dir = tmp_dir("drift");
+        let cfg = tiny_cfg();
+        let out = run_weather(
+            &cfg,
+            &dir,
+            &WeatherRunOptions {
+                resume: false,
+                stop_after_checkpoints: Some(1),
+            },
+        )
+        .unwrap();
+        assert!(out.stopped_early);
+        let mut drifted = cfg.clone();
+        drifted.utilization = 0.5;
+        let err = run_weather(
+            &drifted,
+            &dir,
+            &WeatherRunOptions {
+                resume: true,
+                stop_after_checkpoints: None,
+            },
+        )
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("config drift"),
+            "unexpected error: {err}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,235 @@
+//! Checkpoint/restore battery for the open-loop weather service mode.
+//!
+//! The contract under test: a run killed at a checkpoint and resumed must
+//! produce **byte-identical** output files to an uninterrupted run of the
+//! same configuration — across every scheme, because each scheme carries
+//! its own in-flight strategy state through the snapshot.
+
+use netsim::SimDuration;
+use scenarios::weather::{run_weather, WeatherConfig, WeatherRunOptions};
+use scenarios::Protocol;
+use std::path::PathBuf;
+
+fn cfg(protocol: Protocol, secs: u64, window: u64, ckpt_every: u64) -> WeatherConfig {
+    WeatherConfig {
+        protocol,
+        utilization: 0.3,
+        duration: SimDuration::from_secs(secs),
+        window: SimDuration::from_secs(window),
+        warmup: SimDuration::from_secs(window),
+        checkpoint_every: ckpt_every,
+        amplitude: 0.3,
+        period: SimDuration::from_secs(2 * secs),
+        host_pairs: 2,
+        seed: 11,
+    }
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("halfback-weather-rt-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// `weather.json` minus the machine-varying `"machine"` line (RSS moves
+/// between invocations even in the same process).
+fn summary_stripped(dir: &std::path::Path) -> String {
+    std::fs::read_to_string(dir.join("weather.json"))
+        .unwrap()
+        .lines()
+        .filter(|l| !l.contains("\"machine\""))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Run `c` twice: once uninterrupted, once killed at the first checkpoint
+/// and resumed; assert the output files (and the final checkpoint itself)
+/// are byte-identical.
+fn assert_kill_resume_identical(c: &WeatherConfig, tag: &str) {
+    let a = tmp_dir(&format!("{tag}-a"));
+    let b = tmp_dir(&format!("{tag}-b"));
+
+    let full = run_weather(c, &a, &WeatherRunOptions::default()).unwrap();
+    assert!(!full.stopped_early);
+    assert!(
+        full.checkpoints >= 1,
+        "{tag}: config produced no checkpoints"
+    );
+
+    let killed = run_weather(
+        c,
+        &b,
+        &WeatherRunOptions {
+            resume: false,
+            stop_after_checkpoints: Some(1),
+        },
+    )
+    .unwrap();
+    assert!(killed.stopped_early, "{tag}: kill did not trigger");
+    assert!(
+        killed.windows < full.windows,
+        "{tag}: kill point must precede the end"
+    );
+    let resumed = run_weather(
+        c,
+        &b,
+        &WeatherRunOptions {
+            resume: true,
+            stop_after_checkpoints: None,
+        },
+    )
+    .unwrap();
+    assert!(!resumed.stopped_early);
+
+    assert_eq!(full.started, resumed.started, "{tag}: started diverged");
+    assert_eq!(
+        full.completed, resumed.completed,
+        "{tag}: completed diverged"
+    );
+    assert_eq!(full.aborted, resumed.aborted, "{tag}: aborted diverged");
+
+    let csv_a = std::fs::read(a.join("windows.csv")).unwrap();
+    let csv_b = std::fs::read(b.join("windows.csv")).unwrap();
+    assert!(
+        csv_a == csv_b,
+        "{tag}: windows.csv diverged after kill+resume:\n--- uninterrupted\n{}\n--- resumed\n{}",
+        String::from_utf8_lossy(&csv_a),
+        String::from_utf8_lossy(&csv_b)
+    );
+    assert_eq!(
+        summary_stripped(&a),
+        summary_stripped(&b),
+        "{tag}: weather.json diverged after kill+resume"
+    );
+    let ck_a = std::fs::read(a.join("weather.ckpt")).unwrap();
+    let ck_b = std::fs::read(b.join("weather.ckpt")).unwrap();
+    assert!(ck_a == ck_b, "{tag}: final checkpoints diverged");
+
+    std::fs::remove_dir_all(&a).unwrap();
+    std::fs::remove_dir_all(&b).unwrap();
+}
+
+#[test]
+fn kill_resume_is_byte_identical_halfback() {
+    // Long enough for several checkpoints with flows in flight at each.
+    assert_kill_resume_identical(&cfg(Protocol::Halfback, 60, 10, 2), "halfback");
+}
+
+#[test]
+fn kill_resume_is_byte_identical_for_every_scheme() {
+    // Checkpoint every window so the kill lands with the scheme's own
+    // in-flight state (Reno, PCP probe trains, JumpStart batches, ROPR
+    // cursors, TCP-Cache path entries) mid-life.
+    for p in Protocol::EVALUATED {
+        assert_kill_resume_identical(&cfg(p, 40, 10, 1), p.name());
+    }
+}
+
+#[test]
+fn resume_from_later_checkpoint_also_matches() {
+    // Kill at the *second* checkpoint: exercises resume-state written by a
+    // run that was itself resumed-equivalent (checkpoint-of-checkpoint).
+    let c = cfg(Protocol::Halfback, 80, 10, 2);
+    let a = tmp_dir("late-a");
+    let b = tmp_dir("late-b");
+    run_weather(&c, &a, &WeatherRunOptions::default()).unwrap();
+    run_weather(
+        &c,
+        &b,
+        &WeatherRunOptions {
+            resume: false,
+            stop_after_checkpoints: Some(2),
+        },
+    )
+    .unwrap();
+    run_weather(
+        &c,
+        &b,
+        &WeatherRunOptions {
+            resume: true,
+            stop_after_checkpoints: None,
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        std::fs::read(a.join("windows.csv")).unwrap(),
+        std::fs::read(b.join("windows.csv")).unwrap(),
+        "late-kill resume diverged"
+    );
+    std::fs::remove_dir_all(&a).unwrap();
+    std::fs::remove_dir_all(&b).unwrap();
+}
+
+#[test]
+fn double_kill_double_resume_matches() {
+    // Crash, resume, crash again during the resumed run, resume again.
+    let c = cfg(Protocol::Halfback, 80, 10, 2);
+    let a = tmp_dir("double-a");
+    let b = tmp_dir("double-b");
+    run_weather(&c, &a, &WeatherRunOptions::default()).unwrap();
+    run_weather(
+        &c,
+        &b,
+        &WeatherRunOptions {
+            resume: false,
+            stop_after_checkpoints: Some(1),
+        },
+    )
+    .unwrap();
+    let second = run_weather(
+        &c,
+        &b,
+        &WeatherRunOptions {
+            resume: true,
+            stop_after_checkpoints: Some(1),
+        },
+    )
+    .unwrap();
+    assert!(second.stopped_early, "second kill did not trigger");
+    run_weather(
+        &c,
+        &b,
+        &WeatherRunOptions {
+            resume: true,
+            stop_after_checkpoints: None,
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        std::fs::read(a.join("windows.csv")).unwrap(),
+        std::fs::read(b.join("windows.csv")).unwrap(),
+        "double-kill resume diverged"
+    );
+    assert_eq!(summary_stripped(&a), summary_stripped(&b));
+    std::fs::remove_dir_all(&a).unwrap();
+    std::fs::remove_dir_all(&b).unwrap();
+}
+
+#[test]
+fn receivers_are_reaped_on_long_runs() {
+    // 10 simulated minutes: past the 180 s reap grace the receiver
+    // population must plateau at roughly (arrival rate x grace), not grow
+    // with total flow count.
+    let c = cfg(Protocol::Halfback, 600, 60, 3);
+    let dir = tmp_dir("reap");
+    let out = run_weather(&c, &dir, &WeatherRunOptions::default()).unwrap();
+    assert!(
+        out.reaped > 0,
+        "no receivers reaped in 10 simulated minutes"
+    );
+    let csv = std::fs::read_to_string(dir.join("windows.csv")).unwrap();
+    let last = csv.lines().last().unwrap();
+    let live_receivers: f64 = last.split(',').nth(10).unwrap().parse().unwrap();
+    // Steady state: ~grace seconds of arrivals (grace 180 s + one 60 s
+    // window of slop), well short of the 600 s total.
+    let rate_per_s = out.started as f64 / 600.0;
+    let bound = rate_per_s * 240.0 * 1.2;
+    assert!(
+        live_receivers < bound,
+        "receiver population {live_receivers} above steady-state bound {bound:.0} \
+         (started {})",
+        out.started
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

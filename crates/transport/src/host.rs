@@ -9,12 +9,13 @@
 
 use crate::fasthash::FastMap;
 use crate::receiver::ReceiverConn;
-use crate::sender::{FlowRecord, SenderConn, TimerKind};
+use crate::sender::{AbortReason, FlowOutcome, FlowRecord, SenderConn, TimerKind};
 use crate::strategy::Strategy;
 use crate::trace::{DeliveryTimelines, FlightRecorder, FlowEvent};
 use crate::wire::Header;
 use netsim::engine::EngineCore;
 use netsim::node::{Node, TimerId};
+use netsim::snap::{SnapError, SnapReader, SnapWriter};
 use netsim::{Ctx, FlowId, LinkId, NodeId, Packet, SimTime};
 use std::any::Any;
 use std::cell::RefCell;
@@ -38,8 +39,14 @@ pub struct HostCore {
     pub egress: LinkId,
     next_token: u64,
     routes: FastMap<u64, (FlowId, TimerKind)>,
-    /// Records of flows that completed with this host as sender.
+    /// Records of flows that completed with this host as sender. Only
+    /// populated while `retain_records` is set; open-loop service runs
+    /// turn retention off and consume records from the bus instead, so
+    /// memory stays bounded over millions of flows.
     pub completed: Vec<FlowRecord>,
+    /// Whether `completed` accumulates records (default true). See
+    /// [`Host::set_retain_records`].
+    pub retain_records: bool,
     /// Debug census: timer arms by kind [Rto, Pace, Pto, User].
     pub timer_arms: [u64; 4],
     /// Debug census: timer cancels routed through endpoints.
@@ -87,7 +94,9 @@ impl HostCore {
         if let Some(bus) = &self.bus {
             bus.borrow_mut().push_back(record.clone());
         }
-        self.completed.push(record);
+        if self.retain_records {
+            self.completed.push(record);
+        }
     }
 }
 
@@ -131,6 +140,7 @@ impl Host {
                 next_token: 0,
                 routes: FastMap::default(),
                 completed: Vec::new(),
+                retain_records: true,
                 timer_arms: [0; 4],
                 timer_cancels: 0,
                 bus: None,
@@ -168,6 +178,28 @@ impl Host {
     /// Attach a completion bus.
     pub fn set_bus(&mut self, bus: CompletionBus) {
         self.core.bus = Some(bus);
+    }
+
+    /// Control whether completed-flow records accumulate on the host
+    /// (default true). Open-loop service runs set this false and read
+    /// completions from the bus only, keeping host memory bounded no
+    /// matter how many flows pass through.
+    pub fn set_retain_records(&mut self, retain: bool) {
+        self.core.retain_records = retain;
+    }
+
+    /// Drop receiver endpoints whose flow completed before `before`,
+    /// returning how many were reaped. Receivers are created on SYN arrival
+    /// and otherwise live forever; long service runs must reap them
+    /// periodically or memory grows with total flow count. `before` should
+    /// trail virtual now by comfortably more than the sender's worst-case
+    /// give-up time (~63 s of SYN/RTO backoff), so a late retransmit never
+    /// finds its receiver missing.
+    pub fn reap_receivers(&mut self, before: SimTime) -> usize {
+        let n = self.receivers.len();
+        self.receivers
+            .retain(|_, c| c.complete_at.is_none_or(|t| t >= before));
+        n - self.receivers.len()
     }
 
     /// Install a flight recorder holding at most `cap` events.
@@ -263,6 +295,225 @@ impl Host {
 impl Default for Host {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Section magic guarding a serialized host in a checkpoint stream.
+const SEC_HOST: u32 = 0x4842_0003;
+
+/// Intern a deserialized protocol name. [`FlowRecord::protocol`] is a
+/// `&'static str` in the live system (strategy names are literals); a
+/// checkpoint brings them back as owned strings, which we leak at most
+/// once per distinct name — bounded by the number of schemes, not flows.
+fn intern_name(s: String) -> &'static str {
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<Vec<&'static str>>> = OnceLock::new();
+    let mut cache = CACHE.get_or_init(|| Mutex::new(Vec::new())).lock().unwrap();
+    if let Some(&n) = cache.iter().find(|&&n| n == s) {
+        return n;
+    }
+    let n: &'static str = Box::leak(s.into_boxed_str());
+    cache.push(n);
+    n
+}
+
+fn write_record(w: &mut SnapWriter, rec: &FlowRecord) {
+    w.u64(rec.flow.0);
+    w.str(rec.protocol);
+    w.u64(rec.bytes);
+    w.u64(rec.start.as_nanos());
+    w.u64(rec.established_at.as_nanos());
+    w.u64(rec.done_at.as_nanos());
+    w.u64(rec.fct.as_nanos());
+    rec.counters.save(w);
+    w.bool(rec.min_rtt.is_some());
+    w.u64(rec.min_rtt.map_or(0, |d| d.as_nanos()));
+    w.u8(match rec.outcome {
+        FlowOutcome::Completed => 0,
+        FlowOutcome::Aborted(AbortReason::MaxRetransmits) => 1,
+        FlowOutcome::Aborted(AbortReason::SynTimeout) => 2,
+    });
+}
+
+fn read_record(r: &mut SnapReader<'_>) -> Result<FlowRecord, SnapError> {
+    let flow = FlowId(r.u64()?);
+    let protocol = intern_name(r.str()?);
+    let bytes = r.u64()?;
+    let start = SimTime::from_nanos(r.u64()?);
+    let established_at = SimTime::from_nanos(r.u64()?);
+    let done_at = SimTime::from_nanos(r.u64()?);
+    let fct = netsim::SimDuration::from_nanos(r.u64()?);
+    let counters = crate::sender::Counters::load(r)?;
+    let has_min = r.bool()?;
+    let min_ns = r.u64()?;
+    let outcome = match r.u8()? {
+        0 => FlowOutcome::Completed,
+        1 => FlowOutcome::Aborted(AbortReason::MaxRetransmits),
+        2 => FlowOutcome::Aborted(AbortReason::SynTimeout),
+        tag => {
+            return Err(SnapError::Tag {
+                ty: "FlowOutcome",
+                tag,
+            })
+        }
+    };
+    Ok(FlowRecord {
+        flow,
+        protocol,
+        bytes,
+        start,
+        established_at,
+        done_at,
+        fct,
+        counters,
+        min_rtt: has_min.then(|| netsim::SimDuration::from_nanos(min_ns)),
+        outcome,
+    })
+}
+
+impl Host {
+    /// Serialize every dynamic field of this host — live sender and
+    /// receiver endpoints, timer-token routing, retained completion
+    /// records, debug counters — into the checkpoint codec.
+    ///
+    /// Configuration knobs (`min_rto`, `log_arrivals`, `check_invariants`,
+    /// record retention, the bus, timelines, the flight recorder) are NOT
+    /// serialized: a restored host is rebuilt from the run configuration
+    /// first, exactly like link structure on the engine side, and only the
+    /// dynamic state is overlaid. Flight-recorder and timeline contents are
+    /// diagnostics and do not survive a checkpoint.
+    pub fn save(&self, w: &mut SnapWriter) {
+        w.u32(SEC_HOST);
+        w.u32(self.core.node.0);
+        w.u32(self.core.egress.0);
+        w.u64(self.core.next_token);
+        let mut tokens: Vec<u64> = self.core.routes.keys().copied().collect();
+        tokens.sort_unstable();
+        w.usize(tokens.len());
+        for t in tokens {
+            let (flow, kind) = self.core.routes[&t];
+            w.u64(t);
+            w.u64(flow.0);
+            let (tag, user) = match kind {
+                TimerKind::Rto => (0u8, 0u64),
+                TimerKind::Pace => (1, 0),
+                TimerKind::Pto => (2, 0),
+                TimerKind::User(u) => (3, u),
+            };
+            w.u8(tag);
+            w.u64(user);
+        }
+        for arms in self.core.timer_arms {
+            w.u64(arms);
+        }
+        w.u64(self.core.timer_cancels);
+        w.usize(self.core.completed.len());
+        for rec in &self.core.completed {
+            write_record(w, rec);
+        }
+        w.u64(self.stray_packets);
+        w.usize(self.invariant_breaches.len());
+        for b in &self.invariant_breaches {
+            w.str(b);
+        }
+        let mut flows: Vec<FlowId> = self.senders.keys().copied().collect();
+        flows.sort_unstable_by_key(|f| f.0);
+        w.usize(flows.len());
+        for f in flows {
+            w.u64(f.0);
+            self.senders[&f].save(w);
+        }
+        let mut flows: Vec<FlowId> = self.receivers.keys().copied().collect();
+        flows.sort_unstable_by_key(|f| f.0);
+        w.usize(flows.len());
+        for f in flows {
+            w.u64(f.0);
+            self.receivers[&f].save(w);
+        }
+    }
+
+    /// Restore state written by [`Host::save`] into this host, which must
+    /// be freshly built and already wired to the same topology position
+    /// (same node and egress ids). `make_strategy` constructs a strategy
+    /// for each in-flight sender flow — it must produce the same scheme
+    /// (validated by name) configured identically to the saved run, or the
+    /// resumed run will diverge.
+    pub fn load(
+        &mut self,
+        r: &mut SnapReader<'_>,
+        make_strategy: &mut dyn FnMut(FlowId) -> Box<dyn Strategy>,
+    ) -> Result<(), SnapError> {
+        if self.core.next_token != 0 || !self.senders.is_empty() || !self.receivers.is_empty() {
+            return Err(SnapError::Unsupported(
+                "restore target host must be freshly built (no flows started)".into(),
+            ));
+        }
+        r.expect_magic(SEC_HOST)?;
+        let node = NodeId(r.u32()?);
+        let egress = LinkId(r.u32()?);
+        if node != self.core.node || egress != self.core.egress {
+            return Err(SnapError::Unsupported(format!(
+                "host was saved at node {:?} egress {:?}, restore target is wired to \
+                 node {:?} egress {:?} (config drift?)",
+                node, egress, self.core.node, self.core.egress
+            )));
+        }
+        self.core.next_token = r.u64()?;
+        let n_routes = r.usize()?;
+        for _ in 0..n_routes {
+            let token = r.u64()?;
+            let flow = FlowId(r.u64()?);
+            let kind = match r.u8()? {
+                0 => {
+                    let _ = r.u64()?;
+                    TimerKind::Rto
+                }
+                1 => {
+                    let _ = r.u64()?;
+                    TimerKind::Pace
+                }
+                2 => {
+                    let _ = r.u64()?;
+                    TimerKind::Pto
+                }
+                3 => TimerKind::User(r.u64()?),
+                tag => {
+                    return Err(SnapError::Tag {
+                        ty: "TimerKind",
+                        tag,
+                    })
+                }
+            };
+            self.core.routes.insert(token, (flow, kind));
+        }
+        for slot in &mut self.core.timer_arms {
+            *slot = r.u64()?;
+        }
+        self.core.timer_cancels = r.u64()?;
+        let n_done = r.usize()?;
+        self.core.completed.reserve(n_done);
+        for _ in 0..n_done {
+            self.core.completed.push(read_record(r)?);
+        }
+        self.stray_packets = r.u64()?;
+        let n_breach = r.usize()?;
+        for _ in 0..n_breach {
+            let msg = r.str()?;
+            self.invariant_breaches.push(msg);
+        }
+        let n_senders = r.usize()?;
+        for _ in 0..n_senders {
+            let flow = FlowId(r.u64()?);
+            let conn = SenderConn::load(r, make_strategy(flow))?;
+            self.senders.insert(flow, conn);
+        }
+        let n_receivers = r.usize()?;
+        for _ in 0..n_receivers {
+            let flow = FlowId(r.u64()?);
+            let conn = ReceiverConn::load(r)?;
+            self.receivers.insert(flow, conn);
+        }
+        Ok(())
     }
 }
 

@@ -111,6 +111,34 @@ pub struct Counters {
     pub syn_sent: u64,
 }
 
+impl Counters {
+    /// Serialize into the engine checkpoint codec.
+    pub fn save(&self, w: &mut netsim::snap::SnapWriter) {
+        w.u64(self.data_packets_sent);
+        w.u64(self.normal_retx);
+        w.u64(self.proactive_retx);
+        w.u64(self.rto_events);
+        w.u64(self.wire_bytes_sent);
+        w.u64(self.acks_received);
+        w.u64(self.probes_sent);
+        w.u64(self.syn_sent);
+    }
+
+    /// Rebuild counters saved by [`Counters::save`].
+    pub fn load(r: &mut netsim::snap::SnapReader<'_>) -> Result<Self, netsim::snap::SnapError> {
+        Ok(Counters {
+            data_packets_sent: r.u64()?,
+            normal_retx: r.u64()?,
+            proactive_retx: r.u64()?,
+            rto_events: r.u64()?,
+            wire_bytes_sent: r.u64()?,
+            acks_received: r.u64()?,
+            probes_sent: r.u64()?,
+            syn_sent: r.u64()?,
+        })
+    }
+}
+
 /// Final record of a completed flow.
 #[derive(Debug, Clone)]
 pub struct FlowRecord {
@@ -447,6 +475,133 @@ impl SenderConn {
             self.state.board.pipe_bytes(),
             self.state.rtt.rto().as_millis_f64(),
         )
+    }
+
+    /// Serialize the full sender state — chassis and strategy — into the
+    /// engine checkpoint codec. Timer ids are written verbatim: the engine
+    /// snapshot restores its timer slot table bit-exactly, so the ids stay
+    /// valid across a restore.
+    pub fn save(&self, w: &mut netsim::snap::SnapWriter) {
+        fn timer_opt(w: &mut netsim::snap::SnapWriter, t: Option<(TimerId, u64)>) {
+            w.bool(t.is_some());
+            let (id, tok) = t.unwrap_or((TimerId(0), 0));
+            w.u64(id.0);
+            w.u64(tok);
+        }
+        let st = &self.state;
+        w.u64(st.flow.0);
+        w.u32(st.local.0);
+        w.u32(st.peer.0);
+        w.u32(st.egress.0);
+        w.u64(st.total_bytes);
+        w.u32(st.window_bytes);
+        w.u8(match st.phase {
+            Phase::SynSent => 0,
+            Phase::Established => 1,
+            Phase::Done => 2,
+            Phase::Aborted => 3,
+        });
+        w.u64(st.start_time.as_nanos());
+        w.bool(st.established_at.is_some());
+        w.u64(st.established_at.map_or(0, |t| t.as_nanos()));
+        w.u64(st.syn_sent_at.as_nanos());
+        st.board.save(w);
+        st.rtt.save(w);
+        st.counters.save(w);
+        timer_opt(w, st.rto_timer);
+        timer_opt(w, st.pace_timer);
+        w.u64(st.pace_interval.as_nanos());
+        timer_opt(w, st.pto_timer);
+        w.usize(st.user_timers.len());
+        for &(id, tok) in &st.user_timers {
+            w.u64(id.0);
+            w.u64(tok);
+        }
+        let strategy = self.strategy.as_ref().expect("strategy re-entrancy");
+        w.str(strategy.name());
+        strategy.save_state(w);
+    }
+
+    /// Rebuild a sender saved by [`SenderConn::save`]. `strategy` must be a
+    /// freshly constructed strategy of the same scheme (validated by name);
+    /// its dynamic state is restored through [`Strategy::load_state`].
+    pub fn load(
+        r: &mut netsim::snap::SnapReader<'_>,
+        mut strategy: Box<dyn Strategy>,
+    ) -> Result<Self, netsim::snap::SnapError> {
+        fn timer_opt(
+            r: &mut netsim::snap::SnapReader<'_>,
+        ) -> Result<Option<(TimerId, u64)>, netsim::snap::SnapError> {
+            let some = r.bool()?;
+            let id = r.u64()?;
+            let tok = r.u64()?;
+            Ok(some.then_some((TimerId(id), tok)))
+        }
+        let flow = FlowId(r.u64()?);
+        let local = NodeId(r.u32()?);
+        let peer = NodeId(r.u32()?);
+        let egress = LinkId(r.u32()?);
+        let total_bytes = r.u64()?;
+        let window_bytes = r.u32()?;
+        let phase = match r.u8()? {
+            0 => Phase::SynSent,
+            1 => Phase::Established,
+            2 => Phase::Done,
+            3 => Phase::Aborted,
+            tag => return Err(netsim::snap::SnapError::Tag { ty: "Phase", tag }),
+        };
+        let start_time = SimTime::from_nanos(r.u64()?);
+        let has_established = r.bool()?;
+        let established_ns = r.u64()?;
+        let syn_sent_at = SimTime::from_nanos(r.u64()?);
+        let board = Scoreboard::load(r)?;
+        let rtt = RttEstimator::load(r)?;
+        let counters = Counters::load(r)?;
+        let rto_timer = timer_opt(r)?;
+        let pace_timer = timer_opt(r)?;
+        let pace_interval = SimDuration::from_nanos(r.u64()?);
+        let pto_timer = timer_opt(r)?;
+        let n_user = r.usize()?;
+        let mut user_timers = Vec::with_capacity(n_user);
+        for _ in 0..n_user {
+            let id = r.u64()?;
+            let tok = r.u64()?;
+            user_timers.push((TimerId(id), tok));
+        }
+        let saved_name = r.str()?;
+        if saved_name != strategy.name() {
+            return Err(netsim::snap::SnapError::Unsupported(format!(
+                "sender for flow {flow:?} was saved with strategy {saved_name:?}, \
+                 restore offered {:?} (config drift?)",
+                strategy.name()
+            )));
+        }
+        strategy.load_state(r)?;
+        let proto_name = strategy.name();
+        Ok(SenderConn {
+            state: SenderState {
+                flow,
+                local,
+                peer,
+                egress,
+                total_bytes,
+                window_bytes,
+                phase,
+                start_time,
+                established_at: has_established.then_some(SimTime::from_nanos(established_ns)),
+                syn_sent_at,
+                board,
+                rtt,
+                counters,
+                proto_name,
+                rto_timer,
+                pace_timer,
+                pace_interval,
+                pto_timer,
+                user_timers,
+            },
+            strategy: Some(strategy),
+        })
     }
 
     /// Kick off the connection: send the SYN and arm the handshake timer.

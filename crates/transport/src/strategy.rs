@@ -84,4 +84,23 @@ pub trait Strategy {
     fn naive_loss_remarking(&self) -> bool {
         false
     }
+
+    /// Serialize the strategy's dynamic state into the engine checkpoint
+    /// codec. Stateless strategies keep the default no-op; anything with
+    /// live policy state (windows, phases, pending work) must write it here
+    /// and read it back in [`Strategy::load_state`], or resumed runs will
+    /// diverge from uninterrupted ones.
+    fn save_state(&self, w: &mut netsim::snap::SnapWriter) {
+        let _ = w;
+    }
+
+    /// Restore state written by [`Strategy::save_state`] into a freshly
+    /// constructed strategy of the same scheme.
+    fn load_state(
+        &mut self,
+        r: &mut netsim::snap::SnapReader<'_>,
+    ) -> Result<(), netsim::snap::SnapError> {
+        let _ = r;
+        Ok(())
+    }
 }

@@ -6,6 +6,7 @@
 //! transmit timestamp in each ACK, which gives senders exact RTT samples
 //! (equivalent to TCP timestamps) and gives PCP its dispersion measurements.
 
+use netsim::snap::{SnapError, SnapPayload, SnapReader, SnapWriter};
 use netsim::SimTime;
 
 /// Maximum payload bytes per segment (1500-byte wire size minus headers).
@@ -174,6 +175,142 @@ pub enum Header {
     ProbeAck(ProbeAckHeader),
 }
 
+impl SendClass {
+    fn snap_tag(self) -> u8 {
+        match self {
+            SendClass::New => 0,
+            SendClass::FastRetx => 1,
+            SendClass::RtoRetx => 2,
+            SendClass::ProbeRetx => 3,
+            SendClass::Proactive => 4,
+        }
+    }
+
+    fn from_snap_tag(tag: u8) -> Result<Self, SnapError> {
+        Ok(match tag {
+            0 => SendClass::New,
+            1 => SendClass::FastRetx,
+            2 => SendClass::RtoRetx,
+            3 => SendClass::ProbeRetx,
+            4 => SendClass::Proactive,
+            _ => {
+                return Err(SnapError::Tag {
+                    ty: "SendClass",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+impl SnapPayload for Header {
+    fn encode(&self, w: &mut SnapWriter) {
+        match *self {
+            Header::Syn { flow_bytes } => {
+                w.u8(0);
+                w.u64(flow_bytes);
+            }
+            Header::SynAck { window } => {
+                w.u8(1);
+                w.u32(window);
+            }
+            Header::Data(DataHeader { seg, class }) => {
+                w.u8(2);
+                w.u32(seg);
+                w.u8(class.snap_tag());
+            }
+            Header::Ack(AckHeader {
+                cum,
+                sack,
+                for_seg,
+                echo_tx_time,
+                window,
+            }) => {
+                w.u8(3);
+                w.u32(cum);
+                w.u8(sack.len);
+                for &(s, e) in sack.ranges() {
+                    w.u32(s);
+                    w.u32(e);
+                }
+                w.u32(for_seg);
+                w.u64(echo_tx_time.as_nanos());
+                w.u32(window);
+            }
+            Header::Probe(ProbeHeader { train, idx, len }) => {
+                w.u8(4);
+                w.u32(train);
+                w.u32(idx);
+                w.u32(len);
+            }
+            Header::ProbeAck(ProbeAckHeader {
+                train,
+                idx,
+                len,
+                sent_at,
+                recv_at,
+            }) => {
+                w.u8(5);
+                w.u32(train);
+                w.u32(idx);
+                w.u32(len);
+                w.u64(sent_at.as_nanos());
+                w.u64(recv_at.as_nanos());
+            }
+        }
+    }
+
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => Header::Syn {
+                flow_bytes: r.u64()?,
+            },
+            1 => Header::SynAck { window: r.u32()? },
+            2 => Header::Data(DataHeader {
+                seg: r.u32()?,
+                class: SendClass::from_snap_tag(r.u8()?)?,
+            }),
+            3 => {
+                let cum = r.u32()?;
+                let n = r.u8()?;
+                if n > 4 {
+                    return Err(SnapError::Tag {
+                        ty: "SackBlocks.len",
+                        tag: n,
+                    });
+                }
+                let mut ranges = [(0u32, 0u32); 4];
+                for slot in ranges.iter_mut().take(n as usize) {
+                    *slot = (r.u32()?, r.u32()?);
+                }
+                Header::Ack(AckHeader {
+                    cum,
+                    sack: SackBlocks {
+                        blocks: ranges,
+                        len: n,
+                    },
+                    for_seg: r.u32()?,
+                    echo_tx_time: SimTime::from_nanos(r.u64()?),
+                    window: r.u32()?,
+                })
+            }
+            4 => Header::Probe(ProbeHeader {
+                train: r.u32()?,
+                idx: r.u32()?,
+                len: r.u32()?,
+            }),
+            5 => Header::ProbeAck(ProbeAckHeader {
+                train: r.u32()?,
+                idx: r.u32()?,
+                len: r.u32()?,
+                sent_at: SimTime::from_nanos(r.u64()?),
+                recv_at: SimTime::from_nanos(r.u64()?),
+            }),
+            tag => return Err(SnapError::Tag { ty: "Header", tag }),
+        })
+    }
+}
+
 /// Number of segments needed for a flow of `bytes` payload bytes.
 pub fn segment_count(bytes: u64) -> u32 {
     if bytes == 0 {
@@ -256,6 +393,49 @@ mod tests {
         assert_eq!(s.ranges().len(), 4);
         assert_eq!(s.ranges()[3], (7, 8));
         assert!(SackBlocks::EMPTY.is_empty());
+    }
+
+    #[test]
+    fn header_snapshot_roundtrip() {
+        let headers = [
+            Header::Syn {
+                flow_bytes: 123_456,
+            },
+            Header::SynAck { window: 141_000 },
+            Header::Data(DataHeader {
+                seg: 42,
+                class: SendClass::Proactive,
+            }),
+            Header::Ack(AckHeader {
+                cum: 7,
+                sack: SackBlocks::from_ranges(&[(9, 12), (20, 21)]),
+                for_seg: 11,
+                echo_tx_time: SimTime::from_nanos(987_654_321),
+                window: 64_000,
+            }),
+            Header::Probe(ProbeHeader {
+                train: 2,
+                idx: 3,
+                len: 8,
+            }),
+            Header::ProbeAck(ProbeAckHeader {
+                train: 2,
+                idx: 3,
+                len: 8,
+                sent_at: SimTime::from_nanos(10),
+                recv_at: SimTime::from_nanos(20),
+            }),
+        ];
+        let mut w = SnapWriter::new();
+        for h in &headers {
+            h.encode(&mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = SnapReader::new(&bytes);
+        for h in &headers {
+            assert_eq!(*h, Header::decode(&mut r).unwrap());
+        }
+        assert_eq!(r.remaining(), 0);
     }
 
     #[test]

@@ -18,18 +18,41 @@ pub fn flow_offered_wire_bytes(payload: u64) -> u64 {
     flow_wire_bytes(payload) + 2 * CTRL_WIRE_BYTES as u64
 }
 
-/// The mean interarrival time that offers `utilization` (0–1) of
-/// `bottleneck` given flows averaging `mean_flow_payload` bytes.
+/// The largest offered utilization [`interarrival_for_utilization`]
+/// accepts. Values above 1.0 are *deliberate overload* — the arrival rate
+/// offers more than the bottleneck can carry, which the feasible-capacity
+/// experiments use to find the collapse point — and 150% is as far past
+/// saturation as any experiment here needs to go. Anything beyond that is
+/// almost certainly a units mistake (a percentage passed as a fraction).
+pub const MAX_OVERLOAD_UTILIZATION: f64 = 1.5;
+
+/// The mean interarrival time that offers `utilization` of `bottleneck`
+/// given flows averaging `mean_flow_payload` bytes.
+///
+/// # Panics
+///
+/// `utilization` must lie in `(0, `[`MAX_OVERLOAD_UTILIZATION`]`]`:
+/// 0 < ρ ≤ 1 is the paper's operating range, 1 < ρ ≤ 1.5 is deliberate
+/// overload. `mean_flow_payload` must be at least one byte — a sub-byte
+/// mean is a degenerate workload (historically it was silently clamped to
+/// 1 byte, which hid unit mistakes in callers).
 pub fn interarrival_for_utilization(
     bottleneck: Rate,
     mean_flow_payload: f64,
     utilization: f64,
 ) -> SimDuration {
     assert!(
-        utilization > 0.0 && utilization <= 1.5,
-        "utilization out of range: {utilization}"
+        utilization > 0.0 && utilization <= MAX_OVERLOAD_UTILIZATION,
+        "utilization {utilization} outside (0, {MAX_OVERLOAD_UTILIZATION}]: \
+         values in (1, 1.5] mean deliberate overload; anything larger is \
+         unsupported (did you pass a percentage?)"
     );
-    let wire = flow_offered_wire_bytes(mean_flow_payload.max(1.0) as u64) as f64;
+    assert!(
+        mean_flow_payload >= 1.0,
+        "mean flow payload {mean_flow_payload} is less than one byte \
+         (did you pass KB instead of bytes?)"
+    );
+    let wire = flow_offered_wire_bytes(mean_flow_payload as u64) as f64;
     let flows_per_sec = utilization * bottleneck.as_bps() as f64 / (8.0 * wire);
     SimDuration::from_secs_f64(1.0 / flows_per_sec)
 }
@@ -72,13 +95,165 @@ impl PoissonArrivals {
         t
     }
 
-    /// Generate every arrival up to `horizon`, in order.
-    pub fn take_until(&mut self, horizon: SimTime) -> Vec<SimTime> {
-        let mut out = Vec::new();
-        while self.peek() <= horizon {
-            out.push(self.pop());
+    /// Stream every arrival up to `horizon`, in order, one at a time.
+    ///
+    /// This replaces the old `take_until`, which materialized every arrival
+    /// into a `Vec` — fine for a minutes-long figure run, fatal for an
+    /// open-loop service run where a 24-hour horizon holds tens of millions
+    /// of arrivals. The iterator borrows the process, so arrivals past the
+    /// horizon stay pending for the next call.
+    pub fn until(&mut self, horizon: SimTime) -> impl Iterator<Item = SimTime> + '_ {
+        std::iter::from_fn(move || (self.peek() <= horizon).then(|| self.pop()))
+    }
+
+    /// Serialize into the engine checkpoint codec.
+    pub fn save(&self, w: &mut netsim::snap::SnapWriter) {
+        w.u64(self.mean.as_nanos());
+        w.u64(self.next.as_nanos());
+        let (seed, state) = self.rng.state_parts();
+        w.u64(seed);
+        for word in state {
+            w.u64(word);
         }
-        out
+    }
+
+    /// Rebuild a process saved by [`PoissonArrivals::save`].
+    pub fn load(r: &mut netsim::snap::SnapReader<'_>) -> Result<Self, netsim::snap::SnapError> {
+        let mean = SimDuration::from_nanos(r.u64()?);
+        let next = SimTime::from_nanos(r.u64()?);
+        let seed = r.u64()?;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.u64()?;
+        }
+        Ok(PoissonArrivals {
+            mean,
+            next,
+            rng: SimRng::from_parts(seed, state),
+        })
+    }
+}
+
+/// A Poisson arrival process whose rate follows a sinusoidal "diurnal"
+/// envelope — the open-loop service mode's internet-weather model, where
+/// offered load breathes through a daily cycle instead of holding a flat
+/// mean.
+///
+/// Implemented by *thinning*: candidates are generated by a homogeneous
+/// [`PoissonArrivals`] at the peak rate `λ·(1 + amplitude)`, and each
+/// candidate at time `t` is accepted with probability `λ(t) / λ_peak`
+/// where `λ(t) = λ·(1 + amplitude·sin(2πt/period))`. Thinning keeps the
+/// process exactly Poisson at every instant and — crucially for
+/// checkpointing — keeps the state small: two RNGs, one pending arrival.
+#[derive(Debug, Clone)]
+pub struct DiurnalPoisson {
+    /// Candidate stream at the peak rate.
+    base: PoissonArrivals,
+    /// Relative swing of the rate around its mean, in `[0, 1)`. 0 swings
+    /// nothing (plain Poisson); 0.5 breathes between 50% and 150% of mean.
+    amplitude: f64,
+    /// Length of one rate cycle.
+    period: SimDuration,
+    /// Accept/reject draws for thinning.
+    thin_rng: SimRng,
+    /// Next accepted arrival.
+    next: SimTime,
+}
+
+impl DiurnalPoisson {
+    /// Arrivals averaging `mean` apart, swinging by `amplitude` over
+    /// `period`. `amplitude = 0` degenerates to a plain Poisson process
+    /// (the thinning draw still advances the RNG, so the two are not
+    /// stream-identical — pick one and stay with it for a given run).
+    pub fn new(
+        mean: SimDuration,
+        amplitude: f64,
+        period: SimDuration,
+        start: SimTime,
+        rng: SimRng,
+    ) -> Self {
+        assert!(
+            (0.0..1.0).contains(&amplitude),
+            "diurnal amplitude {amplitude} outside [0, 1): the rate would go negative"
+        );
+        assert!(!period.is_zero(), "diurnal period must be positive");
+        let peak_mean = SimDuration::from_secs_f64(mean.as_secs_f64() / (1.0 + amplitude));
+        let base = PoissonArrivals::new(peak_mean, start, rng.fork("diurnal-base"));
+        let mut p = DiurnalPoisson {
+            base,
+            amplitude,
+            period,
+            thin_rng: rng.fork("diurnal-thin"),
+            next: start,
+        };
+        p.advance();
+        p
+    }
+
+    /// Instantaneous acceptance probability at `t`: `λ(t) / λ_peak`.
+    fn accept_prob(&self, t: SimTime) -> f64 {
+        let phase = (t.as_secs_f64() / self.period.as_secs_f64()) * std::f64::consts::TAU;
+        (1.0 + self.amplitude * phase.sin()) / (1.0 + self.amplitude)
+    }
+
+    fn advance(&mut self) {
+        loop {
+            let cand = self.base.pop();
+            if self.thin_rng.uniform() < self.accept_prob(cand) {
+                self.next = cand;
+                return;
+            }
+        }
+    }
+
+    /// Time of the next arrival.
+    pub fn peek(&self) -> SimTime {
+        self.next
+    }
+
+    /// Consume the next arrival and compute the following one.
+    pub fn pop(&mut self) -> SimTime {
+        let t = self.next;
+        self.advance();
+        t
+    }
+
+    /// Stream every arrival up to `horizon`, in order, one at a time.
+    pub fn until(&mut self, horizon: SimTime) -> impl Iterator<Item = SimTime> + '_ {
+        std::iter::from_fn(move || (self.peek() <= horizon).then(|| self.pop()))
+    }
+
+    /// Serialize into the engine checkpoint codec.
+    pub fn save(&self, w: &mut netsim::snap::SnapWriter) {
+        self.base.save(w);
+        w.f64(self.amplitude);
+        w.u64(self.period.as_nanos());
+        let (seed, state) = self.thin_rng.state_parts();
+        w.u64(seed);
+        for word in state {
+            w.u64(word);
+        }
+        w.u64(self.next.as_nanos());
+    }
+
+    /// Rebuild a process saved by [`DiurnalPoisson::save`].
+    pub fn load(r: &mut netsim::snap::SnapReader<'_>) -> Result<Self, netsim::snap::SnapError> {
+        let base = PoissonArrivals::load(r)?;
+        let amplitude = r.f64()?;
+        let period = SimDuration::from_nanos(r.u64()?);
+        let seed = r.u64()?;
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = r.u64()?;
+        }
+        let next = SimTime::from_nanos(r.u64()?);
+        Ok(DiurnalPoisson {
+            base,
+            amplitude,
+            period,
+            thin_rng: SimRng::from_parts(seed, state),
+            next,
+        })
     }
 }
 
@@ -104,11 +279,7 @@ impl Schedule {
         let mean = interarrival_for_utilization(bottleneck, flow_bytes as f64, utilization);
         let mut arr = PoissonArrivals::new(mean, SimTime::ZERO, rng);
         Schedule {
-            flows: arr
-                .take_until(horizon)
-                .into_iter()
-                .map(|t| (t, flow_bytes))
-                .collect(),
+            flows: arr.until(horizon).map(|t| (t, flow_bytes)).collect(),
         }
     }
 
@@ -123,9 +294,8 @@ impl Schedule {
         mut draw: impl FnMut(&mut SimRng) -> u64,
     ) -> Schedule {
         let mean = interarrival_for_utilization(bottleneck, mean_payload, utilization);
-        let arrivals =
-            PoissonArrivals::new(mean, SimTime::ZERO, rng.fork("arrivals")).take_until(horizon);
-        let flows = arrivals.into_iter().map(|t| (t, draw(&mut rng))).collect();
+        let mut arr = PoissonArrivals::new(mean, SimTime::ZERO, rng.fork("arrivals"));
+        let flows = arr.until(horizon).map(|t| (t, draw(&mut rng))).collect();
         Schedule { flows }
     }
 
@@ -162,12 +332,99 @@ mod tests {
         let mean = SimDuration::from_millis(50);
         let mut p = PoissonArrivals::new(mean, SimTime::ZERO, SimRng::new(31));
         let horizon = SimTime::ZERO + SimDuration::from_secs(400);
-        let arr = p.take_until(horizon);
+        let arr: Vec<SimTime> = p.until(horizon).collect();
         let emp = horizon.as_secs_f64() / arr.len() as f64;
         assert!((emp / 0.05 - 1.0).abs() < 0.05, "empirical mean {emp}s");
         // Ascending and strictly positive.
         assert!(arr.windows(2).all(|w| w[0] <= w[1]));
         assert!(arr[0] > SimTime::ZERO);
+        // The stream is resumable: arrivals past the horizon stay pending.
+        assert!(p.peek() > horizon);
+    }
+
+    #[test]
+    fn utilization_boundaries() {
+        let r = Rate::from_mbps(15);
+        // 1.0 (full load) and the documented 1.5 overload ceiling are in
+        // range; a hair past the ceiling and non-positive values are not.
+        interarrival_for_utilization(r, 100_000.0, 1.0);
+        interarrival_for_utilization(r, 100_000.0, MAX_OVERLOAD_UTILIZATION);
+        for bad in [0.0, -0.2, MAX_OVERLOAD_UTILIZATION + 1e-9, 50.0] {
+            assert!(
+                std::panic::catch_unwind(|| interarrival_for_utilization(r, 100_000.0, bad))
+                    .is_err(),
+                "utilization {bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn payload_boundaries() {
+        let r = Rate::from_mbps(15);
+        // Exactly one byte is the smallest legal mean payload.
+        interarrival_for_utilization(r, 1.0, 0.5);
+        for bad in [0.999, 0.0, -5.0] {
+            assert!(
+                std::panic::catch_unwind(|| interarrival_for_utilization(r, bad, 0.5)).is_err(),
+                "mean payload {bad} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_snapshot_resumes_identically() {
+        let mean = SimDuration::from_millis(10);
+        let mut p = PoissonArrivals::new(mean, SimTime::ZERO, SimRng::new(77));
+        for _ in 0..100 {
+            p.pop();
+        }
+        let mut w = netsim::snap::SnapWriter::new();
+        p.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut q = PoissonArrivals::load(&mut netsim::snap::SnapReader::new(&bytes)).unwrap();
+        for _ in 0..1000 {
+            assert_eq!(p.pop(), q.pop());
+        }
+    }
+
+    #[test]
+    fn diurnal_rate_breathes() {
+        // amplitude 0.5 over a 1000 s period: the first half-cycle should
+        // see visibly more arrivals than the second.
+        let mean = SimDuration::from_millis(20);
+        let period = SimDuration::from_secs(1000);
+        let mut p = DiurnalPoisson::new(mean, 0.5, period, SimTime::ZERO, SimRng::new(5));
+        let half = SimTime::ZERO + SimDuration::from_secs(500);
+        let first: usize = p.until(half).count();
+        let second: usize = p.until(SimTime::ZERO + period).count();
+        assert!(
+            first as f64 > second as f64 * 1.5,
+            "diurnal swing missing: {first} vs {second}"
+        );
+        // Overall mean still matches the configured mean within tolerance.
+        let total = (first + second) as f64;
+        let expect = 1000.0 / 0.02;
+        assert!(
+            (total / expect - 1.0).abs() < 0.1,
+            "overall rate off: {total} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn diurnal_snapshot_resumes_identically() {
+        let mean = SimDuration::from_millis(10);
+        let period = SimDuration::from_secs(600);
+        let mut p = DiurnalPoisson::new(mean, 0.4, period, SimTime::ZERO, SimRng::new(13));
+        for _ in 0..500 {
+            p.pop();
+        }
+        let mut w = netsim::snap::SnapWriter::new();
+        p.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut q = DiurnalPoisson::load(&mut netsim::snap::SnapReader::new(&bytes)).unwrap();
+        for _ in 0..2000 {
+            assert_eq!(p.pop(), q.pop());
+        }
     }
 
     #[test]

@@ -15,7 +15,10 @@ pub mod flowsize;
 pub mod paths;
 pub mod web;
 
-pub use arrivals::{interarrival_for_utilization, PoissonArrivals, Schedule};
+pub use arrivals::{
+    interarrival_for_utilization, DiurnalPoisson, PoissonArrivals, Schedule,
+    MAX_OVERLOAD_UTILIZATION,
+};
 pub use dist::{EmpiricalCdf, WeightedChoice};
 pub use flowsize::TraceKind;
 pub use paths::{planetlab_paths, HomeNetwork};
